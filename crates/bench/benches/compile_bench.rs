@@ -1,0 +1,60 @@
+//! Compiler benchmarks: front end, cost estimation and full pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ooc_bench::gaxpy_hir;
+use ooc_core::nodegen::gaxpy_nest;
+use ooc_core::stripmine::SlabSizing;
+use ooc_core::{compile_hir, compile_source, CompilerOptions, CostEstimate, SlabStrategy};
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/frontend");
+    group.bench_function("parse_figure3", |b| {
+        b.iter(|| hpf::parse_program(std::hint::black_box(hpf::GAXPY_SOURCE)).unwrap())
+    });
+    let prog = hpf::parse_program(hpf::GAXPY_SOURCE).unwrap();
+    group.bench_function("analyze_figure3", |b| {
+        b.iter(|| hpf::analyze(std::hint::black_box(&prog)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/pipeline");
+    let options = CompilerOptions::default();
+    group.bench_function("compile_source_figure3", |b| {
+        b.iter(|| compile_source(hpf::GAXPY_SOURCE, &options).unwrap())
+    });
+    group.bench_function("compile_hir_1k_x_16", |b| {
+        b.iter(|| compile_hir(gaxpy_hir(1024, 16), &options).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler/estimator");
+    let compiled = compile_hir(
+        gaxpy_hir(1024, 16),
+        &CompilerOptions {
+            sizing: SlabSizing::Ratio(0.25),
+            force_strategy: Some(SlabStrategy::RowSlab),
+            ..CompilerOptions::default()
+        },
+    )
+    .unwrap();
+    let ooc_core::ExecPlan::Gaxpy(plan) = &compiled.plans[0] else {
+        unreachable!()
+    };
+    group.bench_function("gaxpy_nest_build", |b| {
+        b.iter(|| gaxpy_nest(std::hint::black_box(plan)))
+    });
+    let nest = gaxpy_nest(plan);
+    let model = dmsim::CostModel::delta(16);
+    group.bench_function("estimate_from_nest", |b| {
+        b.iter(|| CostEstimate::from_nest(std::hint::black_box(&nest), &model, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_pipeline, bench_estimator);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Executor benchmarks: small end-to-end runs per plan kind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ooc_bench::{run_incore_matmul, run_matmul, MatmulSetup};
+use ooc_core::{compile_source, CompilerOptions, SlabStrategy};
+
+fn bench_gaxpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/gaxpy_64x64_2p");
+    group.sample_size(20);
+    for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name().replace(' ', "_")),
+            &strategy,
+            |b, &strategy| {
+                let setup = MatmulSetup::table1(64, 2, 0.25, strategy);
+                b.iter(|| run_matmul(std::hint::black_box(&setup)))
+            },
+        );
+    }
+    group.bench_function("in_core", |b| b.iter(|| run_incore_matmul(64, 2)));
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let src = "
+      parameter (n=64)
+      real u(n, n), v(n, n)
+!hpf$ processors pr(2)
+!hpf$ template t(n)
+!hpf$ distribute t(block) on pr
+!hpf$ align (:, *) with t :: u, v
+      forall (i = 2:n-1, j = 2:n-1)
+        v(i, j) = 0.25 * (u(i-1, j) + u(i+1, j) + u(i, j-1) + u(i, j+1))
+      end forall
+      end
+";
+    let compiled = compile_source(src, &CompilerOptions::default()).unwrap();
+    let mut cfg = noderun::RunConfig::default();
+    cfg.init.insert(
+        "u".into(),
+        noderun::init_fn(|g| (g[0] * 3 + g[1]) as f32 * 0.01),
+    );
+    let mut group = c.benchmark_group("runtime/jacobi_64x64_2p");
+    group.sample_size(20);
+    group.bench_function("sweep", |b| {
+        b.iter(|| noderun::run(std::hint::black_box(&compiled), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let src = "
+      parameter (n=64)
+      real a(n, n), b(n, n)
+!hpf$ processors pr(2)
+!hpf$ distribute a(*, block) on pr
+!hpf$ distribute b(*, block) on pr
+      forall (i = 1:n, j = 1:n)
+        b(i, j) = a(j, i)
+      end forall
+      end
+";
+    let compiled = compile_source(src, &CompilerOptions::default()).unwrap();
+    let mut cfg = noderun::RunConfig::default();
+    cfg.init.insert(
+        "a".into(),
+        noderun::init_fn(|g| (g[0] * 7 + g[1]) as f32 * 0.01),
+    );
+    let mut group = c.benchmark_group("runtime/transpose_64x64_2p");
+    group.sample_size(20);
+    group.bench_function("remap", |b| {
+        b.iter(|| noderun::run(std::hint::black_box(&compiled), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gaxpy, bench_elementwise, bench_transpose);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the substrates: request coalescing, strided vs
+//! contiguous LAF access, layout run counting, and collectives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmsim::{Machine, MachineConfig};
+use ooc_array::{DimRange, FileLayout, Section, Shape};
+use pario::{coalesce_runs, ByteRun, ElemKind, LocalArrayFile, LogicalDisk, NoCharge};
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pario/coalesce");
+    for &n in &[16usize, 256, 4096] {
+        let runs: Vec<ByteRun> = (0..n)
+            .map(|i| ByteRun::new((i * 8) as u64, if i % 3 == 0 { 8 } else { 4 }))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &runs, |b, runs| {
+            b.iter(|| coalesce_runs(std::hint::black_box(runs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_laf_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pario/laf_read");
+    let elems = 1 << 16;
+    let mut disk = LogicalDisk::in_memory();
+    let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, elems).unwrap();
+    let data: Vec<f32> = (0..elems).map(|i| i as f32).collect();
+    laf.write_all_f32(&mut disk, &data, &NoCharge).unwrap();
+
+    // Contiguous: one run; strided: 256 runs of 128 elements with gaps.
+    let contiguous = vec![pario::ElemRun::new(0, elems)];
+    let strided: Vec<pario::ElemRun> = (0..256)
+        .map(|i| pario::ElemRun::new(i * 256, 128))
+        .collect();
+    group.bench_function("contiguous_64k", |b| {
+        b.iter(|| laf.read_f32(&mut disk, &contiguous, &NoCharge).unwrap())
+    });
+    group.bench_function("strided_256x128", |b| {
+        b.iter(|| laf.read_f32(&mut disk, &strided, &NoCharge).unwrap())
+    });
+    group.bench_function("strided_sieved", |b| {
+        b.iter(|| {
+            laf.read_f32_with(
+                &mut disk,
+                &strided,
+                &NoCharge,
+                pario::SievePolicy::Always,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_layout_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout/section_runs");
+    let shape = Shape::matrix(1024, 256);
+    let cm = FileLayout::column_major(2);
+    let row_slab = Section::new(vec![DimRange::new(100, 164), DimRange::full(256)]);
+    group.bench_function("count_strided", |b| {
+        b.iter(|| cm.count_section_runs(&shape, std::hint::black_box(&row_slab)))
+    });
+    group.bench_function("materialize_strided", |b| {
+        b.iter(|| cm.section_runs(&shape, std::hint::black_box(&row_slab)))
+    });
+    let rm = FileLayout::row_major(2);
+    group.bench_function("materialize_contiguous", |b| {
+        b.iter(|| rm.section_runs(&shape, std::hint::black_box(&row_slab)))
+    });
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmsim/collectives");
+    group.sample_size(10);
+    for &p in &[2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("allreduce_1k", p), &p, |b, &p| {
+            let machine = Machine::new(MachineConfig::free(p));
+            b.iter(|| {
+                machine.run(|ctx| {
+                    let v = vec![ctx.rank() as f64; 1024];
+                    let _ = ctx.allreduce_sum_f64(&v);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coalesce,
+    bench_laf_access,
+    bench_layout_runs,
+    bench_collectives
+);
+criterion_main!(benches);

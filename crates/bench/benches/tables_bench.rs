@@ -1,0 +1,91 @@
+//! Table/figure cell benchmarks: Criterion groups mirroring the paper's
+//! evaluation at reduced scale (`cargo bench` keeps the same structure as
+//! the `table1`/`table2`/`fig10` binaries, which run the full sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ooc_bench::{run_incore_matmul, run_matmul, MatmulSetup};
+use ooc_core::stripmine::SlabSizing;
+use ooc_core::SlabStrategy;
+
+const N: usize = 128; // reduced from the paper's 1024 for bench time
+
+fn table1_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for &p in &[4usize, 16] {
+        for &(ratio, label) in &[(0.125, "1_8"), (1.0, "1")] {
+            for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+                let id = format!(
+                    "{}p_ratio{}_{}",
+                    p,
+                    label,
+                    strategy.name().replace(' ', "_")
+                );
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(id),
+                    &(p, ratio, strategy),
+                    |b, &(p, ratio, strategy)| {
+                        let setup = MatmulSetup::table1(N, p, ratio, strategy);
+                        b.iter(|| run_matmul(&setup));
+                    },
+                );
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("in_core", p), &p, |b, &p| {
+            b.iter(|| run_incore_matmul(N, p))
+        });
+    }
+    group.finish();
+}
+
+fn table2_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let p = 16;
+    let fixed = 16usize;
+    for &s in &[16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("vary_b", s), &s, |b, &s| {
+            let setup = MatmulSetup {
+                n: N,
+                p,
+                strategy: Some(SlabStrategy::RowSlab),
+                sizing: SlabSizing::Explicit { a: fixed, b: s },
+                reorganize: true,
+                verify: false,
+            };
+            b.iter(|| run_matmul(&setup));
+        });
+        group.bench_with_input(BenchmarkId::new("vary_a", s), &s, |b, &s| {
+            let setup = MatmulSetup {
+                n: N,
+                p,
+                strategy: Some(SlabStrategy::RowSlab),
+                sizing: SlabSizing::Explicit { a: s, b: fixed },
+                reorganize: true,
+                verify: false,
+            };
+            b.iter(|| run_matmul(&setup));
+        });
+    }
+    group.finish();
+}
+
+fn fig10_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for &(ratio, label) in &[(1.0, "1"), (0.5, "1_2"), (0.25, "1_4"), (0.125, "1_8")] {
+        group.bench_with_input(
+            BenchmarkId::new("col_slab_4p", label),
+            &ratio,
+            |b, &ratio| {
+                let setup = MatmulSetup::table1(N, 4, ratio, SlabStrategy::ColumnSlab);
+                b.iter(|| run_matmul(&setup));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_cells, table2_cells, fig10_cells);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 10: effect of slab-size variation on the column-slab translation
+//! (the straightforward extension of in-core compilation).
+//!
+//! Usage: `cargo run --release -p ooc-bench --bin fig10 [n]`
+//! (default n = 1024, the paper's size).
+
+use ooc_bench::table::secs;
+use ooc_bench::{run_matmul, MatmulSetup, TextTable};
+use ooc_core::SlabStrategy;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n must be an integer"))
+        .unwrap_or(1024);
+    let procs = [4usize, 16, 32, 64];
+    let ratios = [(1.0, "1"), (0.5, "1/2"), (0.25, "1/4"), (0.125, "1/8")];
+
+    println!(
+        "Figure 10: column-slab {n}x{n} matmul, time vs slab ratio (simulated seconds)\n"
+    );
+    let mut headers = vec!["Processors".to_string()];
+    for (_, label) in ratios {
+        headers.push(format!("ratio {label}"));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = TextTable::new(&hdr_refs);
+    for p in procs {
+        let mut cells = vec![p.to_string()];
+        for (ratio, _) in ratios {
+            let row = run_matmul(&MatmulSetup::table1(n, p, ratio, SlabStrategy::ColumnSlab));
+            cells.push(secs(row.sim_seconds));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+
+    // The figure itself: ASCII bars plus a gnuplot-ready data file.
+    let series: Vec<ooc_bench::plot::Series> = procs
+        .iter()
+        .map(|&p| {
+            ooc_bench::plot::Series::new(
+                &format!("{p} procs"),
+                ratios
+                    .iter()
+                    .map(|&(ratio, label)| {
+                        let row =
+                            run_matmul(&MatmulSetup::table1(n, p, ratio, SlabStrategy::ColumnSlab));
+                        (label.to_string(), row.sim_seconds)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "\n{}",
+        ooc_bench::plot::ascii_bars("time (s) by slab ratio", &series, 48)
+    );
+    let dat_path = "docs/results/fig10.dat";
+    if std::fs::write(dat_path, ooc_bench::plot::gnuplot_dat(&series)).is_ok() {
+        println!("gnuplot data written to {dat_path}");
+    }
+    println!(
+        "\nexpected shape (paper, 1Kx1K): time grows as the slab ratio shrinks \
+         (more, smaller I/O requests) and falls with more processors"
+    );
+}

@@ -1,0 +1,55 @@
+//! Table 1: column-slab vs row-slab performance of out-of-core matrix
+//! multiplication for varying slab ratios and processor counts, plus the
+//! in-core reference.
+//!
+//! Usage: `cargo run --release -p ooc-bench --bin table1 [n]`
+//! (default n = 1024, the paper's size).
+
+use ooc_bench::table::secs;
+use ooc_bench::{run_incore_matmul, run_matmul, MatmulSetup, TextTable};
+use ooc_core::SlabStrategy;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n must be an integer"))
+        .unwrap_or(1024);
+    let procs = [4usize, 16, 32, 64];
+    let ratios = [(0.125, "1/8"), (0.25, "1/4"), (0.5, "1/2"), (1.0, "1")];
+
+    println!(
+        "Table 1: out-of-core {n}x{n} matmul, simulated Touchstone Delta (time in seconds)\n"
+    );
+    let mut headers = vec!["Slab Ratio".to_string()];
+    for p in procs {
+        headers.push(format!("{p}P col"));
+        headers.push(format!("{p}P row"));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&hdr_refs);
+
+    for (ratio, label) in ratios {
+        let mut cells = vec![label.to_string()];
+        for p in procs {
+            for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+                let row = run_matmul(&MatmulSetup::table1(n, p, ratio, strategy));
+                cells.push(secs(row.sim_seconds));
+            }
+        }
+        table.row(cells);
+    }
+    // In-core reference row.
+    let mut cells = vec!["In-core".to_string()];
+    for p in procs {
+        let r = run_incore_matmul(n, p);
+        cells.push(secs(r.sim_seconds));
+        cells.push(String::new());
+    }
+    table.row(cells);
+
+    print!("{}", table.render());
+    println!(
+        "\npaper (1Kx1K): e.g. 4P ratio 1/8: col 1045.84 row 239.97; \
+         4P ratio 1: col 923.11 row 194.15; in-core 140.91"
+    );
+}

@@ -1,0 +1,90 @@
+//! Table 2: performance of the row-slab version for different slab sizes
+//! of arrays A and B (2K×2K, 16 processors) — the memory-allocation
+//! experiment, plus the compiler's automatic policies on the same budget.
+//!
+//! Usage: `cargo run --release -p ooc-bench --bin table2 [n]`
+//! (default n = 2048, the paper's size).
+
+use ooc_bench::table::secs;
+use ooc_bench::{run_matmul, MatmulSetup, TextTable};
+use ooc_core::stripmine::SlabSizing;
+use ooc_core::{MemoryPolicy, SlabStrategy};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("n must be an integer"))
+        .unwrap_or(2048);
+    let p = 16usize;
+    let fixed = 256usize * n / 2048; // scale the paper's 256 with n
+    let sweep: Vec<usize> = [256usize, 512, 1024, 2048]
+        .iter()
+        .map(|s| s * n / 2048)
+        .collect();
+
+    println!(
+        "Table 2: row-slab {n}x{n} matmul on {p} processors, varying slab sizes (time in seconds)\n"
+    );
+    let mut t = TextTable::new(&[
+        "Slab B", "A fixed: time", "Slab A", "B fixed: time", "Total (A+B)",
+    ]);
+    for &s in &sweep {
+        let vary_b = run_matmul(&MatmulSetup {
+            n,
+            p,
+            strategy: Some(SlabStrategy::RowSlab),
+            sizing: SlabSizing::Explicit { a: fixed, b: s },
+            reorganize: true,
+            verify: false,
+        });
+        let vary_a = run_matmul(&MatmulSetup {
+            n,
+            p,
+            strategy: Some(SlabStrategy::RowSlab),
+            sizing: SlabSizing::Explicit { a: s, b: fixed },
+            reorganize: true,
+            verify: false,
+        });
+        t.row(vec![
+            s.to_string(),
+            secs(vary_b.sim_seconds),
+            s.to_string(),
+            secs(vary_a.sim_seconds),
+            (fixed + s).to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\npaper (2Kx2K): slab B sweep 826.94 -> 493.04 s; slab A sweep 826.94 -> 452.29 s \
+         (giving A the larger slab wins at equal total memory)\n"
+    );
+
+    // The compiler's automatic policies on the equal-total budget.
+    let lc = n / p;
+    let budget_elems = (fixed + 2048 * n / 2048) * lc; // the largest swept total
+    println!("automatic memory allocation on a {budget_elems}-element budget:");
+    let mut t2 = TextTable::new(&["policy", "time (s)", "requests/proc"]);
+    for (policy, name) in [
+        (MemoryPolicy::EqualSplit, "equal split"),
+        (MemoryPolicy::AccessWeighted, "access weighted"),
+        (MemoryPolicy::Search, "search"),
+    ] {
+        let row = run_matmul(&MatmulSetup {
+            n,
+            p,
+            strategy: Some(SlabStrategy::RowSlab),
+            sizing: SlabSizing::Budget {
+                elems: budget_elems,
+                policy,
+            },
+            reorganize: true,
+            verify: false,
+        });
+        t2.row(vec![
+            name.to_string(),
+            secs(row.sim_seconds),
+            row.io_requests.to_string(),
+        ]);
+    }
+    print!("{}", t2.render());
+}

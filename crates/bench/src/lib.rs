@@ -1,0 +1,25 @@
+//! # ooc-bench — the experiment harness
+//!
+//! Reproduces the paper's evaluation. Each table/figure has a binary that
+//! prints the same rows the paper reports, driven by the functions here:
+//!
+//! * `cargo run --release -p ooc-bench --bin table1` — column vs row slab
+//!   vs in-core times (Table 1);
+//! * `cargo run --release -p ooc-bench --bin table2` — memory allocation
+//!   between competing arrays (Table 2);
+//! * `cargo run --release -p ooc-bench --bin fig10` — slab-ratio sweep of
+//!   the column version (Figure 10);
+//! * `cargo run --release -p ooc-bench --bin ablation` — policy and
+//!   reorganization ablations.
+//!
+//! Times are **simulated seconds** under the Touchstone-Delta cost model;
+//! all I/O and message counts are measured from real execution.
+
+pub mod harness;
+pub mod plot;
+pub mod table;
+
+pub use harness::{
+    gaxpy_hir, run_incore_matmul, run_matmul, ExperimentRow, MatmulSetup,
+};
+pub use table::TextTable;

@@ -1,0 +1,137 @@
+//! Minimal plotting: ASCII charts for the terminal and gnuplot-ready data
+//! files, so `fig10` can emit the figure as well as the table.
+
+use std::fmt::Write as _;
+
+/// One named series of (x-label, value) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Build a series from labels and values.
+    pub fn new(name: &str, points: Vec<(String, f64)>) -> Self {
+        Series {
+            name: name.to_string(),
+            points,
+        }
+    }
+}
+
+/// Render grouped horizontal ASCII bars, one block per x-label, one bar per
+/// series, scaled to `width` characters at the global maximum.
+pub fn ascii_bars(title: &str, series: &[Series], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, v)| *v))
+        .fold(0.0f64, f64::max);
+    if max <= 0.0 || series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let name_w = series.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    let label_w = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(l, _)| l.len()))
+        .max()
+        .unwrap_or(0);
+    let npoints = series[0].points.len();
+    for i in 0..npoints {
+        for s in series {
+            let Some((label, v)) = s.points.get(i) else {
+                continue;
+            };
+            let bar = ((v / max) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{label:>label_w$}  {:<name_w$}  {}{} {v:.2}",
+                s.name,
+                "█".repeat(bar),
+                if bar == 0 { "▏" } else { "" },
+            );
+        }
+        if i + 1 < npoints {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render a gnuplot-ready data file: one row per x-label, one column per
+/// series, `#`-prefixed header.
+pub fn gnuplot_dat(series: &[Series]) -> String {
+    let mut out = String::from("# x");
+    for s in series {
+        let _ = write!(out, "\t{}", s.name.replace(' ', "_"));
+    }
+    out.push('\n');
+    let npoints = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..npoints {
+        let label = &series[0].points[i].0;
+        let _ = write!(out, "{label}");
+        for s in series {
+            match s.points.get(i) {
+                Some((_, v)) => {
+                    let _ = write!(out, "\t{v:.4}");
+                }
+                None => out.push_str("\t?"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series::new(
+                "4 procs",
+                vec![("1".into(), 931.9), ("1/2".into(), 947.3), ("1/8".into(), 1039.6)],
+            ),
+            Series::new(
+                "64 procs",
+                vec![("1".into(), 807.5), ("1/2".into(), 823.0), ("1/8".into(), 915.6)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn ascii_bars_scale_to_max() {
+        let s = ascii_bars("fig", &sample(), 20);
+        assert!(s.starts_with("fig\n"));
+        // The global max (1039.6) gets the full width.
+        let max_line = s.lines().find(|l| l.contains("1039.60")).unwrap();
+        assert_eq!(max_line.matches('█').count(), 20);
+        // Smaller values get proportionally fewer blocks.
+        let small = s.lines().find(|l| l.contains("807.50")).unwrap();
+        assert!(small.matches('█').count() < 20);
+        // Every series appears for every label.
+        assert_eq!(s.matches("procs").count(), 6);
+    }
+
+    #[test]
+    fn ascii_bars_empty_is_graceful() {
+        assert!(ascii_bars("t", &[], 10).contains("no data"));
+        let zero = vec![Series::new("z", vec![("a".into(), 0.0)])];
+        assert!(ascii_bars("t", &zero, 10).contains("no data"));
+    }
+
+    #[test]
+    fn gnuplot_dat_shape() {
+        let dat = gnuplot_dat(&sample());
+        let lines: Vec<&str> = dat.lines().collect();
+        assert_eq!(lines[0], "# x\t4_procs\t64_procs");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("1\t931.9000\t807.5000"));
+    }
+}

@@ -1,0 +1,238 @@
+//! High-level IR: analyzed data-parallel statements.
+//!
+//! Lowering ([`crate::lower`]) recognizes the statement patterns the
+//! compiler knows how to translate out-of-core:
+//!
+//! * **GAXPY matrix multiplication** — the paper's running example
+//!   (Figure 3): a sequential `do j` loop around a `forall k` rank-1 update
+//!   and a `SUM` reduction. This is the pattern the access-reorganization
+//!   optimization targets.
+//! * **Elementwise forall** — a forall nest assigning an expression of
+//!   shifted references to identically-distributed arrays (Jacobi
+//!   relaxation, scaled copies, AXPY…). Shifts across processor boundaries
+//!   become ghost-cell exchanges.
+//! * **Transpose** — `c(i,j) = a(j,i)`: a full data remapping, compiled to
+//!   an out-of-core redistribution.
+//!
+//! All bounds are 0-based half-open after lowering.
+
+use serde::{Deserialize, Serialize};
+
+use ooc_array::{Distribution, Section, Shape};
+
+/// A lowered program: resolved array table plus recognized statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HirProgram {
+    /// Arrays in declaration order (name, shape, distribution).
+    pub arrays: Vec<HirArray>,
+    /// Statements in execution order.
+    pub stmts: Vec<HirStmt>,
+    /// Total processors.
+    pub nprocs: usize,
+}
+
+/// One out-of-core array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HirArray {
+    /// Source name.
+    pub name: String,
+    /// Global shape.
+    pub shape: Shape,
+    /// HPF distribution.
+    pub dist: Distribution,
+}
+
+impl HirProgram {
+    /// Find an array by name.
+    pub fn array(&self, name: &str) -> Option<&HirArray> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+/// A recognized data-parallel statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HirStmt {
+    /// GAXPY matrix multiplication `C = A·B` with A, C column-block and B
+    /// row-block distributed, all `n × n`.
+    Gaxpy {
+        /// Left operand (column-block).
+        a: String,
+        /// Right operand (row-block).
+        b: String,
+        /// Result (column-block).
+        c: String,
+        /// Name of the in-core temporary from the source (kept for
+        /// diagnostics; the translation keeps it in memory).
+        temp: String,
+        /// Matrix order.
+        n: usize,
+    },
+    /// Elementwise forall statement.
+    Elementwise(ElwStmt),
+    /// `dst(i, j) = src(j, i)` over full extents.
+    Transpose {
+        /// Source array.
+        src: String,
+        /// Destination array.
+        dst: String,
+    },
+}
+
+/// An elementwise forall: `lhs(i₀, i₁, …) = expr` for all indices in
+/// `region`, where every array reference in `expr` is `array(i₀+d₀, …)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElwStmt {
+    /// Assigned array.
+    pub lhs: String,
+    /// Global iteration region in lhs index space (0-based half-open).
+    pub region: Section,
+    /// Right-hand side.
+    pub rhs: ElwExpr,
+}
+
+impl ElwStmt {
+    /// All arrays referenced on the right-hand side, with their shift
+    /// offsets, in first-appearance order.
+    pub fn rhs_refs(&self) -> Vec<(String, Vec<isize>)> {
+        let mut out: Vec<(String, Vec<isize>)> = Vec::new();
+        collect_refs(&self.rhs, &mut out);
+        out
+    }
+
+    /// The largest |offset| per dimension over all rhs references — the
+    /// ghost-zone width the translation needs.
+    pub fn max_shift(&self, ndims: usize) -> Vec<usize> {
+        let mut m = vec![0usize; ndims];
+        for (_, offs) in self.rhs_refs() {
+            for (d, &o) in offs.iter().enumerate() {
+                m[d] = m[d].max(o.unsigned_abs());
+            }
+        }
+        m
+    }
+}
+
+fn collect_refs(e: &ElwExpr, out: &mut Vec<(String, Vec<isize>)>) {
+    match e {
+        ElwExpr::Const(_) => {}
+        ElwExpr::Ref { array, offsets } => {
+            if !out.iter().any(|(a, o)| a == array && o == offsets) {
+                out.push((array.clone(), offsets.clone()));
+            }
+        }
+        ElwExpr::Neg(inner) => collect_refs(inner, out),
+        ElwExpr::Add(l, r) | ElwExpr::Sub(l, r) | ElwExpr::Mul(l, r) | ElwExpr::Div(l, r) => {
+            collect_refs(l, out);
+            collect_refs(r, out);
+        }
+    }
+}
+
+/// Elementwise expression over shifted array references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ElwExpr {
+    /// Scalar constant.
+    Const(f32),
+    /// `array(i₀+offsets[0], i₁+offsets[1], …)`.
+    Ref {
+        /// Referenced array.
+        array: String,
+        /// Per-dimension shift relative to the iteration index.
+        offsets: Vec<isize>,
+    },
+    /// Negation.
+    Neg(Box<ElwExpr>),
+    /// Sum.
+    Add(Box<ElwExpr>, Box<ElwExpr>),
+    /// Difference.
+    Sub(Box<ElwExpr>, Box<ElwExpr>),
+    /// Product.
+    Mul(Box<ElwExpr>, Box<ElwExpr>),
+    /// Quotient.
+    Div(Box<ElwExpr>, Box<ElwExpr>),
+}
+
+impl ElwExpr {
+    /// Unshifted reference.
+    pub fn aref(array: &str, ndims: usize) -> ElwExpr {
+        ElwExpr::Ref {
+            array: array.to_string(),
+            offsets: vec![0; ndims],
+        }
+    }
+
+    /// Shifted reference.
+    pub fn shifted(array: &str, offsets: Vec<isize>) -> ElwExpr {
+        ElwExpr::Ref {
+            array: array.to_string(),
+            offsets,
+        }
+    }
+
+    /// `l + r`.
+    pub fn add(l: ElwExpr, r: ElwExpr) -> ElwExpr {
+        ElwExpr::Add(Box::new(l), Box::new(r))
+    }
+
+    /// `l * r`.
+    pub fn mul(l: ElwExpr, r: ElwExpr) -> ElwExpr {
+        ElwExpr::Mul(Box::new(l), Box::new(r))
+    }
+
+    /// Count floating-point operations per evaluated point.
+    pub fn flops_per_point(&self) -> u64 {
+        match self {
+            ElwExpr::Const(_) | ElwExpr::Ref { .. } => 0,
+            ElwExpr::Neg(i) => 1 + i.flops_per_point(),
+            ElwExpr::Add(l, r) | ElwExpr::Sub(l, r) | ElwExpr::Mul(l, r) | ElwExpr::Div(l, r) => {
+                1 + l.flops_per_point() + r.flops_per_point()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_array::DimRange;
+
+    fn jacobi_stmt() -> ElwStmt {
+        // a(i,j) = 0.25 * (b(i-1,j) + b(i+1,j) + b(i,j-1) + b(i,j+1))
+        let sum = ElwExpr::add(
+            ElwExpr::add(
+                ElwExpr::shifted("b", vec![-1, 0]),
+                ElwExpr::shifted("b", vec![1, 0]),
+            ),
+            ElwExpr::add(
+                ElwExpr::shifted("b", vec![0, -1]),
+                ElwExpr::shifted("b", vec![0, 1]),
+            ),
+        );
+        ElwStmt {
+            lhs: "a".into(),
+            region: Section::new(vec![DimRange::new(1, 7), DimRange::new(1, 7)]),
+            rhs: ElwExpr::mul(ElwExpr::Const(0.25), sum),
+        }
+    }
+
+    #[test]
+    fn rhs_refs_dedup_and_order() {
+        let s = jacobi_stmt();
+        let refs = s.rhs_refs();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs[0], ("b".to_string(), vec![-1, 0]));
+    }
+
+    #[test]
+    fn max_shift_is_ghost_width() {
+        let s = jacobi_stmt();
+        assert_eq!(s.max_shift(2), vec![1, 1]);
+    }
+
+    #[test]
+    fn flop_counting() {
+        let s = jacobi_stmt();
+        // 3 adds + 1 mul = 4 flops per point.
+        assert_eq!(s.rhs.flops_per_point(), 4);
+    }
+}

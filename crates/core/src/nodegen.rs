@@ -1,0 +1,569 @@
+//! Node-program generation: executable plans → symbolic loop nests.
+//!
+//! For each [`ExecPlan`] this module builds the per-processor
+//! node+MP+I/O program as a [`NestNode`] tree. Figures 9 and 12 of the
+//! paper are exactly [`gaxpy_nest`] for the column-slab and row-slab plans;
+//! the cost estimator walks these trees and the executor mirrors their
+//! operation sequence, so predicted and measured I/O metrics agree
+//! request-for-request (ragged final slabs included).
+
+use ooc_array::{ArrayDesc, DimRange, Section};
+
+use crate::hir::ElwStmt;
+use crate::ir::NestNode;
+use crate::partition::local_iteration_space;
+use crate::plan::{ElwPlan, ExecPlan, GaxpyPlan, SlabStrategy, TransposePlan};
+
+/// ceil(log2(p)): stages of a binomial-tree collective.
+pub fn ceil_log2(p: usize) -> u64 {
+    if p <= 1 {
+        0
+    } else {
+        (usize::BITS - (p - 1).leading_zeros()) as u64
+    }
+}
+
+/// Requests needed to move the slab `[lo, hi)` along `dim` of `desc`'s
+/// local array on `rank`, under the array's file layout.
+pub fn slab_requests(desc: &ArrayDesc, rank: usize, dim: usize, lo: usize, hi: usize) -> u64 {
+    let local = desc.local_shape(rank);
+    let sec = Section::full(&local).with_range(dim, DimRange::new(lo, hi));
+    desc.layout.count_section_runs(&local, &sec)
+}
+
+/// Build the nest for any plan.
+pub fn nest_of(plan: &ExecPlan) -> Vec<NestNode> {
+    match plan {
+        ExecPlan::Gaxpy(g) => gaxpy_nest(g),
+        ExecPlan::Elementwise(e) => elw_nest(e, 0),
+        ExecPlan::Transpose(t) => transpose_nest(t),
+    }
+}
+
+/// The GAXPY node program (Figure 9 for column slabs, Figure 12 for row
+/// slabs) for rank 0 — the most-loaded processor under ceil-block
+/// distribution, hence the one whose time bounds the run.
+pub fn gaxpy_nest(plan: &GaxpyPlan) -> Vec<NestNode> {
+    gaxpy_nest_for(plan, 0)
+}
+
+/// The GAXPY node program of a *specific* rank. When `p` does not divide
+/// `n`, ranks own different numbers of columns, so their A-streams, compute
+/// and C-writes differ; this per-rank nest matches each rank's measured
+/// I/O exactly.
+pub fn gaxpy_nest_for(plan: &GaxpyPlan, rank: usize) -> Vec<NestNode> {
+    match plan.strategy {
+        SlabStrategy::ColumnSlab => gaxpy_column_nest(plan, rank),
+        SlabStrategy::RowSlab => gaxpy_row_nest(plan, rank),
+    }
+}
+
+fn gaxpy_column_nest(plan: &GaxpyPlan, rank: usize) -> Vec<NestNode> {
+    let n = plan.n;
+    let lc = plan.a.local_shape(rank).extent(1);
+    let lc_c = plan.c.local_shape(rank).extent(1);
+    let lr_b = plan.b.local_shape(rank).extent(0);
+    let logp = ceil_log2(plan.nprocs);
+
+    // Streaming all slabs of A once (per column of B): full slabs + ragged.
+    let fa = lc / plan.slab_a;
+    let ra = lc % plan.slab_a;
+    let mut a_stream = Vec::new();
+    if fa > 0 {
+        a_stream.push(NestNode::loop_(
+            "s = 1, ka  (slabs of a)",
+            fa as u64,
+            vec![
+                NestNode::read(
+                    &plan.a.name,
+                    slab_requests(&plan.a, rank, 1, 0, plan.slab_a),
+                    (n * plan.slab_a) as u64,
+                ),
+                NestNode::Compute {
+                    label: "temp(:) = temp(:) + a(:,i)*b(i,m)".into(),
+                    flops: (2 * n * plan.slab_a) as u64,
+                },
+            ],
+        ));
+    }
+    if ra > 0 {
+        a_stream.push(NestNode::read(
+            &plan.a.name,
+            slab_requests(&plan.a, rank, 1, fa * plan.slab_a, lc),
+            (n * ra) as u64,
+        ));
+        a_stream.push(NestNode::Compute {
+            label: "temp(:) = temp(:) + a(:,i)*b(i,m)  (ragged)".into(),
+            flops: (2 * n * ra) as u64,
+        });
+    }
+
+    let per_column = {
+        let mut v = a_stream;
+        v.push(NestNode::Comm {
+            label: "global_sum(temp) -> column of c".into(),
+            messages: logp,
+            bytes: 4 * n as u64 * logp,
+        });
+        v
+    };
+
+    let col_body = |w: usize| -> Vec<NestNode> {
+        vec![
+            NestNode::read(
+                &plan.b.name,
+                slab_requests(&plan.b, rank, 1, 0, w),
+                (lr_b * w) as u64,
+            ),
+            NestNode::loop_("m = 1, cols in icla of b", w as u64, per_column.clone()),
+        ]
+    };
+
+    let fb = n / plan.slab_b;
+    let rb = n % plan.slab_b;
+    let mut nest = Vec::new();
+    if fb > 0 {
+        nest.push(NestNode::loop_(
+            "l = 1, kb  (slabs of b)",
+            fb as u64,
+            col_body(plan.slab_b),
+        ));
+    }
+    if rb > 0 {
+        nest.extend(col_body(rb));
+    }
+
+    // Buffered writes of C's owned columns (ICLA of slab_c columns).
+    let fc = lc_c / plan.slab_c;
+    let rc = lc_c % plan.slab_c;
+    let mut writes = Vec::new();
+    if fc > 0 {
+        writes.push(NestNode::loop_(
+            "c buffers",
+            fc as u64,
+            vec![NestNode::write(
+                &plan.c.name,
+                slab_requests(&plan.c, rank, 1, 0, plan.slab_c),
+                (n * plan.slab_c) as u64,
+            )],
+        ));
+    }
+    if rc > 0 {
+        writes.push(NestNode::write(
+            &plan.c.name,
+            slab_requests(&plan.c, rank, 1, fc * plan.slab_c, lc_c),
+            (n * rc) as u64,
+        ));
+    }
+    nest.push(NestNode::IfOwner {
+        label: "mynode owns these columns of c".into(),
+        body: writes,
+    });
+    nest
+}
+
+fn gaxpy_row_nest(plan: &GaxpyPlan, rank: usize) -> Vec<NestNode> {
+    let n = plan.n;
+    let lc = plan.a.local_shape(rank).extent(1);
+    let lr_b = plan.b.local_shape(rank).extent(0);
+    let logp = ceil_log2(plan.nprocs);
+    let fb = n / plan.slab_b;
+    let rb = n % plan.slab_b;
+    // Loop-invariant I/O motion: when B's ICLA holds the whole OCLA, its
+    // read is invariant in the A-slab loop and hoisted out (this is what
+    // makes "give B enough memory" pay off in Table 2).
+    let b_resident = plan.slab_b >= n;
+
+    let row_body = |h_lo: usize, h_hi: usize| -> Vec<NestNode> {
+        let h = h_hi - h_lo;
+        let per_column = vec![
+            NestNode::Compute {
+                label: "temp(:) = temp(:) + a(j,i)*b(i,m)".into(),
+                flops: (2 * h * lc) as u64,
+            },
+            NestNode::Comm {
+                label: "global_sum(temp) -> subcolumn of c".into(),
+                messages: logp,
+                bytes: 4 * h as u64 * logp,
+            },
+        ];
+        let mut v = vec![NestNode::read(
+            &plan.a.name,
+            slab_requests(&plan.a, rank, 0, h_lo, h_hi),
+            (h * lc) as u64,
+        )];
+        if b_resident {
+            v.push(NestNode::loop_(
+                "m = 1, n  (b resident)",
+                n as u64,
+                per_column.clone(),
+            ));
+        } else {
+            if fb > 0 {
+                v.push(NestNode::loop_(
+                    "nn = 1, kb  (slabs of b)",
+                    fb as u64,
+                    vec![
+                        NestNode::read(
+                            &plan.b.name,
+                            slab_requests(&plan.b, rank, 1, 0, plan.slab_b),
+                            (lr_b * plan.slab_b) as u64,
+                        ),
+                        NestNode::loop_(
+                            "m = 1, cols in icla of b",
+                            plan.slab_b as u64,
+                            per_column.clone(),
+                        ),
+                    ],
+                ));
+            }
+            if rb > 0 {
+                v.push(NestNode::read(
+                    &plan.b.name,
+                    slab_requests(&plan.b, rank, 1, fb * plan.slab_b, n),
+                    (lr_b * rb) as u64,
+                ));
+                v.push(NestNode::loop_(
+                    "m = 1, cols in icla of b  (ragged)",
+                    rb as u64,
+                    per_column,
+                ));
+            }
+        }
+        v.push(NestNode::IfOwner {
+            label: "mynode owns these columns of c".into(),
+            body: vec![NestNode::write(
+                &plan.c.name,
+                slab_requests(&plan.c, rank, 0, h_lo, h_hi),
+                (h * plan.c.local_shape(rank).extent(1)) as u64,
+            )],
+        });
+        v
+    };
+
+    let fa = n / plan.slab_a;
+    let ra = n % plan.slab_a;
+    let mut nest = Vec::new();
+    if b_resident {
+        // Hoisted: B streamed into memory exactly once.
+        nest.push(NestNode::read(
+            &plan.b.name,
+            slab_requests(&plan.b, rank, 1, 0, n),
+            (lr_b * n) as u64,
+        ));
+    }
+    if fa > 0 {
+        nest.push(NestNode::loop_(
+            "l = 1, ka  (row slabs of a)",
+            fa as u64,
+            row_body(0, plan.slab_a),
+        ));
+    }
+    if ra > 0 {
+        nest.extend(row_body(fa * plan.slab_a, n));
+    }
+    nest
+}
+
+/// Node program for an elementwise plan, estimated for `rank` (processors
+/// are symmetric in block distributions of full regions; the estimator uses
+/// rank 0).
+pub fn elw_nest(plan: &ElwPlan, rank: usize) -> Vec<NestNode> {
+    let Some(local_region) = local_iteration_space(&plan.lhs.dist, rank, &plan.region) else {
+        return Vec::new();
+    };
+    let local_shape = plan.lhs.local_shape(rank);
+    let mut nest = Vec::new();
+
+    // Pre-statement remaps (estimate: the redistribution's piece structure
+    // depends on the source/target overlap; the executor measures honestly).
+    for r in &plan.pre_remaps {
+        let elems = r.src.local_shape(rank).len() as u64;
+        let p = r.src.dist.nprocs() as u64;
+        nest.push(NestNode::read(&r.src.name, p.min(elems.max(1)), elems));
+        nest.push(NestNode::Comm {
+            label: format!("remap `{}` to the lhs distribution", r.src.name),
+            messages: p.saturating_sub(1),
+            bytes: elems * 4 * p.saturating_sub(1) / p.max(1),
+        });
+        nest.push(NestNode::write(&r.tmp.name, p.min(elems.max(1)), elems));
+    }
+
+    // Ghost exchanges: per spec, per rhs array, one strip read + one
+    // message per neighbor this rank has (mirrors the executor exactly).
+    for g in &plan.ghosts {
+        let (p_axis, coord) = match plan.lhs.dist.dims()[g.dim] {
+            ooc_array::DimDist::Distributed { axis, .. } => {
+                let coords = plan.lhs.dist.grid().coords(rank);
+                (plan.lhs.dist.grid().extent(axis), coords[axis])
+            }
+            ooc_array::DimDist::Collapsed => continue,
+        };
+        let other: usize = (0..local_shape.ndims())
+            .filter(|&d| d != g.dim)
+            .map(|d| local_shape.extent(d))
+            .product();
+        let mut sends = Vec::new();
+        if coord > 0 && g.hi_width > 0 {
+            sends.push(g.hi_width.min(local_shape.extent(g.dim)));
+        }
+        if coord + 1 < p_axis && g.lo_width > 0 {
+            sends.push(g.lo_width.min(local_shape.extent(g.dim)));
+        }
+        for rd in &plan.rhs_arrays {
+            for &w in &sends {
+                let strip = Section::full(&local_shape)
+                    .with_range(g.dim, DimRange::new(0, w));
+                nest.push(NestNode::read(
+                    &rd.name,
+                    rd.layout
+                        .count_section_runs(&rd.local_shape(rank), &strip),
+                    (w * other) as u64,
+                ));
+                nest.push(NestNode::Comm {
+                    label: format!("ghost send dim {}", g.dim),
+                    messages: 1,
+                    bytes: (w * other * 4) as u64,
+                });
+            }
+        }
+    }
+
+    // Slab loop over the local region along slab_dim. Group stages as
+    // first / middle / last since ghost widening clamps at the edges.
+    let r = local_region.range(plan.slab_dim);
+    let extent = r.len();
+    let t = plan.slab_thickness.max(1);
+    let stages = extent.div_ceil(t);
+    let shifts: Vec<usize> = {
+        // Reconstruct per-dimension max shifts from the expression.
+        let stmt = ElwStmt {
+            lhs: plan.lhs.name.clone(),
+            region: plan.region.clone(),
+            rhs: plan.expr.clone(),
+        };
+        stmt.max_shift(local_shape.ndims())
+    };
+
+    let stage_nodes = |lo: usize, hi: usize| -> Vec<NestNode> {
+        let sec = local_region
+            .clone()
+            .with_range(plan.slab_dim, DimRange::new(lo, hi));
+        let mut v = Vec::new();
+        for rd in &plan.rhs_arrays {
+            let wlo = lo.saturating_sub(shifts[plan.slab_dim]);
+            let whi = (hi + shifts[plan.slab_dim]).min(local_shape.extent(plan.slab_dim));
+            // The read section spans the region widened by all shifts in
+            // every dimension, clamped to the local array.
+            let mut rsec = sec.clone();
+            for d in 0..local_shape.ndims() {
+                let rr = rsec.range(d);
+                let (a, b) = if d == plan.slab_dim {
+                    (wlo, whi)
+                } else {
+                    (
+                        rr.lo.saturating_sub(shifts[d]),
+                        (rr.hi + shifts[d]).min(local_shape.extent(d)),
+                    )
+                };
+                rsec = rsec.with_range(d, DimRange::new(a, b));
+            }
+            v.push(NestNode::read(
+                &rd.name,
+                rd.layout.count_section_runs(&rd.local_shape(rank), &rsec),
+                rsec.len() as u64,
+            ));
+        }
+        v.push(NestNode::Compute {
+            label: "evaluate rhs over slab".into(),
+            flops: sec.len() as u64 * plan.flops_per_point,
+        });
+        v.push(NestNode::write(
+            &plan.lhs.name,
+            plan.lhs.layout.count_section_runs(&local_shape, &sec),
+            sec.len() as u64,
+        ));
+        v
+    };
+
+    match stages {
+        0 => {}
+        1 => nest.extend(stage_nodes(r.lo, r.hi)),
+        _ => {
+            nest.extend(stage_nodes(r.lo, r.lo + t)); // first
+            if stages > 2 {
+                nest.push(NestNode::loop_(
+                    "interior slabs",
+                    (stages - 2) as u64,
+                    stage_nodes(r.lo + t, r.lo + 2 * t),
+                ));
+            }
+            nest.extend(stage_nodes(r.lo + (stages - 1) * t, r.hi)); // last
+        }
+    }
+    nest
+}
+
+/// Node program for a transpose plan. The *read* side is exact (full and
+/// ragged slabs accounted separately, matching the executor request for
+/// request); the communication and write sides are estimates — the remap's
+/// write-side request count depends on arrival interleaving, which the
+/// executor measures honestly.
+pub fn transpose_nest(plan: &TransposePlan) -> Vec<NestNode> {
+    let local = plan.src.local_shape(0);
+    let slab_dim = plan.src.layout.slowest_dim();
+    let extent = local.extent(slab_dim);
+    let others: u64 = (0..local.ndims())
+        .filter(|&d| d != slab_dim)
+        .map(|d| local.extent(d) as u64)
+        .product();
+    let t = plan.slab_thickness.max(1);
+    let p = plan.src.dist.nprocs() as u64;
+    let stage = |h: usize| -> Vec<NestNode> {
+        let elems = h as u64 * others;
+        vec![
+            NestNode::read(&plan.src.name, 1, elems),
+            NestNode::Comm {
+                label: "remap exchange".into(),
+                messages: p.saturating_sub(1),
+                bytes: elems * 4 * (p.saturating_sub(1)) / p.max(1),
+            },
+            NestNode::write(&plan.dst.name, p, elems),
+        ]
+    };
+    let full = extent / t;
+    let rag = extent % t;
+    let mut nest = Vec::new();
+    if full > 0 {
+        nest.push(NestNode::loop_("l = 1, slabs of src", full as u64, stage(t)));
+    }
+    if rag > 0 {
+        nest.extend(stage(rag));
+    }
+    nest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::totals;
+    use ooc_array::{ArrayId, Distribution, FileLayout, Shape};
+    use pario::ElemKind;
+
+    fn gaxpy_plan(strategy: SlabStrategy, n: usize, p: usize, sa: usize, sb: usize) -> GaxpyPlan {
+        let col = Distribution::column_block(Shape::matrix(n, n), p);
+        let row = Distribution::row_block(Shape::matrix(n, n), p);
+        let (a_layout, c_layout) = match strategy {
+            SlabStrategy::ColumnSlab => (FileLayout::column_major(2), FileLayout::column_major(2)),
+            SlabStrategy::RowSlab => (FileLayout::row_major(2), FileLayout::row_major(2)),
+        };
+        GaxpyPlan {
+            strategy,
+            a: ArrayDesc::new(ArrayId(0), "a", ElemKind::F32, col.clone()).with_layout(a_layout),
+            b: ArrayDesc::new(ArrayId(1), "b", ElemKind::F32, row),
+            c: ArrayDesc::new(ArrayId(2), "c", ElemKind::F32, col).with_layout(c_layout),
+            n,
+            nprocs: p,
+            slab_a: sa,
+            slab_b: sb,
+            slab_c: sa.min(n / p),
+        }
+    }
+
+    #[test]
+    fn column_nest_matches_equations_3_and_4() {
+        // N=64, P=4, slab_a = 4 columns => M = N*slab_a = 256 elements.
+        let plan = gaxpy_plan(SlabStrategy::ColumnSlab, 64, 4, 4, 4);
+        let t = totals(&gaxpy_nest(&plan));
+        let n = 64u64;
+        let p = 4u64;
+        let m = 64 * 4u64;
+        // T_fetch(A) = N^3 / (M P); T_data(A) = N^3 / P.
+        assert_eq!(t.per_array["a"].read_requests, n * n * n / (m * p));
+        assert_eq!(t.per_array["a"].read_elems, n * n * n / p);
+        // B read once: N/slab_b requests, N^2/P elements.
+        assert_eq!(t.per_array["b"].read_requests, 64 / 4);
+        assert_eq!(t.per_array["b"].read_elems, n * n / p);
+        // C written once.
+        assert_eq!(t.per_array["c"].write_elems, n * n / p);
+    }
+
+    #[test]
+    fn row_nest_matches_equations_5_and_6() {
+        // N=64, P=4, slab_a = 16 rows => M = slab_a * N/P = 16*16 = 256.
+        let plan = gaxpy_plan(SlabStrategy::RowSlab, 64, 4, 16, 4);
+        let t = totals(&gaxpy_nest(&plan));
+        let n = 64u64;
+        let p = 4u64;
+        let m = 16 * 16u64;
+        // T_fetch(A) = N^2/(M P); T_data(A) = N^2/P.
+        assert_eq!(t.per_array["a"].read_requests, n * n / (m * p));
+        assert_eq!(t.per_array["a"].read_elems, n * n / p);
+        // B re-read once per slab of A.
+        let ka = n * n / (m * p);
+        assert_eq!(t.per_array["b"].read_elems, ka * n * n / p);
+        // C written once, one row slab per A slab.
+        assert_eq!(t.per_array["c"].write_requests, ka);
+        assert_eq!(t.per_array["c"].write_elems, n * n / p);
+    }
+
+    #[test]
+    fn row_slabs_order_of_magnitude_fewer_requests() {
+        // The paper's headline: same memory, ~N x fewer fetches for A.
+        let col = gaxpy_plan(SlabStrategy::ColumnSlab, 256, 4, 16, 16);
+        let row = gaxpy_plan(SlabStrategy::RowSlab, 256, 4, 64, 16); // same slab elems
+        assert_eq!(col.slab_a_elems(), row.slab_a_elems());
+        let tc = totals(&gaxpy_nest(&col));
+        let tr = totals(&gaxpy_nest(&row));
+        let ratio =
+            tc.per_array["a"].read_requests as f64 / tr.per_array["a"].read_requests as f64;
+        assert_eq!(ratio, 256.0, "A fetch ratio should be N");
+        assert!(
+            tc.per_array["a"].read_elems / tr.per_array["a"].read_elems == 256,
+            "A data ratio should be N"
+        );
+    }
+
+    #[test]
+    fn ragged_slabs_account_every_element() {
+        // lc = 10, slab_a = 3: slabs of 3,3,3,1 columns.
+        let plan = gaxpy_plan(SlabStrategy::ColumnSlab, 40, 4, 3, 7);
+        let t = totals(&gaxpy_nest(&plan));
+        // A's data per column of C: full OCLA = 40*10; times N=40 columns.
+        assert_eq!(t.per_array["a"].read_elems, (40 * 10 * 40) as u64);
+        // 4 slabs per sweep, 40 sweeps.
+        assert_eq!(t.per_array["a"].read_requests, 4 * 40);
+        // B: slabs of 7 columns: 5 full + ragged 5 -> 6 requests.
+        assert_eq!(t.per_array["b"].read_requests, 6);
+        assert_eq!(t.per_array["b"].read_elems, (10 * 40) as u64);
+    }
+
+    #[test]
+    fn unreorganized_row_slabs_are_strided() {
+        // Ablation: row slabs but A kept column-major -> each A read is
+        // lc strided runs instead of 1.
+        let mut plan = gaxpy_plan(SlabStrategy::RowSlab, 64, 4, 16, 16);
+        plan.a = plan.a.clone().with_layout(FileLayout::column_major(2));
+        let t = totals(&gaxpy_nest(&plan));
+        let ka = 64 / 16u64;
+        assert_eq!(t.per_array["a"].read_requests, ka * 16); // lc=16 runs per slab
+    }
+
+    #[test]
+    fn compute_flops_total_2n3_over_p() {
+        for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+            let plan = gaxpy_plan(strategy, 64, 4, 8, 8);
+            let t = totals(&gaxpy_nest(&plan));
+            assert_eq!(t.flops, 2 * 64u64.pow(3) / 4, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(64), 6);
+    }
+}

@@ -1,0 +1,113 @@
+//! In-core phase, step 1: computation partitioning and local bounds.
+//!
+//! The compiler partitions iteration spaces by the owner-computes rule: the
+//! processor owning the assigned element executes the iteration. For the
+//! regular distributions of the subset this reduces to intersecting the
+//! global iteration region with each processor's owned section and
+//! translating to local indices (Figure 7, "Partition Computation /
+//! Determine Local Space Bounds").
+
+use ooc_array::{local_section_of_global, Distribution, Section};
+
+/// The local iteration space of `rank` for an elementwise statement
+/// assigning `region` of an array with distribution `dist`. `None` when the
+/// processor executes nothing.
+pub fn local_iteration_space(
+    dist: &Distribution,
+    rank: usize,
+    region: &Section,
+) -> Option<Section> {
+    local_section_of_global(dist, rank, region)
+}
+
+/// Rank of the processor that owns (and therefore stores) global column `j`
+/// of a column-block-distributed matrix — the paper's
+/// `global_to_processor(j)`.
+pub fn owner_of_column(dist: &Distribution, j: usize) -> usize {
+    dist.owner(&[0, j])
+}
+
+/// Local column index of global column `j` on its owner — the paper's
+/// `global_to_local(j)`.
+pub fn local_column(dist: &Distribution, j: usize) -> usize {
+    dist.local_index(1, j)
+}
+
+/// Load-balance summary of a partitioning: iterations per processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// Iterations assigned to each rank.
+    pub per_rank: Vec<usize>,
+}
+
+impl PartitionReport {
+    /// Compute the per-rank iteration counts for `region` under `dist`.
+    pub fn compute(dist: &Distribution, region: &Section) -> Self {
+        let per_rank = (0..dist.nprocs())
+            .map(|r| {
+                local_iteration_space(dist, r, region)
+                    .map(|s| s.len())
+                    .unwrap_or(0)
+            })
+            .collect();
+        PartitionReport { per_rank }
+    }
+
+    /// Total iterations (must equal the region size).
+    pub fn total(&self) -> usize {
+        self.per_rank.iter().sum()
+    }
+
+    /// Ratio of the most-loaded to the average processor (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.per_rank.iter().max().unwrap_or(&0) as f64;
+        let avg = self.total() as f64 / self.per_rank.len().max(1) as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_array::{DimRange, Distribution, Shape};
+
+    #[test]
+    fn owner_computes_matches_distribution() {
+        let d = Distribution::column_block(Shape::matrix(8, 8), 4);
+        assert_eq!(owner_of_column(&d, 0), 0);
+        assert_eq!(owner_of_column(&d, 3), 1);
+        assert_eq!(owner_of_column(&d, 7), 3);
+        assert_eq!(local_column(&d, 5), 1);
+    }
+
+    #[test]
+    fn partition_covers_region_exactly() {
+        let d = Distribution::column_block(Shape::matrix(8, 8), 4);
+        let region = Section::new(vec![DimRange::new(1, 7), DimRange::new(1, 7)]);
+        let rep = PartitionReport::compute(&d, &region);
+        assert_eq!(rep.total(), region.len());
+        // Columns 1..7: procs own 2 cols each -> counts 6, 12, 12, 6.
+        assert_eq!(rep.per_rank, vec![6, 12, 12, 6]);
+        assert!(rep.imbalance() > 1.0);
+    }
+
+    #[test]
+    fn full_region_is_balanced() {
+        let d = Distribution::column_block(Shape::matrix(8, 8), 4);
+        let rep = PartitionReport::compute(&d, &Section::full(&Shape::matrix(8, 8)));
+        assert_eq!(rep.per_rank, vec![16; 4]);
+        assert!((rep.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_processor_gets_none() {
+        let d = Distribution::column_block(Shape::matrix(4, 4), 4);
+        let region = Section::new(vec![DimRange::new(0, 4), DimRange::new(0, 1)]);
+        assert!(local_iteration_space(&d, 3, &region).is_none());
+        assert!(local_iteration_space(&d, 0, &region).is_some());
+    }
+}

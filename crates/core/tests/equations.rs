@@ -1,0 +1,102 @@
+//! The paper's closed-form I/O cost equations (3)–(6), checked against the
+//! loop-nest estimator for randomized (divisible) configurations.
+//!
+//! Column slabs (equations 3, 4), slab memory `M = N · slab_a` elements:
+//!   T_fetch(A) = N³ / (M·P),   T_data(A) = N³ / P.
+//! Row slabs (equations 5, 6), slab memory `M = slab_a · N/P`:
+//!   T_fetch(A) = N² / (M·P),   T_data(A) = N² / P.
+
+use proptest::prelude::*;
+
+use ooc_array::{ArrayDesc, ArrayId, Distribution, FileLayout, Shape};
+use ooc_core::ir::totals;
+use ooc_core::nodegen::gaxpy_nest;
+use ooc_core::plan::{GaxpyPlan, SlabStrategy};
+use pario::ElemKind;
+
+fn plan(strategy: SlabStrategy, n: usize, p: usize, sa: usize, sb: usize) -> GaxpyPlan {
+    let col = Distribution::column_block(Shape::matrix(n, n), p);
+    let row = Distribution::row_block(Shape::matrix(n, n), p);
+    let layout = match strategy {
+        SlabStrategy::ColumnSlab => FileLayout::column_major(2),
+        SlabStrategy::RowSlab => FileLayout::row_major(2),
+    };
+    GaxpyPlan {
+        strategy,
+        a: ArrayDesc::new(ArrayId(0), "a", ElemKind::F32, col.clone())
+            .with_layout(layout.clone()),
+        b: ArrayDesc::new(ArrayId(1), "b", ElemKind::F32, row),
+        c: ArrayDesc::new(ArrayId(2), "c", ElemKind::F32, col).with_layout(layout),
+        n,
+        nprocs: p,
+        slab_a: sa,
+        slab_b: sb,
+        slab_c: sa.min(n / p),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation (3)/(4): the column version's A cost.
+    #[test]
+    fn column_version_equations(
+        logn in 4usize..9,   // n = 16..256
+        logp in 0usize..4,   // p = 1..8
+        sa_div in 0usize..3, // slab_a divides lc
+        sb_div in 0usize..3,
+    ) {
+        let n = 1usize << logn;
+        let p = 1usize << logp;
+        prop_assume!(n / p >= 8);
+        let lc = n / p;
+        let sa = lc >> sa_div;
+        let sb = n >> sb_div;
+        let t = totals(&gaxpy_nest(&plan(SlabStrategy::ColumnSlab, n, p, sa, sb)));
+        let (n64, p64) = (n as u64, p as u64);
+        let m = n64 * sa as u64; // slab elements
+        prop_assert_eq!(t.per_array["a"].read_requests, n64.pow(3) / (m * p64));
+        prop_assert_eq!(t.per_array["a"].read_elems, n64.pow(3) / p64);
+        // B read once, C written once.
+        prop_assert_eq!(t.per_array["b"].read_elems, n64 * n64 / p64);
+        prop_assert_eq!(t.per_array["c"].write_elems, n64 * n64 / p64);
+    }
+
+    /// Equation (5)/(6): the row version's A cost.
+    #[test]
+    fn row_version_equations(
+        logn in 4usize..9,
+        logp in 0usize..4,
+        sa_div in 0usize..4, // slab_a divides n
+        sb_div in 1usize..3, // keep B non-resident so kb matters
+    ) {
+        let n = 1usize << logn;
+        let p = 1usize << logp;
+        prop_assume!(n / p >= 4);
+        let sa = n >> sa_div;
+        let sb = n >> sb_div;
+        let t = totals(&gaxpy_nest(&plan(SlabStrategy::RowSlab, n, p, sa, sb)));
+        let (n64, p64) = (n as u64, p as u64);
+        let m = sa as u64 * (n64 / p64);
+        prop_assert_eq!(t.per_array["a"].read_requests, n64 * n64 / (m * p64));
+        prop_assert_eq!(t.per_array["a"].read_elems, n64 * n64 / p64);
+        // B restreams once per A slab.
+        let ka = n64 / sa as u64;
+        prop_assert_eq!(t.per_array["b"].read_elems, ka * n64 * n64 / p64);
+        // Compute is always 2N³/P flops.
+        prop_assert_eq!(t.flops, 2 * n64.pow(3) / p64);
+    }
+
+    /// The headline: the row version moves O(N) times less of A.
+    #[test]
+    fn reorganization_gain_is_order_n(logn in 4usize..9) {
+        let n = 1usize << logn;
+        let p = 4usize;
+        let col = totals(&gaxpy_nest(&plan(SlabStrategy::ColumnSlab, n, p, n / p / 2, n / 2)));
+        let row = totals(&gaxpy_nest(&plan(SlabStrategy::RowSlab, n, p, n / 2, n / 2)));
+        prop_assert_eq!(
+            col.per_array["a"].read_elems / row.per_array["a"].read_elems,
+            n as u64
+        );
+    }
+}

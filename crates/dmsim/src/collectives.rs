@@ -1,0 +1,284 @@
+//! Collective operations built from point-to-point messages.
+//!
+//! The paper's generated node programs use exactly one collective — the
+//! global sum that combines partial GAXPY results (Figures 9 & 12) — plus
+//! implicit barriers. We implement the standard binomial-tree algorithms of
+//! the era, so collective *costs* emerge from the same latency/bandwidth
+//! model as ordinary messages: a reduction of `m` bytes on `P` processors
+//! costs `O(log P)` message times plus the combine flops.
+//!
+//! All collectives are methods on [`ProcCtx`] and must be called by every
+//! rank (they are synchronizing).
+
+use crate::comm::{Payload, Tag};
+use crate::proc::{ProcCtx, Rank};
+
+/// Reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum (the paper's global sum intrinsic).
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+/// Element types that can travel through collectives.
+pub trait CommElem: Copy + PartialOrd + std::ops::Add<Output = Self> {
+    /// Wrap a vector of elements into a [`Payload`].
+    fn wrap(v: Vec<Self>) -> Payload;
+    /// Unwrap a payload into a vector of elements.
+    fn unwrap(p: Payload) -> Vec<Self>;
+}
+
+impl CommElem for f32 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::F32(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_f32()
+    }
+}
+
+impl CommElem for f64 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::F64(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_f64()
+    }
+}
+
+impl CommElem for u64 {
+    fn wrap(v: Vec<Self>) -> Payload {
+        Payload::U64(v)
+    }
+    fn unwrap(p: Payload) -> Vec<Self> {
+        p.into_u64()
+    }
+}
+
+fn combine<T: CommElem>(acc: &mut [T], other: &[T], op: ReduceOp) {
+    assert_eq!(
+        acc.len(),
+        other.len(),
+        "collective called with mismatched lengths"
+    );
+    for (a, &b) in acc.iter_mut().zip(other) {
+        *a = match op {
+            ReduceOp::Sum => *a + b,
+            ReduceOp::Max => {
+                if b > *a {
+                    b
+                } else {
+                    *a
+                }
+            }
+            ReduceOp::Min => {
+                if b < *a {
+                    b
+                } else {
+                    *a
+                }
+            }
+        };
+    }
+}
+
+/// Parent of `rank` in the binomial tree rooted at 0: the rank with its
+/// highest set bit cleared. Rank 0 has no parent.
+fn parent(rank: Rank) -> Option<Rank> {
+    if rank == 0 {
+        None
+    } else {
+        let high = 1usize << (usize::BITS - 1 - rank.leading_zeros());
+        Some(rank ^ high)
+    }
+}
+
+/// Children of `rank` in the binomial tree rooted at 0, in increasing order.
+fn children(rank: Rank, nprocs: usize) -> Vec<Rank> {
+    let start_bit = if rank == 0 {
+        1usize
+    } else {
+        let high = 1usize << (usize::BITS - 1 - rank.leading_zeros());
+        high << 1
+    };
+    let mut kids = Vec::new();
+    let mut bit = start_bit;
+    while rank + bit < nprocs {
+        kids.push(rank + bit);
+        if bit > usize::MAX / 2 {
+            break;
+        }
+        bit <<= 1;
+    }
+    kids
+}
+
+impl ProcCtx {
+    /// Reduce `data` element-wise to rank `root` with operator `op`.
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce<T: CommElem>(&self, data: &[T], op: ReduceOp, root: Rank) -> Option<Vec<T>> {
+        assert!(root < self.nprocs(), "reduce root out of range");
+        // Run the tree rooted at 0 in a rotated rank space so any root works.
+        let p = self.nprocs();
+        let vrank = (self.rank() + p - root) % p;
+        let unrotate = |v: Rank| (v + root) % p;
+
+        let mut acc = data.to_vec();
+        // Receive from children (deepest subtree last for pipelining).
+        for child in children(vrank, p) {
+            let payload = self.recv_expect(unrotate(child), Tag::COLLECTIVE);
+            let theirs = T::unwrap(payload);
+            combine(&mut acc, &theirs, op);
+            self.charge_flops(acc.len() as u64);
+        }
+        match parent(vrank) {
+            None => Some(acc),
+            Some(par) => {
+                self.send(unrotate(par), Tag::COLLECTIVE, T::wrap(acc));
+                None
+            }
+        }
+    }
+
+    /// Broadcast `data` from `root` to all ranks; every rank returns the
+    /// root's vector. Non-root ranks pass their (ignored) local buffer length
+    /// via `data` being empty or anything — only the root's data matters.
+    pub fn broadcast<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Vec<T> {
+        assert!(root < self.nprocs(), "broadcast root out of range");
+        let p = self.nprocs();
+        let vrank = (self.rank() + p - root) % p;
+        let unrotate = |v: Rank| (v + root) % p;
+
+        let buf = match parent(vrank) {
+            None => data,
+            Some(par) => T::unwrap(self.recv_expect(unrotate(par), Tag::COLLECTIVE)),
+        };
+        for child in children(vrank, p) {
+            self.send(unrotate(child), Tag::COLLECTIVE, T::wrap(buf.clone()));
+        }
+        buf
+    }
+
+    /// All-reduce: reduce to rank 0 then broadcast; every rank returns the
+    /// combined vector.
+    pub fn allreduce<T: CommElem>(&self, data: &[T], op: ReduceOp) -> Vec<T> {
+        match self.reduce(data, op, 0) {
+            Some(total) => self.broadcast(total, 0),
+            None => self.broadcast(Vec::new(), 0),
+        }
+    }
+
+    /// Global sum of `f32` data to `root` — the paper's reduction. Returns
+    /// the sum on the root, `None` elsewhere.
+    pub fn global_sum_f32(&self, data: &[f32], root: Rank) -> Option<Vec<f32>> {
+        self.reduce(data, ReduceOp::Sum, root)
+    }
+
+    /// All-ranks global sum of `f64` data.
+    pub fn allreduce_sum_f64(&self, data: &[f64]) -> Vec<f64> {
+        self.allreduce(data, ReduceOp::Sum)
+    }
+
+    /// Barrier: a zero-payload reduce + broadcast. After it returns, every
+    /// rank's clock is at least the maximum pre-barrier clock plus the tree
+    /// traversal cost.
+    pub fn barrier(&self) {
+        let token = [0u64; 0];
+        let _ = self.allreduce(&token, ReduceOp::Sum);
+    }
+
+    /// Gather each rank's `data` to `root`, concatenated in rank order.
+    /// Returns `Some(concatenation)` on the root, `None` elsewhere.
+    ///
+    /// Linear algorithm (each rank sends straight to the root), matching the
+    /// era's NX `gcolx`.
+    pub fn gather<T: CommElem>(&self, data: &[T], root: Rank) -> Option<Vec<T>> {
+        if self.rank() == root {
+            let mut out = Vec::new();
+            for r in 0..self.nprocs() {
+                if r == root {
+                    out.extend_from_slice(data);
+                } else {
+                    let theirs = T::unwrap(self.recv_expect(r, Tag::COLLECTIVE));
+                    out.extend(theirs);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, Tag::COLLECTIVE, T::wrap(data.to_vec()));
+            None
+        }
+    }
+
+    /// Scatter equal-length chunks of `data` (present on `root`) to all
+    /// ranks; returns this rank's chunk. `data.len()` must be divisible by
+    /// the processor count on the root.
+    pub fn scatter<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Vec<T> {
+        if self.rank() == root {
+            let p = self.nprocs();
+            assert!(
+                data.len().is_multiple_of(p),
+                "scatter: length {} not divisible by {p}",
+                data.len()
+            );
+            let chunk = data.len() / p;
+            let mut mine = Vec::new();
+            for r in 0..p {
+                let piece = data[r * chunk..(r + 1) * chunk].to_vec();
+                if r == root {
+                    mine = piece;
+                } else {
+                    self.send(r, Tag::COLLECTIVE, T::wrap(piece));
+                }
+            }
+            mine
+        } else {
+            T::unwrap(self.recv_expect(root, Tag::COLLECTIVE))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_parent_child_are_inverse() {
+        for p in 1..40usize {
+            for r in 1..p {
+                let par = parent(r).unwrap();
+                assert!(par < r, "parent({r}) = {par} not smaller");
+                assert!(
+                    children(par, p).contains(&r),
+                    "rank {r} missing from children of {par} (p={p})"
+                );
+            }
+            // Every rank is reachable exactly once: count tree edges.
+            let edges: usize = (0..p).map(|r| children(r, p).len()).sum();
+            assert_eq!(edges, p - 1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn rank_zero_has_no_parent() {
+        assert_eq!(parent(0), None);
+        assert_eq!(parent(1), Some(0));
+        assert_eq!(parent(6), Some(2));
+        assert_eq!(parent(7), Some(3));
+    }
+
+    #[test]
+    fn combine_ops() {
+        let mut acc = vec![1.0f64, 5.0, 3.0];
+        combine(&mut acc, &[2.0, 2.0, 2.0], ReduceOp::Sum);
+        assert_eq!(acc, vec![3.0, 7.0, 5.0]);
+        combine(&mut acc, &[10.0, 0.0, 5.0], ReduceOp::Max);
+        assert_eq!(acc, vec![10.0, 7.0, 5.0]);
+        combine(&mut acc, &[1.0, 100.0, 2.0], ReduceOp::Min);
+        assert_eq!(acc, vec![1.0, 7.0, 2.0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Point-to-point message fabric.
+//!
+//! Every ordered pair of processors gets a dedicated unbounded channel, so a
+//! receive from a *specific* source is race-free and deterministic. Message
+//! payloads are real data (the simulator computes real results); each message
+//! also carries its simulated departure time so the receiver can synchronize
+//! its virtual clock.
+//!
+//! Timing semantics: a send advances the sender's clock by the full message
+//! transfer time (latency + bytes/bandwidth) — a conservative store-and-
+//! forward model that matches the blocking `csend`/`crecv` style of the
+//! paper's era. The message arrives at the sender's post-send clock; a
+//! receive moves the receiver's clock to `max(own clock, arrival)`.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::time::SimTime;
+
+/// Message tag for matching sends with receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Tag used by the collective algorithms; user code should avoid it.
+    pub const COLLECTIVE: Tag = Tag(u32::MAX);
+}
+
+/// A typed message payload.
+///
+/// The simulator moves real data; a small closed set of element types covers
+/// everything the out-of-core runtime needs (raw bytes for file blocks,
+/// floats for reductions, integers for control information).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Raw bytes (array sections in storage form).
+    Bytes(Vec<u8>),
+    /// 32-bit floats (the paper's `real` arrays).
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 64-bit unsigned integers (control data, indices).
+    U64(Vec<u64>),
+}
+
+impl Payload {
+    /// Payload size in bytes as charged to the network.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::Bytes(v) => v.len() as u64,
+            Payload::F32(v) => 4 * v.len() as u64,
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U64(v) => 8 * v.len() as u64,
+        }
+    }
+
+    /// Unwrap an `F32` payload; panics with a protocol error otherwise.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            Payload::F32(v) => v,
+            other => panic!("protocol error: expected F32 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an `F64` payload; panics with a protocol error otherwise.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("protocol error: expected F64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a `U64` payload; panics with a protocol error otherwise.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("protocol error: expected U64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a `Bytes` payload; panics with a protocol error otherwise.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("protocol error: expected Bytes payload, got {other:?}"),
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, PartialEq)]
+pub struct Msg {
+    /// Matching tag.
+    pub tag: Tag,
+    /// The data.
+    pub payload: Payload,
+    /// Simulated time at which the message arrives at the receiver.
+    pub arrival: SimTime,
+}
+
+/// Error returned when a receive cannot complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The sending processor finished the SPMD region without sending.
+    Disconnected {
+        /// The source rank that is gone.
+        from: usize,
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Disconnected { from } => {
+                write!(f, "receive failed: processor {from} exited without sending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// One processor's endpoints: senders to every peer and receivers from every
+/// peer, plus per-source pending queues for tag-mismatch buffering.
+pub struct Endpoints {
+    /// `to[d]` sends to rank `d` (entry for self is present but unused).
+    pub to: Vec<Sender<Msg>>,
+    /// `from[s]` receives from rank `s`.
+    pub from: Vec<Receiver<Msg>>,
+    /// Messages received from `s` whose tag did not match a pending receive.
+    pending: Vec<VecDeque<Msg>>,
+}
+
+impl Endpoints {
+    /// Blocking receive of the next message from `src` with tag `tag`.
+    ///
+    /// Messages with other tags that arrive first are buffered and delivered
+    /// to later receives, so independent protocols (e.g. a collective and a
+    /// user exchange) can interleave safely.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Result<Msg, RecvError> {
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            return Ok(self.pending[src].remove(pos).expect("position valid"));
+        }
+        loop {
+            match self.from[src].recv() {
+                Ok(m) if m.tag == tag => return Ok(m),
+                Ok(m) => self.pending[src].push_back(m),
+                Err(_) => return Err(RecvError::Disconnected { from: src }),
+            }
+        }
+    }
+
+    /// Send `msg` to `dst`.
+    ///
+    /// A send to a finished processor is a protocol error in an SPMD program
+    /// and panics (the matching receive can never happen).
+    pub fn send(&self, dst: usize, msg: Msg) {
+        self.to[dst]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("send failed: processor {dst} already exited"));
+    }
+}
+
+/// Build the full fabric for `n` processors: a vector of per-rank endpoints.
+pub fn build_fabric(n: usize) -> Vec<Endpoints> {
+    // txs[s][d] / rxs[d][s]: channel from s to d.
+    let mut txs: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| vec![None; n]).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<Msg>>>> = (0..n).map(|_| vec![None; n]).collect();
+    for (s, tx_row) in txs.iter_mut().enumerate() {
+        for (d, slot) in tx_row.iter_mut().enumerate() {
+            let (tx, rx) = unbounded();
+            *slot = Some(tx);
+            rxs[d][s] = Some(rx);
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .map(|(tx_row, rx_row)| Endpoints {
+            to: tx_row.into_iter().map(|t| t.expect("filled")).collect(),
+            from: rx_row.into_iter().map(|r| r.expect("filled")).collect(),
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(tag: u32, val: u64) -> Msg {
+        Msg {
+            tag: Tag(tag),
+            payload: Payload::U64(vec![val]),
+            arrival: SimTime(1.0),
+        }
+    }
+
+    #[test]
+    fn fabric_delivers_point_to_point() {
+        let mut eps = build_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, msg(7, 42));
+        let got = b.recv(0, Tag(7)).expect("message delivered");
+        assert_eq!(got.tag, Tag(7));
+        assert_eq!(got.arrival, SimTime(1.0));
+        assert_eq!(got.payload.into_u64(), vec![42]);
+    }
+
+    #[test]
+    fn recv_buffers_mismatched_tags() {
+        let mut eps = build_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, msg(1, 10));
+        a.send(1, msg(2, 20));
+        // Ask for tag 2 first: tag 1 must be buffered, not lost.
+        let second = b.recv(0, Tag(2)).unwrap();
+        assert_eq!(second.payload.into_u64(), vec![20]);
+        let first = b.recv(0, Tag(1)).unwrap();
+        assert_eq!(first.payload.into_u64(), vec![10]);
+    }
+
+    #[test]
+    fn recv_from_dead_sender_errors() {
+        let mut eps = build_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(a);
+        assert_eq!(b.recv(0, Tag(0)), Err(RecvError::Disconnected { from: 0 }));
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::Bytes(vec![0; 10]).size_bytes(), 10);
+        assert_eq!(Payload::F32(vec![0.0; 10]).size_bytes(), 40);
+        assert_eq!(Payload::F64(vec![0.0; 10]).size_bytes(), 80);
+        assert_eq!(Payload::U64(vec![0; 10]).size_bytes(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol error")]
+    fn wrong_payload_unwrap_panics() {
+        Payload::F32(vec![1.0]).into_u64();
+    }
+}

@@ -1,0 +1,50 @@
+//! # dmsim — a deterministic distributed-memory machine simulator
+//!
+//! This crate is the hardware substrate for the out-of-core HPF compilation
+//! system. It models the architecture of §2.2 of Bordawekar, Choudhary &
+//! Thakur (1994): a distributed-memory machine whose compute processors are
+//! connected by a network and served by an I/O subsystem of shared or local
+//! disks.
+//!
+//! The simulator executes **real SPMD programs on real data**: every virtual
+//! processor is an OS thread running the supplied closure, and messages carry
+//! actual payloads. What is *simulated* is time. Each processor owns a
+//! virtual clock, and every operation — floating-point work, message
+//! transfers, disk requests — advances that clock according to a
+//! [`CostModel`] calibrated to the Intel Touchstone Delta, the machine used
+//! in the paper. Because collectives are built from deterministic
+//! tree-structured point-to-point messages, the simulated time of a run is a
+//! pure function of the program, independent of OS scheduling.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dmsim::{Machine, MachineConfig};
+//!
+//! let machine = Machine::new(MachineConfig::delta(4));
+//! let report = machine.run(|ctx| {
+//!     // Every rank contributes its rank id; the allreduce sums them.
+//!     let mine = vec![ctx.rank() as f64];
+//!     let total = ctx.allreduce_sum_f64(&mine);
+//!     assert_eq!(total[0], 0.0 + 1.0 + 2.0 + 3.0);
+//!     ctx.charge_flops(1_000);
+//! });
+//! assert_eq!(report.nprocs(), 4);
+//! assert!(report.elapsed() > 0.0);
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod costmodel;
+pub mod machine;
+pub mod proc;
+pub mod stats;
+pub mod time;
+
+pub use collectives::{CommElem, ReduceOp};
+pub use comm::{Payload, RecvError, Tag};
+pub use costmodel::{CostModel, IoCost};
+pub use machine::{Machine, MachineConfig};
+pub use proc::{ProcCtx, Rank, RunReport};
+pub use stats::{ProcStats, StatsSnapshot};
+pub use time::SimTime;

@@ -1,0 +1,275 @@
+//! The simulated machine: configuration and SPMD execution.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::build_fabric;
+use crate::costmodel::CostModel;
+use crate::proc::{ProcCtx, RunReport};
+
+/// Configuration of a simulated distributed-memory machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of compute processors.
+    pub nprocs: usize,
+    /// Cost model converting counted operations into simulated seconds.
+    pub cost: CostModel,
+}
+
+impl MachineConfig {
+    /// A machine with `nprocs` nodes and an explicit cost model.
+    pub fn new(nprocs: usize, cost: CostModel) -> Self {
+        assert!(nprocs > 0, "machine needs at least one processor");
+        MachineConfig { nprocs, cost }
+    }
+
+    /// Intel Touchstone Delta calibration (see [`CostModel::delta`]).
+    pub fn delta(nprocs: usize) -> Self {
+        Self::new(nprocs, CostModel::delta(nprocs))
+    }
+
+    /// Zero-cost machine for functional tests.
+    pub fn free(nprocs: usize) -> Self {
+        Self::new(nprocs, CostModel::free(nprocs))
+    }
+
+    /// Modern cluster calibration (see [`CostModel::cluster`]).
+    pub fn cluster(nprocs: usize) -> Self {
+        Self::new(nprocs, CostModel::cluster(nprocs))
+    }
+}
+
+/// A simulated machine ready to run SPMD regions.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Build a machine from its configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine { config }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Run `body` as an SPMD region: one OS thread per simulated processor,
+    /// each receiving its own [`ProcCtx`]. Returns the timing/statistics
+    /// report. Panics in any processor propagate after all threads joined.
+    pub fn run<F>(&self, body: F) -> RunReport
+    where
+        F: Fn(&ProcCtx) + Send + Sync,
+    {
+        self.run_with(|ctx| body(ctx)).0
+    }
+
+    /// Like [`Machine::run`] but also collects a value from each processor,
+    /// returned in rank order.
+    pub fn run_with<F, T>(&self, body: F) -> (RunReport, Vec<T>)
+    where
+        F: Fn(&ProcCtx) -> T + Send + Sync,
+        T: Send,
+    {
+        let n = self.config.nprocs;
+        let fabric = build_fabric(n);
+        let started = Instant::now();
+
+        let mut joined: Vec<(usize, crate::proc::ProcReport, T)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, endpoints) in fabric.into_iter().enumerate() {
+                let cost = self.config.cost.clone();
+                let body = &body;
+                handles.push(scope.spawn(move || {
+                    let ctx = ProcCtx::new(rank, n, cost, endpoints);
+                    let value = body(&ctx);
+                    (rank, ctx.finish(), value)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(t) => joined.push(t),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+
+        let wall = started.elapsed().as_secs_f64();
+        joined.sort_by_key(|(r, _, _)| *r);
+        let mut reports = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for (_, rep, val) in joined {
+            reports.push(rep);
+            values.push(val);
+        }
+        (RunReport::new(reports, wall), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ReduceOp;
+    use crate::comm::{Payload, Tag};
+
+    #[test]
+    fn spmd_region_runs_every_rank_once() {
+        let m = Machine::new(MachineConfig::free(5));
+        let (_, ranks) = m.run_with(|ctx| ctx.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn point_to_point_transfers_data_and_time() {
+        let m = Machine::new(MachineConfig::delta(2));
+        let report = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge_flops(4_000_000); // 1 simulated second of work
+                ctx.send(1, Tag(9), Payload::F64(vec![2.5; 8]));
+            } else {
+                let data = ctx.recv(0, Tag(9)).unwrap().into_f64();
+                assert_eq!(data, vec![2.5; 8]);
+            }
+        });
+        // Rank 1 waited for rank 0's second of compute plus the message.
+        let r1 = report.per_proc()[1];
+        assert!(r1.finish_time > 1.0, "finish = {}", r1.finish_time);
+        assert_eq!(r1.stats.msgs_received, 1);
+        assert_eq!(r1.stats.bytes_received, 64);
+    }
+
+    #[test]
+    fn allreduce_sums_across_all_ranks() {
+        for p in [1, 2, 3, 4, 7, 8] {
+            let m = Machine::new(MachineConfig::free(p));
+            m.run(|ctx| {
+                let v = vec![ctx.rank() as f64, 1.0];
+                let sum = ctx.allreduce_sum_f64(&v);
+                let expect: f64 = (0..ctx.nprocs()).map(|r| r as f64).sum();
+                assert_eq!(sum, vec![expect, p as f64]);
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_to_nonzero_root() {
+        let m = Machine::new(MachineConfig::free(6));
+        m.run(|ctx| {
+            let v = vec![1.0f32];
+            let got = ctx.global_sum_f32(&v, 4);
+            if ctx.rank() == 4 {
+                assert_eq!(got, Some(vec![6.0]));
+            } else {
+                assert_eq!(got, None);
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_from_any_root() {
+        for root in 0..5 {
+            let m = Machine::new(MachineConfig::free(5));
+            m.run(move |ctx| {
+                let data = if ctx.rank() == root {
+                    vec![root as u64 * 10, 7]
+                } else {
+                    Vec::new()
+                };
+                let got = ctx.broadcast(data, root);
+                assert_eq!(got, vec![root as u64 * 10, 7]);
+            });
+        }
+    }
+
+    #[test]
+    fn gather_concatenates_in_rank_order() {
+        let m = Machine::new(MachineConfig::free(4));
+        m.run(|ctx| {
+            let mine = vec![ctx.rank() as u64; 2];
+            if let Some(all) = ctx.gather(&mine, 0) {
+                assert_eq!(all, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_chunks() {
+        let m = Machine::new(MachineConfig::free(4));
+        m.run(|ctx| {
+            let data = if ctx.rank() == 0 {
+                (0..8u64).collect()
+            } else {
+                Vec::new()
+            };
+            let mine = ctx.scatter(data, 0);
+            let r = ctx.rank() as u64;
+            assert_eq!(mine, vec![2 * r, 2 * r + 1]);
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let m = Machine::new(MachineConfig::delta(4));
+        let report = m.run(|ctx| {
+            if ctx.rank() == 2 {
+                ctx.charge_seconds(5.0);
+            }
+            ctx.barrier();
+        });
+        for p in report.per_proc() {
+            assert!(
+                p.finish_time >= 5.0,
+                "rank {} finished at {}",
+                p.rank,
+                p.finish_time
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_max_and_min() {
+        let m = Machine::new(MachineConfig::free(5));
+        m.run(|ctx| {
+            let v = vec![ctx.rank() as f64];
+            let mx = ctx.allreduce(&v, ReduceOp::Max);
+            let mn = ctx.allreduce(&v, ReduceOp::Min);
+            assert_eq!(mx, vec![4.0]);
+            assert_eq!(mn, vec![0.0]);
+        });
+    }
+
+    #[test]
+    fn io_charges_show_up_in_report() {
+        let m = Machine::new(MachineConfig::delta(2));
+        let report = m.run(|ctx| {
+            ctx.charge_io_read(10, 1 << 20);
+            ctx.charge_io_write(2, 1 << 10);
+        });
+        let totals = report.totals();
+        assert_eq!(totals.io_read_requests, 20);
+        assert_eq!(totals.io_write_requests, 4);
+        assert_eq!(report.io_requests_per_proc(), 12);
+        assert!(report.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn simulated_time_is_deterministic() {
+        let run = || {
+            let m = Machine::new(MachineConfig::delta(8));
+            m.run(|ctx| {
+                ctx.charge_flops((ctx.rank() as u64 + 1) * 12345);
+                let v = vec![ctx.rank() as f64; 100];
+                let _ = ctx.allreduce_sum_f64(&v);
+                ctx.barrier();
+            })
+            .elapsed()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "simulated time must not depend on scheduling");
+    }
+}

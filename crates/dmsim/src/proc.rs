@@ -1,0 +1,242 @@
+//! Per-processor execution context.
+//!
+//! A [`ProcCtx`] is the view one simulated processor has of the machine: its
+//! rank, its virtual clock, its operation counters, and its endpoints into
+//! the message fabric. The out-of-core runtime layers (`pario`, `noderun`)
+//! charge all their work through this context so that simulated time and the
+//! paper's two I/O metrics stay consistent by construction.
+
+use std::cell::RefCell;
+
+use serde::{Deserialize, Serialize};
+
+use crate::comm::{Endpoints, Msg, Payload, RecvError, Tag};
+use crate::costmodel::CostModel;
+use crate::stats::{ProcStats, StatsSnapshot};
+use crate::time::{Clock, SimTime};
+
+/// Processor rank, `0..nprocs`.
+pub type Rank = usize;
+
+/// The execution context handed to the SPMD closure on each processor.
+pub struct ProcCtx {
+    rank: Rank,
+    nprocs: usize,
+    cost: CostModel,
+    clock: Clock,
+    stats: ProcStats,
+    endpoints: RefCell<Endpoints>,
+}
+
+impl ProcCtx {
+    pub(crate) fn new(rank: Rank, nprocs: usize, cost: CostModel, endpoints: Endpoints) -> Self {
+        ProcCtx {
+            rank,
+            nprocs,
+            cost,
+            clock: Clock::new(),
+            stats: ProcStats::new(),
+            endpoints: RefCell::new(endpoints),
+        }
+    }
+
+    /// This processor's rank.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of processors in the SPMD region.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The machine's cost model.
+    #[inline]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current local simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Charge `n` floating point operations to this processor.
+    pub fn charge_flops(&self, n: u64) {
+        let dt = self.cost.compute_time(n);
+        self.clock.advance(dt);
+        self.stats.record_flops(n, dt);
+    }
+
+    /// Charge a disk read of `requests` requests moving `bytes` bytes.
+    /// Called by the parallel I/O layer.
+    pub fn charge_io_read(&self, requests: u64, bytes: u64) {
+        let dt = self.cost.io_time(requests, bytes);
+        self.clock.advance(dt);
+        self.stats.record_io_read(requests, bytes, dt);
+    }
+
+    /// Charge a disk write of `requests` requests moving `bytes` bytes
+    /// (write-behind: see [`CostModel::io_write_time`]).
+    pub fn charge_io_write(&self, requests: u64, bytes: u64) {
+        let dt = self.cost.io_write_time(requests, bytes);
+        self.clock.advance(dt);
+        self.stats.record_io_write(requests, bytes, dt);
+    }
+
+    /// Charge an arbitrary fixed delay (used by redistribution setup and the
+    /// prefetch pipeline model).
+    pub fn charge_seconds(&self, dt: f64) {
+        self.clock.advance(dt);
+    }
+
+    /// Charge a disk read that was *prefetched*: it overlapped `flops` of
+    /// computation, so the clock advances by `max(read time, compute time)`
+    /// while the counters record both components in full (software
+    /// pipelining of slab fetches, as in the PASSION runtime).
+    pub fn charge_prefetched_read(&self, requests: u64, bytes: u64, flops: u64) {
+        let io_t = self.cost.io_time(requests, bytes);
+        let comp_t = self.cost.compute_time(flops);
+        self.stats.record_io_read(requests, bytes, io_t);
+        self.stats.record_flops(flops, comp_t);
+        self.clock.advance(io_t.max(comp_t));
+    }
+
+    /// Blocking send of `payload` to `dst` with matching `tag`.
+    ///
+    /// Advances this processor's clock by the full transfer time and stamps
+    /// the message with its arrival instant.
+    pub fn send(&self, dst: Rank, tag: Tag, payload: Payload) {
+        assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
+        assert_ne!(dst, self.rank, "self-send is a protocol error");
+        let bytes = payload.size_bytes();
+        let dt = self.cost.message_time(bytes);
+        let arrival = self.clock.advance(dt);
+        self.stats.record_send(bytes, dt);
+        self.endpoints.borrow().send(
+            dst,
+            Msg {
+                tag,
+                payload,
+                arrival,
+            },
+        );
+    }
+
+    /// Blocking receive from `src` with matching `tag`.
+    ///
+    /// The receiver's clock is moved forward to the message's arrival time if
+    /// it was waiting; time already past arrival costs nothing.
+    pub fn recv(&self, src: Rank, tag: Tag) -> Result<Payload, RecvError> {
+        assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
+        let msg = self.endpoints.borrow_mut().recv(src, tag)?;
+        let before = self.clock.now();
+        let after = self.clock.sync_to(msg.arrival);
+        let wait = (after.seconds() - before.seconds()).max(0.0);
+        self.stats.record_recv(msg.payload.size_bytes(), wait);
+        Ok(msg.payload)
+    }
+
+    /// Receive, panicking on a dead peer — the common case inside collective
+    /// algorithms where a missing peer means the SPMD program itself is
+    /// broken.
+    pub fn recv_expect(&self, src: Rank, tag: Tag) -> Payload {
+        self.recv(src, tag)
+            .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
+    }
+
+    /// Snapshot of this processor's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn finish(self) -> ProcReport {
+        ProcReport {
+            rank: self.rank,
+            finish_time: self.clock.now().seconds(),
+            stats: self.stats.snapshot(),
+        }
+    }
+}
+
+/// Final state of one processor after the SPMD region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcReport {
+    /// The processor's rank.
+    pub rank: Rank,
+    /// Its clock when it finished, in simulated seconds.
+    pub finish_time: f64,
+    /// Its operation counters.
+    pub stats: StatsSnapshot,
+}
+
+/// Result of running an SPMD region on the simulated machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    per_proc: Vec<ProcReport>,
+    wall_seconds: f64,
+}
+
+impl RunReport {
+    pub(crate) fn new(mut per_proc: Vec<ProcReport>, wall_seconds: f64) -> Self {
+        per_proc.sort_by_key(|p| p.rank);
+        RunReport {
+            per_proc,
+            wall_seconds,
+        }
+    }
+
+    /// Number of processors that ran.
+    pub fn nprocs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Per-processor reports, ordered by rank.
+    pub fn per_proc(&self) -> &[ProcReport] {
+        &self.per_proc
+    }
+
+    /// Simulated elapsed time of the region: the latest finish time.
+    pub fn elapsed(&self) -> f64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.finish_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Counters summed over all processors.
+    pub fn totals(&self) -> StatsSnapshot {
+        self.per_proc
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats))
+    }
+
+    /// Maximum per-processor I/O requests — the paper's "requests per
+    /// processor" metric (processors are symmetric in its experiments).
+    pub fn io_requests_per_proc(&self) -> u64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.stats.io_requests())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum per-processor I/O bytes — the paper's "data fetched per
+    /// processor" metric.
+    pub fn io_bytes_per_proc(&self) -> u64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.stats.io_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Host wall-clock seconds the simulation itself took (not simulated
+    /// time; useful for harness diagnostics only).
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+}

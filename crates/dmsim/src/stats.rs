@@ -1,0 +1,209 @@
+//! Per-processor operation counters.
+//!
+//! The paper's evaluation reports two I/O metrics (requests and bytes per
+//! processor) plus elapsed time; we additionally track compute and
+//! communication so the time breakdown in experiment reports can show where
+//! a translation scheme spends its life.
+
+use std::cell::Cell;
+
+use serde::{Deserialize, Serialize};
+
+use crate::costmodel::IoCost;
+
+/// Mutable counters owned by one simulated processor.
+///
+/// `!Sync` by construction (`Cell` fields): exactly one thread updates it.
+#[derive(Debug, Default)]
+pub struct ProcStats {
+    flops: Cell<u64>,
+    msgs_sent: Cell<u64>,
+    bytes_sent: Cell<u64>,
+    msgs_received: Cell<u64>,
+    bytes_received: Cell<u64>,
+    io_read_requests: Cell<u64>,
+    io_bytes_read: Cell<u64>,
+    io_write_requests: Cell<u64>,
+    io_bytes_written: Cell<u64>,
+    time_compute: Cell<f64>,
+    time_comm: Cell<f64>,
+    time_io: Cell<f64>,
+}
+
+impl ProcStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` floating-point operations taking `secs` of model time.
+    pub fn record_flops(&self, n: u64, secs: f64) {
+        self.flops.set(self.flops.get() + n);
+        self.time_compute.set(self.time_compute.get() + secs);
+    }
+
+    /// Record an outgoing message.
+    pub fn record_send(&self, bytes: u64, secs: f64) {
+        self.msgs_sent.set(self.msgs_sent.get() + 1);
+        self.bytes_sent.set(self.bytes_sent.get() + bytes);
+        self.time_comm.set(self.time_comm.get() + secs);
+    }
+
+    /// Record an incoming message; `wait_secs` is time spent blocked.
+    pub fn record_recv(&self, bytes: u64, wait_secs: f64) {
+        self.msgs_received.set(self.msgs_received.get() + 1);
+        self.bytes_received.set(self.bytes_received.get() + bytes);
+        self.time_comm.set(self.time_comm.get() + wait_secs);
+    }
+
+    /// Record a read request of `bytes` taking `secs`.
+    pub fn record_io_read(&self, requests: u64, bytes: u64, secs: f64) {
+        self.io_read_requests
+            .set(self.io_read_requests.get() + requests);
+        self.io_bytes_read.set(self.io_bytes_read.get() + bytes);
+        self.time_io.set(self.time_io.get() + secs);
+    }
+
+    /// Record a write request of `bytes` taking `secs`.
+    pub fn record_io_write(&self, requests: u64, bytes: u64, secs: f64) {
+        self.io_write_requests
+            .set(self.io_write_requests.get() + requests);
+        self.io_bytes_written
+            .set(self.io_bytes_written.get() + bytes);
+        self.time_io.set(self.time_io.get() + secs);
+    }
+
+    /// Immutable copy of the current counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            flops: self.flops.get(),
+            msgs_sent: self.msgs_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            msgs_received: self.msgs_received.get(),
+            bytes_received: self.bytes_received.get(),
+            io_read_requests: self.io_read_requests.get(),
+            io_bytes_read: self.io_bytes_read.get(),
+            io_write_requests: self.io_write_requests.get(),
+            io_bytes_written: self.io_bytes_written.get(),
+            time_compute: self.time_compute.get(),
+            time_comm: self.time_comm.get(),
+            time_io: self.time_io.get(),
+        }
+    }
+}
+
+/// Frozen counters, safe to ship across threads and serialize into reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Floating point operations executed.
+    pub flops: u64,
+    /// Point-to-point messages sent.
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub msgs_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Disk read requests issued.
+    pub io_read_requests: u64,
+    /// Bytes read from disk.
+    pub io_bytes_read: u64,
+    /// Disk write requests issued.
+    pub io_write_requests: u64,
+    /// Bytes written to disk.
+    pub io_bytes_written: u64,
+    /// Modeled seconds spent computing.
+    pub time_compute: f64,
+    /// Modeled seconds spent in communication (send + blocked receive).
+    pub time_comm: f64,
+    /// Modeled seconds spent in disk I/O.
+    pub time_io: f64,
+}
+
+impl StatsSnapshot {
+    /// Total I/O requests (reads + writes) — the paper's first metric.
+    pub fn io_requests(&self) -> u64 {
+        self.io_read_requests + self.io_write_requests
+    }
+
+    /// Total bytes moved to/from disk — the paper's second metric.
+    pub fn io_bytes(&self) -> u64 {
+        self.io_bytes_read + self.io_bytes_written
+    }
+
+    /// The combined I/O cost in the estimator's units.
+    pub fn io_cost(&self) -> IoCost {
+        IoCost {
+            requests: self.io_requests(),
+            bytes: self.io_bytes(),
+        }
+    }
+
+    /// Element-wise sum, used to aggregate across processors.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            flops: self.flops + other.flops,
+            msgs_sent: self.msgs_sent + other.msgs_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            msgs_received: self.msgs_received + other.msgs_received,
+            bytes_received: self.bytes_received + other.bytes_received,
+            io_read_requests: self.io_read_requests + other.io_read_requests,
+            io_bytes_read: self.io_bytes_read + other.io_bytes_read,
+            io_write_requests: self.io_write_requests + other.io_write_requests,
+            io_bytes_written: self.io_bytes_written + other.io_bytes_written,
+            time_compute: self.time_compute + other.time_compute,
+            time_comm: self.time_comm + other.time_comm,
+            time_io: self.time_io + other.time_io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ProcStats::new();
+        s.record_flops(100, 1.0);
+        s.record_flops(50, 0.5);
+        s.record_send(64, 0.01);
+        s.record_recv(64, 0.02);
+        s.record_io_read(2, 4096, 0.1);
+        s.record_io_write(1, 1024, 0.05);
+        let snap = s.snapshot();
+        assert_eq!(snap.flops, 150);
+        assert_eq!(snap.msgs_sent, 1);
+        assert_eq!(snap.bytes_sent, 64);
+        assert_eq!(snap.io_requests(), 3);
+        assert_eq!(snap.io_bytes(), 5120);
+        assert!((snap.time_compute - 1.5).abs() < 1e-12);
+        assert!((snap.time_io - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = StatsSnapshot::default();
+        a.flops = 10;
+        a.io_read_requests = 1;
+        let mut b = StatsSnapshot::default();
+        b.flops = 20;
+        b.io_write_requests = 2;
+        let c = a.merge(&b);
+        assert_eq!(c.flops, 30);
+        assert_eq!(c.io_requests(), 3);
+    }
+
+    #[test]
+    fn io_cost_mirrors_metrics() {
+        let mut s = StatsSnapshot::default();
+        s.io_read_requests = 5;
+        s.io_bytes_read = 100;
+        s.io_write_requests = 3;
+        s.io_bytes_written = 28;
+        let c = s.io_cost();
+        assert_eq!(c.requests, 8);
+        assert_eq!(c.bytes, 128);
+    }
+}

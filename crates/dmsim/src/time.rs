@@ -1,0 +1,121 @@
+//! Virtual time.
+//!
+//! Simulated time is kept in seconds as an `f64`. A dedicated newtype keeps
+//! clock arithmetic honest (no accidental mixing with byte counts or flop
+//! counts) and centralizes the max/advance operations that the messaging and
+//! collective layers rely on.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// A point in simulated time, in seconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// The epoch: the instant the SPMD region begins on every processor.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Seconds since the epoch.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Advance by `dt` seconds. Negative durations are a logic error.
+    #[inline]
+    pub fn advance(self, dt: f64) -> SimTime {
+        debug_assert!(dt >= 0.0, "negative duration: {dt}");
+        SimTime(self.0 + dt)
+    }
+
+    /// Later of two instants — the clock-synchronization primitive used when
+    /// a message is received or a collective completes.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// A processor-local virtual clock.
+///
+/// Each [`crate::ProcCtx`] owns one `Clock`; it is deliberately `!Sync`
+/// (interior mutability through [`Cell`]) because a clock belongs to exactly
+/// one simulated processor.
+#[derive(Debug, Default)]
+pub struct Clock {
+    now: Cell<SimTime>,
+}
+
+impl Clock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Clock {
+            now: Cell::new(SimTime::ZERO),
+        }
+    }
+
+    /// Current local time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advance the clock by `dt` seconds and return the new time.
+    #[inline]
+    pub fn advance(&self, dt: f64) -> SimTime {
+        let t = self.now.get().advance(dt);
+        self.now.set(t);
+        t
+    }
+
+    /// Synchronize forward: move the clock to `t` if `t` is later. A clock
+    /// never moves backwards (receiving an "old" message costs no waiting).
+    #[inline]
+    pub fn sync_to(&self, t: SimTime) -> SimTime {
+        let n = self.now.get().max(t);
+        self.now.set(n);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now().seconds() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_never_moves_backwards() {
+        let c = Clock::new();
+        c.advance(2.0);
+        c.sync_to(SimTime(1.0));
+        assert_eq!(c.now().seconds(), 2.0);
+        c.sync_to(SimTime(3.0));
+        assert_eq!(c.now().seconds(), 3.0);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(SimTime(1.0).max(SimTime(2.0)), SimTime(2.0));
+        assert_eq!(SimTime(5.0).max(SimTime(2.0)), SimTime(5.0));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime(1.25)), "1.250000s");
+    }
+}

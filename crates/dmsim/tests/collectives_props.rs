@@ -1,0 +1,97 @@
+//! Property tests for the collective algorithms: results must equal the
+//! serial fold for any processor count, vector length and root, and
+//! simulated time must be schedule-independent.
+
+use proptest::prelude::*;
+
+use dmsim::{Machine, MachineConfig, ReduceOp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduce_equals_serial_fold(
+        p in 1usize..9,
+        len in 0usize..20,
+        root_seed in 0usize..16,
+        op_pick in 0usize..3,
+    ) {
+        let root = root_seed % p;
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_pick];
+        let machine = Machine::new(MachineConfig::free(p));
+        machine.run(move |ctx| {
+            // Rank r contributes f(r, i); integers keep f64 sums exact.
+            let mine: Vec<f64> = (0..len)
+                .map(|i| ((ctx.rank() * 31 + i * 7) % 101) as f64)
+                .collect();
+            let got = ctx.reduce(&mine, op, root);
+            if ctx.rank() == root {
+                let got = got.expect("root sees result");
+                for (i, &g) in got.iter().enumerate() {
+                    let all: Vec<f64> = (0..p).map(|r| ((r * 31 + i * 7) % 101) as f64).collect();
+                    let expect = match op {
+                        ReduceOp::Sum => all.iter().sum::<f64>(),
+                        ReduceOp::Max => all.iter().cloned().fold(f64::MIN, f64::max),
+                        ReduceOp::Min => all.iter().cloned().fold(f64::MAX, f64::min),
+                    };
+                    assert_eq!(g, expect, "elem {i}");
+                }
+            } else {
+                assert!(got.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(p in 1usize..9, chunk in 1usize..8, root_seed in 0usize..16) {
+        let root = root_seed % p;
+        let machine = Machine::new(MachineConfig::free(p));
+        machine.run(move |ctx| {
+            let mine: Vec<u64> = (0..chunk).map(|i| (ctx.rank() * 100 + i) as u64).collect();
+            let gathered = ctx.gather(&mine, root);
+            // Root scatters the concatenation back; everyone must get their
+            // own chunk again.
+            let data = if ctx.rank() == root {
+                gathered.expect("root gathered")
+            } else {
+                Vec::new()
+            };
+            let back = ctx.scatter(data, root);
+            assert_eq!(back, mine, "rank {}", ctx.rank());
+        });
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone(p in 1usize..10, len in 0usize..16, root_seed in 0usize..16) {
+        let root = root_seed % p;
+        let machine = Machine::new(MachineConfig::delta(p));
+        let report = machine.run(move |ctx| {
+            let data = if ctx.rank() == root {
+                (0..len as u64).map(|i| i * 3 + 1).collect()
+            } else {
+                Vec::new()
+            };
+            let got = ctx.broadcast(data, root);
+            assert_eq!(got, (0..len as u64).map(|i| i * 3 + 1).collect::<Vec<_>>());
+        });
+        // Tree edges: exactly p-1 payload-carrying messages in total.
+        prop_assert_eq!(report.totals().msgs_sent, (p - 1) as u64);
+    }
+
+    #[test]
+    fn simulated_time_is_schedule_independent(p in 2usize..9, work_seed in 0u64..50) {
+        let run_once = || {
+            let machine = Machine::new(MachineConfig::delta(p));
+            machine.run(move |ctx| {
+                ctx.charge_flops((ctx.rank() as u64 * 7919 + work_seed * 131) % 100_000);
+                let v = vec![ctx.rank() as f64; 64];
+                let _ = ctx.allreduce_sum_f64(&v);
+                ctx.barrier();
+            })
+            .elapsed()
+        };
+        let a = run_once();
+        let b = run_once();
+        prop_assert_eq!(a, b);
+    }
+}

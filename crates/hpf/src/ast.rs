@@ -1,0 +1,231 @@
+//! Abstract syntax for the mini-HPF subset.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Expressions (scalar context) and array references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Scalar variable or parameter reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Array element / section reference: `a(subs…)`.
+    ArrayRef {
+        /// Array name (lower-cased).
+        name: String,
+        /// One subscript per dimension.
+        subs: Vec<Subscript>,
+    },
+    /// Intrinsic call, e.g. `sum(temp, 2)`.
+    Call {
+        /// Intrinsic name (lower-cased).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Shorthand for a binary operation.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+}
+
+/// One subscript of an array reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Subscript {
+    /// A single index expression.
+    Index(Expr),
+    /// A triplet section `lo:hi[:step]`; omitted bounds mean the full
+    /// extent.
+    Triplet {
+        /// Lower bound (inclusive, 1-based in source).
+        lo: Option<Expr>,
+        /// Upper bound (inclusive, 1-based in source).
+        hi: Option<Expr>,
+        /// Stride.
+        step: Option<Expr>,
+    },
+}
+
+/// Distribution format for one dimension in a DISTRIBUTE directive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistSpec {
+    /// `block`
+    Block,
+    /// `cyclic`
+    Cyclic,
+    /// `cyclic(b)`
+    CyclicBlock(i64),
+    /// `*` — collapsed.
+    Star,
+}
+
+/// One dimension of an ALIGN source pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlignDim {
+    /// `*` — this array dimension is not aligned with the template
+    /// (collapsed onto every owner).
+    Star,
+    /// `:` — matched with the next template dimension in order.
+    Colon,
+}
+
+/// HPF compiler directives (`!hpf$ …`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Directive {
+    /// `processors p(n…)`
+    Processors {
+        /// Grid name.
+        name: String,
+        /// Axis extents.
+        extents: Vec<Expr>,
+    },
+    /// `template t(n…)`
+    Template {
+        /// Template name.
+        name: String,
+        /// Extents.
+        extents: Vec<Expr>,
+    },
+    /// `distribute t(spec…) on p` — target may be a template or an array.
+    Distribute {
+        /// Template or array name.
+        target: String,
+        /// One spec per dimension.
+        specs: Vec<DistSpec>,
+        /// Processor grid name.
+        procs: String,
+    },
+    /// `align (pattern) with t :: a, b, …`
+    Align {
+        /// Source pattern, one entry per array dimension.
+        pattern: Vec<AlignDim>,
+        /// Template name.
+        template: String,
+        /// Arrays aligned by this directive.
+        arrays: Vec<String>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `do v = lo, hi` … `end do`
+    Do {
+        /// Loop variable.
+        var: String,
+        /// Lower bound (inclusive).
+        lo: Expr,
+        /// Upper bound (inclusive).
+        hi: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `forall (i = lo:hi, …)` … `end forall` (or single-statement forall).
+    Forall {
+        /// Index variables with inclusive bounds.
+        indices: Vec<(String, Expr, Expr)>,
+        /// Body (assignments only, per HPF rules).
+        body: Vec<Stmt>,
+    },
+    /// Array or scalar assignment.
+    Assign {
+        /// Left-hand side (an `Expr::ArrayRef` or `Expr::Var`).
+        lhs: Expr,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+}
+
+/// One declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Decl {
+    /// `parameter (name=value, …)` — one entry per constant.
+    Parameter {
+        /// Constant name.
+        name: String,
+        /// Constant value expression (must fold to an integer).
+        value: Expr,
+    },
+    /// `real a(d…, …)` — one entry per declared array.
+    Array {
+        /// Array name.
+        name: String,
+        /// Declared extents.
+        dims: Vec<Expr>,
+    },
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+    /// Directives in source order.
+    pub directives: Vec<Directive>,
+    /// Executable statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(BinOp::Add, Expr::var("i"), Expr::Int(1));
+        match e {
+            Expr::Bin(BinOp::Add, l, r) => {
+                assert_eq!(*l, Expr::Var("i".into()));
+                assert_eq!(*r, Expr::Int(1));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Add.symbol(), "+");
+        assert_eq!(BinOp::Sub.symbol(), "-");
+        assert_eq!(BinOp::Mul.symbol(), "*");
+        assert_eq!(BinOp::Div.symbol(), "/");
+    }
+}

@@ -1,0 +1,44 @@
+//! Diagnostics for the front end.
+
+use std::fmt;
+
+/// A front-end error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl FrontError {
+    /// Error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        FrontError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+/// Result alias for front-end phases.
+pub type FrontResult<T> = Result<T, FrontError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FrontError::new(12, "unexpected token `)`");
+        assert_eq!(e.to_string(), "line 12: unexpected token `)`");
+    }
+}

@@ -1,0 +1,299 @@
+//! Line-oriented lexer.
+//!
+//! Fortran-style input: one statement per line, `!` starts a comment unless
+//! the line is an `!hpf$` directive, case-insensitive identifiers (the lexer
+//! lower-cases them). Each source line becomes a token line tagged with its
+//! 1-based line number.
+
+use crate::error::{FrontError, FrontResult};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (contains `.` or exponent).
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Eq => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Colon => write!(f, ":"),
+            Tok::ColonColon => write!(f, "::"),
+        }
+    }
+}
+
+/// One tokenized source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokLine {
+    /// 1-based source line number.
+    pub line: usize,
+    /// True when the line began with `!hpf$`.
+    pub directive: bool,
+    /// The tokens.
+    pub toks: Vec<Tok>,
+}
+
+/// Tokenize a whole source text into non-empty token lines.
+pub fn tokenize(source: &str) -> FrontResult<Vec<TokLine>> {
+    let mut lines = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (directive, rest) = match strip_directive_prefix(trimmed) {
+            Some(rest) => (true, rest),
+            None => (false, trimmed),
+        };
+        // Comments: everything from `!` (non-directive) to end of line.
+        let code = match rest.find('!') {
+            Some(pos) => &rest[..pos],
+            None => rest,
+        };
+        if code.trim().is_empty() {
+            continue;
+        }
+        let toks = tokenize_line(code, lineno)?;
+        if !toks.is_empty() {
+            lines.push(TokLine {
+                line: lineno,
+                directive,
+                toks,
+            });
+        }
+    }
+    Ok(lines)
+}
+
+fn strip_directive_prefix(line: &str) -> Option<&str> {
+    let lower = line.to_ascii_lowercase();
+    if lower.starts_with("!hpf$") {
+        Some(&line[5..])
+    } else {
+        None
+    }
+}
+
+fn tokenize_line(code: &str, line: usize) -> FrontResult<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+                    toks.push(Tok::ColonColon);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Colon);
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !saw_dot && !saw_exp {
+                        saw_dot = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E') && !saw_exp && i > start {
+                        saw_exp = true;
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            i += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = &code[start..i];
+                if saw_dot || saw_exp {
+                    let v: f64 = text.parse().map_err(|_| {
+                        FrontError::new(line, format!("bad real literal `{text}`"))
+                    })?;
+                    toks.push(Tok::Real(v));
+                } else {
+                    let v: i64 = text.parse().map_err(|_| {
+                        FrontError::new(line, format!("bad integer literal `{text}`"))
+                    })?;
+                    toks.push(Tok::Int(v));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(code[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(FrontError::new(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let lines = tokenize("      do j = 1, n\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].directive);
+        assert_eq!(
+            lines[0].toks,
+            vec![
+                Tok::Ident("do".into()),
+                Tok::Ident("j".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Ident("n".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn directive_lines_are_flagged() {
+        let lines = tokenize("!hpf$ distribute d(block) on pr").unwrap();
+        assert!(lines[0].directive);
+        assert_eq!(lines[0].toks[0], Tok::Ident("distribute".into()));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let lines = tokenize("      x = 1 ! set x\n! whole-line comment\n").unwrap();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].toks.len(), 3);
+    }
+
+    #[test]
+    fn numbers_and_reals() {
+        let lines = tokenize("x = 0.25 * 4 + 1e2").unwrap();
+        assert_eq!(
+            lines[0].toks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Real(0.25),
+                Tok::Star,
+                Tok::Int(4),
+                Tok::Plus,
+                Tok::Real(100.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn double_colon_vs_single() {
+        let lines = tokenize("align (:, *) with d :: a, b").unwrap();
+        assert!(lines[0].toks.contains(&Tok::ColonColon));
+        assert!(lines[0].toks.contains(&Tok::Colon));
+    }
+
+    #[test]
+    fn case_is_folded() {
+        let lines = tokenize("FORALL (K = 1:N)").unwrap();
+        assert_eq!(lines[0].toks[0], Tok::Ident("forall".into()));
+    }
+
+    #[test]
+    fn bad_char_is_reported_with_line() {
+        let err = tokenize("x = 1\ny = $2").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn triplet_tokens() {
+        let lines = tokenize("a(1:n:2, j)").unwrap();
+        let colons = lines[0].toks.iter().filter(|t| **t == Tok::Colon).count();
+        assert_eq!(colons, 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! Pretty printer: AST → canonical source text.
+//!
+//! `parse(pretty(parse(src)))` equals `parse(src)` — the round-trip property
+//! the test suite checks on every construct.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a whole program as canonical mini-HPF source.
+pub fn pretty_print(prog: &Program) -> String {
+    let mut out = String::new();
+    // Parameters first, grouped into one statement.
+    let params: Vec<&Decl> = prog
+        .decls
+        .iter()
+        .filter(|d| matches!(d, Decl::Parameter { .. }))
+        .collect();
+    if !params.is_empty() {
+        let body: Vec<String> = params
+            .iter()
+            .map(|d| match d {
+                Decl::Parameter { name, value } => format!("{name}={}", expr(value)),
+                _ => unreachable!(),
+            })
+            .collect();
+        let _ = writeln!(out, "      parameter ({})", body.join(", "));
+    }
+    let arrays: Vec<String> = prog
+        .decls
+        .iter()
+        .filter_map(|d| match d {
+            Decl::Array { name, dims } => {
+                let ds: Vec<String> = dims.iter().map(expr).collect();
+                Some(format!("{name}({})", ds.join(", ")))
+            }
+            _ => None,
+        })
+        .collect();
+    if !arrays.is_empty() {
+        let _ = writeln!(out, "      real {}", arrays.join(", "));
+    }
+    for d in &prog.directives {
+        let _ = writeln!(out, "!hpf$ {}", directive(d));
+    }
+    for s in &prog.stmts {
+        stmt(&mut out, s, 6);
+    }
+    out.push_str("      end\n");
+    out
+}
+
+fn directive(d: &Directive) -> String {
+    match d {
+        Directive::Processors { name, extents } => {
+            let es: Vec<String> = extents.iter().map(expr).collect();
+            format!("processors {name}({})", es.join(", "))
+        }
+        Directive::Template { name, extents } => {
+            let es: Vec<String> = extents.iter().map(expr).collect();
+            format!("template {name}({})", es.join(", "))
+        }
+        Directive::Distribute {
+            target,
+            specs,
+            procs,
+        } => {
+            let ss: Vec<String> = specs
+                .iter()
+                .map(|s| match s {
+                    DistSpec::Block => "block".to_string(),
+                    DistSpec::Cyclic => "cyclic".to_string(),
+                    DistSpec::CyclicBlock(b) => format!("cyclic({b})"),
+                    DistSpec::Star => "*".to_string(),
+                })
+                .collect();
+            format!("distribute {target}({}) on {procs}", ss.join(", "))
+        }
+        Directive::Align {
+            pattern,
+            template,
+            arrays,
+        } => {
+            let ps: Vec<&str> = pattern
+                .iter()
+                .map(|p| match p {
+                    AlignDim::Star => "*",
+                    AlignDim::Colon => ":",
+                })
+                .collect();
+            format!(
+                "align ({}) with {template} :: {}",
+                ps.join(", "),
+                arrays.join(", ")
+            )
+        }
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = " ".repeat(indent);
+    match s {
+        Stmt::Do { var, lo, hi, body } => {
+            let _ = writeln!(out, "{pad}do {var} = {}, {}", expr(lo), expr(hi));
+            for b in body {
+                stmt(out, b, indent + 2);
+            }
+            let _ = writeln!(out, "{pad}end do");
+        }
+        Stmt::Forall { indices, body } => {
+            let is: Vec<String> = indices
+                .iter()
+                .map(|(v, lo, hi)| format!("{v} = {}:{}", expr(lo), expr(hi)))
+                .collect();
+            let _ = writeln!(out, "{pad}forall ({})", is.join(", "));
+            for b in body {
+                stmt(out, b, indent + 2);
+            }
+            let _ = writeln!(out, "{pad}end forall");
+        }
+        Stmt::Assign { lhs, rhs } => {
+            let _ = writeln!(out, "{pad}{} = {}", expr(lhs), expr(rhs));
+        }
+    }
+}
+
+/// Render an expression with minimal but safe parenthesization.
+pub fn expr(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, parent: u8) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Real(v) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Neg(inner) => {
+            let s = format!("-{}", expr_prec(inner, 3));
+            if parent > 0 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let prec = match op {
+                BinOp::Add | BinOp::Sub => 1,
+                BinOp::Mul | BinOp::Div => 2,
+            };
+            // Right operand of - and / needs grouping at equal precedence.
+            let s = format!(
+                "{} {} {}",
+                expr_prec(l, prec),
+                op.symbol(),
+                expr_prec(r, prec + 1)
+            );
+            if parent > prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::ArrayRef { name, subs } => {
+            let ss: Vec<String> = subs.iter().map(subscript).collect();
+            format!("{name}({})", ss.join(", "))
+        }
+        Expr::Call { name, args } => {
+            let ss: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", ss.join(", "))
+        }
+    }
+}
+
+/// One-line description of a statement's head, for diagnostics
+/// ("unsupported statement pattern: do j = 1, n").
+pub fn expr_of_stmt_head(s: &Stmt) -> String {
+    match s {
+        Stmt::Do { var, lo, hi, .. } => format!("do {var} = {}, {}", expr(lo), expr(hi)),
+        Stmt::Forall { indices, .. } => {
+            let is: Vec<String> = indices
+                .iter()
+                .map(|(v, lo, hi)| format!("{v} = {}:{}", expr(lo), expr(hi)))
+                .collect();
+            format!("forall ({})", is.join(", "))
+        }
+        Stmt::Assign { lhs, rhs } => format!("{} = {}", expr(lhs), expr(rhs)),
+    }
+}
+
+fn subscript(s: &Subscript) -> String {
+    match s {
+        Subscript::Index(e) => expr(e),
+        Subscript::Triplet { lo, hi, step } => {
+            let l = lo.as_ref().map(expr).unwrap_or_default();
+            let h = hi.as_ref().map(expr).unwrap_or_default();
+            match step {
+                Some(st) => format!("{l}:{h}:{}", expr(st)),
+                None => format!("{l}:{h}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).expect("first parse");
+        let printed = pretty_print(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_figure3() {
+        roundtrip(crate::GAXPY_SOURCE);
+    }
+
+    #[test]
+    fn roundtrip_expressions() {
+        roundtrip("x = -a + b * (c - d) / e\nend\n");
+        roundtrip("x = a - (b - c)\nend\n");
+        roundtrip("x = a / (b * c)\nend\n");
+        roundtrip("x = 1.5 * a(i, j) + 2.0e3\nend\n");
+    }
+
+    #[test]
+    fn roundtrip_triplets() {
+        roundtrip("a(1:n, :, 2:8:2) = b(:, j, k)\nend\n");
+    }
+
+    #[test]
+    fn roundtrip_directives() {
+        roundtrip(
+            "
+      parameter (n=16)
+      real a(n, n), b(n, n)
+!hpf$ processors pr(4)
+!hpf$ template d(n)
+!hpf$ distribute d(cyclic) on pr
+!hpf$ align (:, *) with d :: a
+!hpf$ distribute b(*, cyclic(2)) on pr
+      end
+",
+        );
+    }
+
+    #[test]
+    fn roundtrip_nested_loops() {
+        roundtrip(
+            "
+      do i = 1, 8
+        forall (j = 1:8, k = 1:4)
+          a(j, k) = a(j, k) + i
+        end forall
+      end do
+      end
+",
+        );
+    }
+
+    #[test]
+    fn negative_literal_in_context() {
+        roundtrip("x = a * (-b)\nend\n");
+    }
+}

@@ -1,0 +1,49 @@
+//! Property test: pretty-printing any generated expression and re-parsing
+//! it yields the same AST (parenthesization is exact, never ambiguous).
+
+use proptest::prelude::*;
+
+use hpf::{parse_program, pretty, BinOp, Expr, Stmt, Subscript};
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Int),
+        (0u32..500).prop_map(|v| Expr::Real(v as f64 / 4.0)),
+        "[a-e]".prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+            ])
+                .prop_map(|(l, r, op)| Expr::bin(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (inner.clone(), inner.clone(), "[f-h]").prop_map(|(i, j, name)| Expr::ArrayRef {
+                name,
+                subs: vec![Subscript::Index(i), Subscript::Index(j)],
+            }),
+            (inner, "[w-z]").prop_map(|(a, _)| Expr::Call {
+                name: "sum".to_string(),
+                args: vec![a, Expr::Int(2)],
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_then_parse_is_identity(e in arb_expr()) {
+        let printed = format!("x = {}\nend\n", pretty::expr(&e));
+        let prog = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        let Stmt::Assign { rhs, .. } = &prog.stmts[0] else {
+            panic!("expected assignment");
+        };
+        prop_assert_eq!(rhs, &e, "printed as: {}", printed);
+    }
+}

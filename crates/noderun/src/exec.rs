@@ -1,0 +1,271 @@
+//! Top-level execution: SPMD region setup, plan dispatch, result
+//! collection.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use dmsim::{Machine, MachineConfig, ProcCtx, RunReport};
+use ooc_array::{OocEnv, Section, Shape};
+use ooc_core::{CompiledProgram, ExecPlan};
+
+/// Per-element initializer: global index → value.
+pub type InitFn = Arc<dyn Fn(&[usize]) -> f32 + Send + Sync>;
+
+/// Wrap a closure as an [`InitFn`].
+pub fn init_fn(f: impl Fn(&[usize]) -> f32 + Send + Sync + 'static) -> InitFn {
+    Arc::new(f)
+}
+
+/// Where local array files live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// In-memory logical disks (fast; the default for experiments).
+    #[default]
+    Memory,
+    /// Real scratch files (demonstrates the system against a filesystem).
+    Disk,
+}
+
+/// Execution configuration.
+#[derive(Clone, Default)]
+pub struct RunConfig {
+    /// Storage backend for local array files.
+    pub backend: Backend,
+    /// Data-sieving policy for strided reads (PASSION-style runtime
+    /// optimization; `Direct` keeps measured I/O equal to the compiler's
+    /// estimate).
+    pub sieve: Option<pario::SievePolicy>,
+    /// Overlap slab fetches with the previous slab's computation (software
+    /// pipelining). Leaves the I/O metrics untouched; only time shrinks.
+    pub prefetch: bool,
+    /// Machine override; defaults to the compiled program's cost model on
+    /// its processor count.
+    pub machine: Option<MachineConfig>,
+    /// Initial values per array (missing arrays start zeroed). Loading is
+    /// not charged — the paper amortizes initial distribution.
+    pub init: HashMap<String, InitFn>,
+    /// Arrays imported from exported `.laf` files before execution
+    /// (array name -> directory). Takes precedence over `init`.
+    pub import: Vec<(String, std::path::PathBuf)>,
+    /// Arrays exported to `.laf` files after execution
+    /// (array name -> directory).
+    pub export: Vec<(String, std::path::PathBuf)>,
+    /// Arrays to gather into global buffers after the run (verification).
+    pub collect: Vec<String>,
+}
+
+/// Execution failure.
+#[derive(Debug)]
+pub enum RunError {
+    /// An I/O layer operation failed.
+    Io(pario::IoError),
+    /// The configuration is inconsistent with the compiled program.
+    Config(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Io(e) => write!(f, "I/O error: {e}"),
+            RunError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<pario::IoError> for RunError {
+    fn from(e: pario::IoError) -> Self {
+        RunError::Io(e)
+    }
+}
+
+/// Result of executing a compiled program.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Timing and operation counters from the simulated machine.
+    pub report: RunReport,
+    /// Gathered global arrays (column-major), for the names requested in
+    /// [`RunConfig::collect`].
+    pub collected: HashMap<String, (Shape, Vec<f32>)>,
+    /// Largest number of in-core elements any processor held at once.
+    pub peak_elems: usize,
+}
+
+/// What each rank hands back from the SPMD region.
+pub(crate) struct RankResult {
+    pub collected: Vec<(String, Vec<f32>)>,
+    pub peak_elems: usize,
+}
+
+/// Execute every plan of `compiled` in order on the simulated machine.
+pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
+    let p = compiled.nprocs();
+    let machine_cfg = cfg
+        .machine
+        .clone()
+        .unwrap_or_else(|| MachineConfig::new(p, compiled.model.clone()));
+    if machine_cfg.nprocs != p {
+        return Err(RunError::Config(format!(
+            "machine has {} processors but the program was compiled for {p}",
+            machine_cfg.nprocs
+        )));
+    }
+    for name in &cfg.collect {
+        if compiled.hir.array(name).is_none() {
+            return Err(RunError::Config(format!("cannot collect unknown array `{name}`")));
+        }
+    }
+    for (name, _) in cfg.import.iter().chain(cfg.export.iter()) {
+        if compiled.hir.array(name).is_none() {
+            return Err(RunError::Config(format!(
+                "cannot import/export unknown array `{name}`"
+            )));
+        }
+    }
+
+    let machine = Machine::new(machine_cfg);
+    let (report, results) = machine.run_with(|ctx| execute_rank(ctx, compiled, cfg));
+
+    // Surface the first per-rank error, if any.
+    let mut rank_results = Vec::with_capacity(results.len());
+    for r in results {
+        rank_results.push(r.map_err(RunError::Io)?);
+    }
+
+    // Assemble collected arrays outside the timed region.
+    let mut collected = HashMap::new();
+    for name in &cfg.collect {
+        let id = compiled
+            .hir
+            .arrays
+            .iter()
+            .position(|a| a.name == *name)
+            .expect("validated");
+        let desc = &compiled.descs[id];
+        let per_rank: Vec<&[f32]> = rank_results
+            .iter()
+            .map(|r| {
+                r.collected
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| v.as_slice())
+                    .expect("collected on every rank")
+            })
+            .collect();
+        collected.insert(name.clone(), crate::verify::assemble_global(desc, &per_rank));
+    }
+
+    let peak_elems = rank_results.iter().map(|r| r.peak_elems).max().unwrap_or(0);
+    Ok(RunOutcome {
+        report,
+        collected,
+        peak_elems,
+    })
+}
+
+fn execute_rank(
+    ctx: &ProcCtx,
+    compiled: &CompiledProgram,
+    cfg: &RunConfig,
+) -> Result<RankResult, pario::IoError> {
+    let rank = ctx.rank();
+    let mut env = match cfg.backend {
+        Backend::Memory => OocEnv::in_memory(rank),
+        Backend::Disk => OocEnv::on_disk(rank)?,
+    };
+    if let Some(policy) = cfg.sieve {
+        env.set_sieve_policy(policy);
+    }
+    for desc in &compiled.descs {
+        env.alloc(desc)?;
+        if let Some(init) = cfg.init.get(&desc.name) {
+            let f = init.clone();
+            env.load_global(desc, &move |g| f(g))?;
+        }
+    }
+    // Statement-local temporaries (e.g. remap targets) carry fresh ids
+    // beyond the declared arrays.
+    for plan in &compiled.plans {
+        for desc in plan.arrays() {
+            env.alloc(desc)?;
+        }
+    }
+    for (name, dir) in &cfg.import {
+        let desc = compiled
+            .descs
+            .iter()
+            .find(|d| d.name == *name)
+            .expect("validated by run()");
+        ooc_array::import_array(&mut env, desc, dir)?;
+    }
+
+    let mut peak = 0usize;
+    for plan in &compiled.plans {
+        let used = match plan {
+            ExecPlan::Gaxpy(g) => crate::gaxpy::execute(ctx, &mut env, g, cfg.prefetch)?,
+            ExecPlan::Elementwise(e) => {
+                crate::elementwise::execute_prefetched(ctx, &mut env, e, cfg.prefetch)?
+            }
+            ExecPlan::Transpose(t) => crate::transpose::execute(ctx, &mut env, t)?,
+        };
+        peak = peak.max(used);
+    }
+
+    for (name, dir) in &cfg.export {
+        let desc = compiled
+            .descs
+            .iter()
+            .find(|d| d.name == *name)
+            .expect("validated by run()");
+        ooc_array::export_array(&mut env, desc, dir)?;
+    }
+
+    // Collection (uncharged reads, no communication: data returns through
+    // the thread join).
+    let mut collected = Vec::new();
+    for name in &cfg.collect {
+        let id = compiled
+            .hir
+            .arrays
+            .iter()
+            .position(|a| a.name == *name)
+            .expect("validated by run()");
+        let desc = &compiled.descs[id];
+        let local = env.read_section_uncharged(desc, &Section::full(&desc.local_shape(rank)))?;
+        collected.push((name.clone(), local));
+    }
+    Ok(RankResult {
+        collected,
+        peak_elems: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_core::{compile_source, CompilerOptions};
+
+    #[test]
+    fn unknown_collect_array_is_a_config_error() {
+        let compiled = compile_source(hpf::GAXPY_SOURCE, &CompilerOptions::default()).unwrap();
+        let cfg = RunConfig {
+            collect: vec!["nope".into()],
+            ..RunConfig::default()
+        };
+        let err = run(&compiled, &cfg).unwrap_err();
+        assert!(matches!(err, RunError::Config(_)));
+    }
+
+    #[test]
+    fn mismatched_machine_is_a_config_error() {
+        let compiled = compile_source(hpf::GAXPY_SOURCE, &CompilerOptions::default()).unwrap();
+        let cfg = RunConfig {
+            machine: Some(MachineConfig::free(2)), // program wants 4
+            ..RunConfig::default()
+        };
+        let err = run(&compiled, &cfg).unwrap_err();
+        assert!(matches!(err, RunError::Config(_)));
+    }
+}

@@ -1,0 +1,280 @@
+//! Specialized compute kernels.
+//!
+//! The generic elementwise evaluator walks the expression tree per point.
+//! Most data-parallel statements are *linear combinations of shifted
+//! references* (stencils, AXPY, scaled copies); [`LinearKernel`] recognizes
+//! that shape symbolically and evaluates it term by term with contiguous
+//! inner loops over the fastest dimension — the "specialized code" a real
+//! compiler would emit, here selected at run time.
+//!
+//! The fast path applies when no sample leaves the local index space (no
+//! ghost strips): then every shifted access lands inside the widened input
+//! section and the source run moves in lockstep with the output run.
+
+use ooc_array::Section;
+
+use ooc_core::hir::ElwExpr;
+
+/// One term of a linear combination: `coef * array[idx + offsets]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTerm {
+    /// Scalar coefficient.
+    pub coef: f32,
+    /// Index of the referenced array among the plan's rhs arrays.
+    pub ai: usize,
+    /// Per-dimension shift.
+    pub offsets: Vec<isize>,
+}
+
+/// `bias + Σ coef_k · ref_k` — the linear-combination normal form.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinearKernel {
+    /// Additive constant.
+    pub bias: f32,
+    /// The linear terms.
+    pub terms: Vec<LinearTerm>,
+}
+
+/// Try to put an expression into linear normal form. Returns `None` for
+/// genuinely nonlinear expressions (products of references, division by a
+/// reference).
+pub fn linearize(e: &ElwExpr, array_index: &dyn Fn(&str) -> usize) -> Option<LinearKernel> {
+    match e {
+        ElwExpr::Const(v) => Some(LinearKernel {
+            bias: *v,
+            terms: vec![],
+        }),
+        ElwExpr::Ref { array, offsets } => Some(LinearKernel {
+            bias: 0.0,
+            terms: vec![LinearTerm {
+                coef: 1.0,
+                ai: array_index(array),
+                offsets: offsets.clone(),
+            }],
+        }),
+        ElwExpr::Neg(i) => linearize(i, array_index).map(|k| scale(k, -1.0)),
+        ElwExpr::Add(l, r) => {
+            let (l, r) = (linearize(l, array_index)?, linearize(r, array_index)?);
+            Some(add(l, r))
+        }
+        ElwExpr::Sub(l, r) => {
+            let (l, r) = (linearize(l, array_index)?, linearize(r, array_index)?);
+            Some(add(l, scale(r, -1.0)))
+        }
+        ElwExpr::Mul(l, r) => {
+            let (lk, rk) = (linearize(l, array_index)?, linearize(r, array_index)?);
+            // One side must be a pure constant.
+            if lk.terms.is_empty() {
+                Some(scale(rk, lk.bias))
+            } else if rk.terms.is_empty() {
+                Some(scale(lk, rk.bias))
+            } else {
+                None
+            }
+        }
+        ElwExpr::Div(l, r) => {
+            let (lk, rk) = (linearize(l, array_index)?, linearize(r, array_index)?);
+            if rk.terms.is_empty() && rk.bias != 0.0 {
+                Some(scale(lk, 1.0 / rk.bias))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn scale(mut k: LinearKernel, s: f32) -> LinearKernel {
+    k.bias *= s;
+    for t in &mut k.terms {
+        t.coef *= s;
+    }
+    k
+}
+
+fn add(mut l: LinearKernel, r: LinearKernel) -> LinearKernel {
+    l.bias += r.bias;
+    for t in r.terms {
+        // Merge identical references.
+        match l
+            .terms
+            .iter_mut()
+            .find(|x| x.ai == t.ai && x.offsets == t.offsets)
+        {
+            Some(x) => x.coef += t.coef,
+            None => l.terms.push(t),
+        }
+    }
+    l
+}
+
+/// Evaluate a linear kernel over `out_sec`, writing into `out` (section-CM
+/// order), reading each term from its input `(section, buffer)` pair. Every
+/// shifted access must land inside its input section (the caller guarantees
+/// this by only taking the fast path when no ghost strips are needed).
+pub fn run_linear(
+    kernel: &LinearKernel,
+    out_sec: &Section,
+    inputs: &[(Section, Vec<f32>)],
+    out: &mut [f32],
+) {
+    out.fill(kernel.bias);
+    let ndims = out_sec.ndims();
+    let out_shape = out_sec.shape();
+    let out_strides = out_shape.strides();
+
+    for term in &kernel.terms {
+        let (in_sec, data) = &inputs[term.ai];
+        let in_shape = in_sec.shape();
+        let in_strides = in_shape.strides();
+
+        // Base source position of the output origin, and per-dim strides.
+        let mut base = 0isize;
+        for d in 0..ndims {
+            let src0 = out_sec.range(d).lo as isize + term.offsets[d] - in_sec.range(d).lo as isize;
+            debug_assert!(
+                src0 >= 0 && (src0 as usize) < in_sec.range(d).len().max(1),
+                "term offset leaves the input section (dim {d})"
+            );
+            base += src0 * in_strides[d] as isize;
+        }
+
+        // Iterate outer dims (1..ndims) with an odometer; inner dim 0 is a
+        // contiguous run in both buffers.
+        if out.is_empty() {
+            continue;
+        }
+        let run = out_shape.extent(0);
+        let mut odo = vec![0usize; ndims];
+        let mut out_pos = 0usize;
+        let mut src_pos = base as usize;
+        loop {
+            let o = &mut out[out_pos..out_pos + run];
+            let s = &data[src_pos..src_pos + run];
+            for (ov, &sv) in o.iter_mut().zip(s) {
+                *ov += term.coef * sv;
+            }
+            // Advance the outer odometer.
+            let mut d = 1;
+            loop {
+                if d >= ndims {
+                    // Done with this term.
+                    break;
+                }
+                odo[d] += 1;
+                out_pos += out_strides[d];
+                src_pos += in_strides[d];
+                if odo[d] < out_shape.extent(d) {
+                    break;
+                }
+                out_pos -= out_shape.extent(d) * out_strides[d];
+                src_pos -= out_shape.extent(d) * in_strides[d];
+                odo[d] = 0;
+                d += 1;
+            }
+            if d >= ndims {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooc_array::DimRange;
+    use ooc_core::hir::ElwExpr as E;
+
+    fn aidx(name: &str) -> usize {
+        match name {
+            "u" => 0,
+            "w" => 1,
+            other => panic!("unknown {other}"),
+        }
+    }
+
+    #[test]
+    fn jacobi_linearizes_to_four_terms() {
+        let sum = E::add(
+            E::add(E::shifted("u", vec![-1, 0]), E::shifted("u", vec![1, 0])),
+            E::add(E::shifted("u", vec![0, -1]), E::shifted("u", vec![0, 1])),
+        );
+        let expr = E::mul(E::Const(0.25), sum);
+        let k = linearize(&expr, &aidx).unwrap();
+        assert_eq!(k.bias, 0.0);
+        assert_eq!(k.terms.len(), 4);
+        assert!(k.terms.iter().all(|t| t.coef == 0.25 && t.ai == 0));
+    }
+
+    #[test]
+    fn affine_and_difference_forms() {
+        // 2u - w/4 + 1
+        let expr = E::add(
+            ElwExpr::Sub(
+                Box::new(E::mul(E::Const(2.0), E::aref("u", 2))),
+                Box::new(ElwExpr::Div(
+                    Box::new(E::aref("w", 2)),
+                    Box::new(E::Const(4.0)),
+                )),
+            ),
+            E::Const(1.0),
+        );
+        let k = linearize(&expr, &aidx).unwrap();
+        assert_eq!(k.bias, 1.0);
+        assert_eq!(k.terms.len(), 2);
+        assert_eq!(k.terms[0].coef, 2.0);
+        assert_eq!(k.terms[1].coef, -0.25);
+    }
+
+    #[test]
+    fn duplicate_references_merge() {
+        let expr = E::add(E::aref("u", 2), E::aref("u", 2));
+        let k = linearize(&expr, &aidx).unwrap();
+        assert_eq!(k.terms.len(), 1);
+        assert_eq!(k.terms[0].coef, 2.0);
+    }
+
+    #[test]
+    fn nonlinear_forms_are_refused() {
+        let uu = E::mul(E::aref("u", 2), E::aref("w", 2));
+        assert!(linearize(&uu, &aidx).is_none());
+        let div = ElwExpr::Div(Box::new(E::Const(1.0)), Box::new(E::aref("u", 2)));
+        assert!(linearize(&div, &aidx).is_none());
+    }
+
+    #[test]
+    fn run_linear_matches_hand_computation() {
+        // out over rows 1..3, cols 0..2 of a 4x3 local space; input section
+        // widened to rows 0..4 (shift ±1 along dim 0).
+        let out_sec = Section::new(vec![DimRange::new(1, 3), DimRange::new(0, 2)]);
+        let in_sec = Section::new(vec![DimRange::new(0, 4), DimRange::new(0, 2)]);
+        // Input buffer in section-CM: value = row + 10*col.
+        let data: Vec<f32> = (0..2)
+            .flat_map(|c| (0..4).map(move |r| (r + 10 * c) as f32))
+            .collect();
+        let kernel = LinearKernel {
+            bias: 100.0,
+            terms: vec![
+                LinearTerm {
+                    coef: 1.0,
+                    ai: 0,
+                    offsets: vec![-1, 0],
+                },
+                LinearTerm {
+                    coef: 2.0,
+                    ai: 0,
+                    offsets: vec![1, 0],
+                },
+            ],
+        };
+        let inputs = vec![(in_sec, data)];
+        let mut out = vec![0.0f32; out_sec.len()];
+        run_linear(&kernel, &out_sec, &inputs, &mut out);
+        // out(r, c) = 100 + (r-1 + 10c) + 2*(r+1 + 10c), r in {1,2}.
+        for c in 0..2 {
+            for (k, r) in (1..3).enumerate() {
+                let expect = 100.0 + ((r - 1 + 10 * c) as f32) + 2.0 * ((r + 1 + 10 * c) as f32);
+                assert_eq!(out[k + c * 2], expect, "r={r} c={c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! File layouts: how an out-of-core local array is linearized in its LAF.
+//!
+//! The paper's central optimization *reorganizes data storage on disk* so
+//! that the chosen slabs are contiguous: column slabs want column-major
+//! files, row slabs want row-major files (§4, Figure 11). A [`FileLayout`]
+//! is a permutation of the dimensions ordered fastest-varying first;
+//! [`FileLayout::section_runs`] converts an array section into the minimal
+//! list of contiguous element runs under that layout — the quantity the cost
+//! model counts as I/O requests.
+
+use serde::{Deserialize, Serialize};
+
+use pario::ElemRun;
+
+use crate::section::Section;
+use crate::shape::Shape;
+
+/// A dimension permutation, fastest-varying dimension first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FileLayout {
+    order: Vec<usize>,
+}
+
+impl FileLayout {
+    /// Layout from an explicit order (must be a permutation of `0..n`).
+    pub fn new(order: impl Into<Vec<usize>>) -> Self {
+        let order = order.into();
+        let mut seen = vec![false; order.len()];
+        for &d in &order {
+            assert!(d < order.len() && !seen[d], "order must be a permutation");
+            seen[d] = true;
+        }
+        FileLayout { order }
+    }
+
+    /// Fortran column-major: dimension 0 fastest.
+    pub fn column_major(ndims: usize) -> Self {
+        FileLayout::new((0..ndims).collect::<Vec<_>>())
+    }
+
+    /// Row-major: last dimension fastest.
+    pub fn row_major(ndims: usize) -> Self {
+        FileLayout::new((0..ndims).rev().collect::<Vec<_>>())
+    }
+
+    /// The layout that makes slabs along `slab_dim` contiguous: `slab_dim`
+    /// slowest, remaining dimensions in ascending order fastest-first.
+    ///
+    /// This is the "data reorganization" the compiler applies when it picks
+    /// a slab orientation: e.g. row slabs (`slab_dim = 0`) of a matrix get
+    /// layout `[1, 0]`, storing the local array row-major so each row slab
+    /// is one contiguous extent.
+    pub fn for_slab_dim(ndims: usize, slab_dim: usize) -> Self {
+        assert!(slab_dim < ndims);
+        let mut order: Vec<usize> = (0..ndims).filter(|&d| d != slab_dim).collect();
+        order.push(slab_dim);
+        FileLayout::new(order)
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Dimension order, fastest first.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The slowest-varying dimension — slabs along it are contiguous.
+    pub fn slowest_dim(&self) -> usize {
+        *self.order.last().expect("non-empty layout")
+    }
+
+    /// Strides (in elements) of each dimension under this layout for a local
+    /// array of `shape`.
+    pub fn strides(&self, shape: &Shape) -> Vec<usize> {
+        assert_eq!(shape.ndims(), self.ndims());
+        let mut strides = vec![0usize; self.ndims()];
+        let mut acc = 1usize;
+        for &d in &self.order {
+            strides[d] = acc;
+            acc *= shape.extent(d);
+        }
+        strides
+    }
+
+    /// Linear element offset of `index` in a file holding `shape` under this
+    /// layout.
+    pub fn linear(&self, shape: &Shape, index: &[usize]) -> usize {
+        let strides = self.strides(shape);
+        index
+            .iter()
+            .zip(&strides)
+            .map(|(&i, &s)| i * s)
+            .sum()
+    }
+
+    /// Decompose `section` of a local array of `shape` into contiguous
+    /// element runs under this layout, in ascending offset order.
+    ///
+    /// The number of returned runs is exactly the number of I/O requests a
+    /// strided read of the section issues (before cross-run coalescing,
+    /// which cannot apply: consecutive runs are separated by unselected
+    /// elements unless the section is degenerate, and degenerate adjacency
+    /// is handled by the disk layer's coalescer anyway).
+    pub fn section_runs(&self, shape: &Shape, section: &Section) -> Vec<ElemRun> {
+        assert_eq!(shape.ndims(), section.ndims());
+        if section.is_empty() {
+            return Vec::new();
+        }
+        let strides = self.strides(shape);
+
+        // Grow the contiguous chunk over the fastest dimensions while the
+        // section covers them fully with stride 1; a final partially-covered
+        // stride-1 dimension extends the chunk once and stops the growth.
+        let mut chunk = 1usize;
+        let mut outer_start = 0usize; // index into self.order
+        for (pos, &d) in self.order.iter().enumerate() {
+            let r = section.range(d);
+            if r.covers(shape.extent(d)) {
+                chunk *= shape.extent(d);
+                outer_start = pos + 1;
+            } else if r.step == 1 {
+                chunk *= r.len();
+                outer_start = pos + 1;
+                break;
+            } else {
+                break;
+            }
+        }
+
+        let outer_dims: Vec<usize> = self.order[outer_start..].to_vec();
+        // Enumerate the Cartesian product of the section's ranges over the
+        // outer dimensions (fastest outer dimension first => ascending
+        // offsets), with inner dimensions pinned at their range starts.
+        let base: usize = (0..shape.ndims())
+            .map(|d| section.range(d).lo * strides[d])
+            .sum();
+        if outer_dims.is_empty() {
+            return vec![ElemRun::new(base as u64, chunk as u64)];
+        }
+        let counts: Vec<usize> = outer_dims.iter().map(|&d| section.range(d).len()).collect();
+        let total_runs: usize = counts.iter().product();
+        let mut runs = Vec::with_capacity(total_runs);
+        let mut odo = vec![0usize; outer_dims.len()];
+        loop {
+            let mut off = base;
+            for (k, &d) in outer_dims.iter().enumerate() {
+                off += odo[k] * section.range(d).step * strides[d];
+            }
+            runs.push(ElemRun::new(off as u64, chunk as u64));
+            // Advance odometer.
+            let mut k = 0;
+            loop {
+                if k == outer_dims.len() {
+                    return runs;
+                }
+                odo[k] += 1;
+                if odo[k] < counts[k] {
+                    break;
+                }
+                odo[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// Number of runs [`FileLayout::section_runs`] would produce, computed
+    /// without materializing them — used by the compiler's cost estimator.
+    pub fn count_section_runs(&self, shape: &Shape, section: &Section) -> u64 {
+        assert_eq!(shape.ndims(), section.ndims());
+        if section.is_empty() {
+            return 0;
+        }
+        let mut outer_start = 0usize;
+        for (pos, &d) in self.order.iter().enumerate() {
+            let r = section.range(d);
+            if r.covers(shape.extent(d)) {
+                outer_start = pos + 1;
+            } else if r.step == 1 {
+                outer_start = pos + 1;
+                break;
+            } else {
+                break;
+            }
+        }
+        self.order[outer_start..]
+            .iter()
+            .map(|&d| section.range(d).len() as u64)
+            .product()
+    }
+
+    /// Iterate the section's multi-indices in this layout's order (fastest
+    /// layout dimension varies fastest) — the order in which
+    /// [`FileLayout::section_runs`] delivers elements.
+    pub fn section_indices_in_layout_order<'a>(
+        &'a self,
+        section: &'a Section,
+    ) -> impl Iterator<Item = Vec<usize>> + 'a {
+        let counts: Vec<usize> = self
+            .order
+            .iter()
+            .map(|&d| section.range(d).len())
+            .collect();
+        let total: usize = counts.iter().product();
+        let order = &self.order;
+        (0..total).map(move |mut k| {
+            let mut idx = vec![0usize; order.len()];
+            for (pos, &d) in order.iter().enumerate() {
+                let c = counts[pos];
+                let rel = k % c;
+                k /= c;
+                let r = section.range(d);
+                idx[d] = r.lo + rel * r.step;
+            }
+            idx
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::section::DimRange;
+    use proptest::prelude::*;
+
+    fn sec2(r0: DimRange, r1: DimRange) -> Section {
+        Section::new(vec![r0, r1])
+    }
+
+    #[test]
+    fn column_slab_is_one_run_in_cm() {
+        // Local array 8 rows x 6 cols, column-major file. Columns 2..4
+        // (full rows) are contiguous: one run of 16 elements at offset 16.
+        let shape = Shape::matrix(8, 6);
+        let layout = FileLayout::column_major(2);
+        let s = sec2(DimRange::full(8), DimRange::new(2, 4));
+        let runs = layout.section_runs(&shape, &s);
+        assert_eq!(runs, vec![ElemRun::new(16, 16)]);
+        assert_eq!(layout.count_section_runs(&shape, &s), 1);
+    }
+
+    #[test]
+    fn row_slab_in_cm_is_strided() {
+        // Rows 2..4 of all 6 columns in a column-major file: 6 runs of 2.
+        let shape = Shape::matrix(8, 6);
+        let layout = FileLayout::column_major(2);
+        let s = sec2(DimRange::new(2, 4), DimRange::full(6));
+        let runs = layout.section_runs(&shape, &s);
+        assert_eq!(runs.len(), 6);
+        assert_eq!(runs[0], ElemRun::new(2, 2));
+        assert_eq!(runs[1], ElemRun::new(10, 2));
+        assert_eq!(layout.count_section_runs(&shape, &s), 6);
+    }
+
+    #[test]
+    fn row_slab_is_one_run_in_rm() {
+        // Same row slab in a row-major file: contiguous.
+        let shape = Shape::matrix(8, 6);
+        let layout = FileLayout::row_major(2);
+        let s = sec2(DimRange::new(2, 4), DimRange::full(6));
+        let runs = layout.section_runs(&shape, &s);
+        assert_eq!(runs, vec![ElemRun::new(12, 12)]);
+    }
+
+    #[test]
+    fn for_slab_dim_makes_slabs_contiguous() {
+        let shape = Shape::matrix(8, 6);
+        for slab_dim in 0..2 {
+            let layout = FileLayout::for_slab_dim(2, slab_dim);
+            assert_eq!(layout.slowest_dim(), slab_dim);
+            let s = Section::full(&shape).with_range(slab_dim, DimRange::new(1, 3));
+            assert_eq!(layout.count_section_runs(&shape, &s), 1);
+        }
+    }
+
+    #[test]
+    fn partial_both_dims_cm() {
+        // Rows 1..3 of columns 0..2 in CM 4x4: per-column runs.
+        let shape = Shape::matrix(4, 4);
+        let layout = FileLayout::column_major(2);
+        let s = sec2(DimRange::new(1, 3), DimRange::new(0, 2));
+        let runs = layout.section_runs(&shape, &s);
+        assert_eq!(runs, vec![ElemRun::new(1, 2), ElemRun::new(5, 2)]);
+    }
+
+    #[test]
+    fn strided_fast_dim_gives_unit_runs() {
+        let shape = Shape::matrix(8, 2);
+        let layout = FileLayout::column_major(2);
+        let s = sec2(DimRange::strided(0, 8, 2), DimRange::single(0));
+        let runs = layout.section_runs(&shape, &s);
+        assert_eq!(runs.len(), 4);
+        assert!(runs.iter().all(|r| r.len == 1));
+    }
+
+    #[test]
+    fn layout_order_iteration_matches_runs() {
+        let shape = Shape::matrix(4, 3);
+        let layout = FileLayout::row_major(2);
+        let s = sec2(DimRange::new(1, 3), DimRange::new(0, 3));
+        // Walk runs element by element; they must visit the same offsets as
+        // the layout-order index iteration.
+        let runs = layout.section_runs(&shape, &s);
+        let offs_from_runs: Vec<u64> = runs
+            .iter()
+            .flat_map(|r| r.offset..r.offset + r.len)
+            .collect();
+        let offs_from_iter: Vec<u64> = layout
+            .section_indices_in_layout_order(&s)
+            .map(|i| layout.linear(&shape, &i) as u64)
+            .collect();
+        assert_eq!(offs_from_runs, offs_from_iter);
+    }
+
+    #[test]
+    fn three_d_slab_runs() {
+        let shape = Shape::new(vec![4, 4, 4]);
+        let layout = FileLayout::for_slab_dim(3, 1);
+        let s = Section::full(&shape).with_range(1, DimRange::new(2, 3));
+        assert_eq!(layout.count_section_runs(&shape, &s), 1);
+        let runs = layout.section_runs(&shape, &s);
+        assert_eq!(runs, vec![ElemRun::new(32, 16)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_permutation_rejected() {
+        FileLayout::new(vec![0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn runs_cover_section_exactly(
+            n0 in 1usize..6, n1 in 1usize..6, n2 in 1usize..4,
+            lo0 in 0usize..6, len0 in 1usize..6,
+            lo1 in 0usize..6, len1 in 1usize..6,
+            perm in 0usize..6,
+        ) {
+            let shape = Shape::new(vec![n0, n1, n2]);
+            let orders = [
+                vec![0,1,2], vec![0,2,1], vec![1,0,2],
+                vec![1,2,0], vec![2,0,1], vec![2,1,0],
+            ];
+            let layout = FileLayout::new(orders[perm].clone());
+            let s = Section::new(vec![
+                DimRange::new(lo0.min(n0.saturating_sub(1)), (lo0 + len0).min(n0)),
+                DimRange::new(lo1.min(n1.saturating_sub(1)), (lo1 + len1).min(n1)),
+                DimRange::full(n2),
+            ]);
+            let runs = layout.section_runs(&shape, &s);
+            prop_assert_eq!(runs.len() as u64, layout.count_section_runs(&shape, &s));
+            // Runs cover exactly the offsets of the section's elements.
+            let mut from_runs: Vec<u64> =
+                runs.iter().flat_map(|r| r.offset..r.offset + r.len).collect();
+            from_runs.sort_unstable();
+            let mut expected: Vec<u64> = s
+                .indices()
+                .map(|i| layout.linear(&shape, &i) as u64)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(from_runs, expected);
+            // Offsets are ascending run-to-run (runs don't overlap).
+            for w in runs.windows(2) {
+                prop_assert!(w[0].offset + w[0].len <= w[1].offset);
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Persistence of out-of-core arrays to ordinary files.
+//!
+//! §2.3 of the paper: data first arrives "from archival storage, satellite
+//! or over the network" and is then (re)distributed into local array files.
+//! This module is that boundary: each rank's local part is exported to (or
+//! imported from) one file under a shared directory, with a small
+//! self-describing header. Contents are stored in local column-major order,
+//! so files are portable across file-layout choices (a re-imported array
+//! may be stored with a different on-disk layout than it was exported
+//! from) — but *not* across distributions or processor counts, which the
+//! header checks.
+
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::ocla::{ArrayDesc, OocEnv};
+use crate::section::Section;
+use pario::{bytes_to_f32, f32_to_bytes, IoError};
+
+const MAGIC: &str = "oochpf-laf 1";
+
+/// File path for one rank's part of `desc` under `dir`.
+pub fn rank_file(dir: &Path, desc: &ArrayDesc, rank: usize) -> PathBuf {
+    dir.join(format!("{}.r{rank}.laf", desc.name))
+}
+
+fn header(desc: &ArrayDesc, rank: usize) -> String {
+    let global: Vec<String> = desc
+        .global_shape()
+        .extents()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let local: Vec<String> = desc
+        .local_shape(rank)
+        .extents()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    format!(
+        "{MAGIC}\nname={} rank={rank} nprocs={} global={} local={}\n",
+        desc.name,
+        desc.dist.nprocs(),
+        global.join("x"),
+        local.join("x"),
+    )
+}
+
+/// Export this rank's local part of `desc` to `dir` (created if missing).
+pub fn export_array(env: &mut OocEnv, desc: &ArrayDesc, dir: &Path) -> Result<(), IoError> {
+    fs::create_dir_all(dir)?;
+    let rank = env.rank();
+    let data = env.read_local_all(desc)?;
+    let mut f = fs::File::create(rank_file(dir, desc, rank))?;
+    f.write_all(header(desc, rank).as_bytes())?;
+    f.write_all(&f32_to_bytes(&data))?;
+    Ok(())
+}
+
+/// Import this rank's local part of `desc` from `dir`, overwriting the LAF.
+/// The file's header must match the descriptor's name, rank, processor
+/// count and shapes.
+pub fn import_array(env: &mut OocEnv, desc: &ArrayDesc, dir: &Path) -> Result<(), IoError> {
+    let rank = env.rank();
+    let path = rank_file(dir, desc, rank);
+    let mut f = fs::File::open(&path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+
+    let expect = header(desc, rank);
+    if bytes.len() < expect.len() || &bytes[..expect.len()] != expect.as_bytes() {
+        let got = String::from_utf8_lossy(&bytes[..bytes.len().min(expect.len())]).into_owned();
+        return Err(IoError::Backend(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} does not match this array: expected header {expect:?}, found {got:?}",
+                path.display()
+            ),
+        )));
+    }
+    let data = bytes_to_f32(&bytes[expect.len()..])?;
+    let local_shape = desc.local_shape(rank);
+    if data.len() != local_shape.len() {
+        return Err(IoError::Backend(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{}: payload holds {} elements, local part needs {}",
+                path.display(),
+                data.len(),
+                local_shape.len()
+            ),
+        )));
+    }
+    env.write_section(desc, &Section::full(&local_shape), &data, &pario::NoCharge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::layout::FileLayout;
+    use crate::ocla::ArrayId;
+    use crate::shape::Shape;
+    use pario::ElemKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_N: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ooc-persist-{}-{}",
+            std::process::id(),
+            DIR_N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn desc(layout: FileLayout) -> ArrayDesc {
+        ArrayDesc::new(
+            ArrayId(0),
+            "x",
+            ElemKind::F32,
+            Distribution::column_block(Shape::matrix(8, 6), 2),
+        )
+        .with_layout(layout)
+    }
+
+    #[test]
+    fn export_import_roundtrip_across_layouts() {
+        let dir = scratch();
+        // Export from a column-major env…
+        let d_cm = desc(FileLayout::column_major(2));
+        let mut env = OocEnv::in_memory(1);
+        env.alloc(&d_cm).unwrap();
+        env.load_global(&d_cm, &|g| (g[0] * 100 + g[1]) as f32).unwrap();
+        export_array(&mut env, &d_cm, &dir).unwrap();
+        let original = env.read_local_all(&d_cm).unwrap();
+
+        // …import into a row-major env: contents must be identical.
+        let d_rm = desc(FileLayout::row_major(2));
+        let mut env2 = OocEnv::in_memory(1);
+        env2.alloc(&d_rm).unwrap();
+        import_array(&mut env2, &d_rm, &dir).unwrap();
+        assert_eq!(env2.read_local_all(&d_rm).unwrap(), original);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected() {
+        let dir = scratch();
+        let d = desc(FileLayout::column_major(2));
+        let mut env = OocEnv::in_memory(0);
+        env.alloc(&d).unwrap();
+        export_array(&mut env, &d, &dir).unwrap();
+
+        // Same name, different global shape -> header mismatch.
+        let other = ArrayDesc::new(
+            ArrayId(0),
+            "x",
+            ElemKind::F32,
+            Distribution::column_block(Shape::matrix(8, 8), 2),
+        );
+        let mut env2 = OocEnv::in_memory(0);
+        env2.alloc(&other).unwrap();
+        let err = import_array(&mut env2, &other, &dir).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let dir = scratch();
+        let d = desc(FileLayout::column_major(2));
+        let mut env = OocEnv::in_memory(0);
+        env.alloc(&d).unwrap();
+        assert!(import_array(&mut env, &d, &dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,308 @@
+//! Regular array sections (`l:u:s` per dimension, 0-based half-open).
+//!
+//! Sections describe both the iteration spaces the compiler stripmines and
+//! the slabs the runtime fetches. They support the intersection algebra the
+//! in-core compilation phase needs to compute local bounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::Shape;
+
+/// A strided range over one dimension: indices `lo, lo+step, … < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimRange {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Exclusive upper bound.
+    pub hi: usize,
+    /// Stride (≥ 1).
+    pub step: usize,
+}
+
+impl DimRange {
+    /// `lo..hi` with stride 1.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        DimRange { lo, hi, step: 1 }
+    }
+
+    /// `lo..hi` with an explicit stride.
+    pub fn strided(lo: usize, hi: usize, step: usize) -> Self {
+        assert!(step >= 1, "stride must be positive");
+        DimRange { lo, hi, step }
+    }
+
+    /// The full extent of a dimension.
+    pub fn full(extent: usize) -> Self {
+        DimRange::new(0, extent)
+    }
+
+    /// A single index.
+    pub fn single(i: usize) -> Self {
+        DimRange::new(i, i + 1)
+    }
+
+    /// Number of indices in the range.
+    pub fn len(&self) -> usize {
+        if self.hi <= self.lo {
+            0
+        } else {
+            (self.hi - self.lo).div_ceil(self.step)
+        }
+    }
+
+    /// True when the range selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the range is `0..extent` with stride 1.
+    pub fn covers(&self, extent: usize) -> bool {
+        self.step == 1 && self.lo == 0 && self.hi >= extent
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i >= self.lo && i < self.hi && (i - self.lo).is_multiple_of(self.step)
+    }
+
+    /// Iterate the indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (self.lo..self.hi).step_by(self.step)
+    }
+
+    /// Intersection with another range. Exact for stride-1 ranges (the only
+    /// strided intersections the runtime performs are with stride-1 slabs);
+    /// general stride pairs fall back to `None` when either stride > 1 and
+    /// they differ.
+    pub fn intersect(&self, other: &DimRange) -> Option<DimRange> {
+        if self.step == 1 && other.step == 1 {
+            let lo = self.lo.max(other.lo);
+            let hi = self.hi.min(other.hi);
+            return if lo < hi {
+                Some(DimRange::new(lo, hi))
+            } else {
+                None
+            };
+        }
+        if self.step == other.step && (self.lo % self.step) == (other.lo % other.step) {
+            let lo = self.lo.max(other.lo);
+            let hi = self.hi.min(other.hi);
+            return if lo < hi {
+                Some(DimRange::strided(lo, hi, self.step))
+            } else {
+                None
+            };
+        }
+        // One strided, one dense: restrict the strided one.
+        if self.step == 1 {
+            return other.intersect(self);
+        }
+        if other.step == 1 {
+            let lo_raw = self.lo.max(other.lo);
+            // Round lo_raw up to the stride lattice of self.
+            let k = (lo_raw.saturating_sub(self.lo)).div_ceil(self.step);
+            let lo = self.lo + k * self.step;
+            let hi = self.hi.min(other.hi);
+            return if lo < hi {
+                Some(DimRange::strided(lo, hi, self.step))
+            } else {
+                None
+            };
+        }
+        None
+    }
+}
+
+/// An n-dimensional regular section: one [`DimRange`] per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Section {
+    ranges: Vec<DimRange>,
+}
+
+impl Section {
+    /// Section from per-dimension ranges.
+    pub fn new(ranges: impl Into<Vec<DimRange>>) -> Self {
+        Section {
+            ranges: ranges.into(),
+        }
+    }
+
+    /// The whole of `shape`.
+    pub fn full(shape: &Shape) -> Self {
+        Section::new(
+            shape
+                .extents()
+                .iter()
+                .map(|&e| DimRange::full(e))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Range along dimension `d`.
+    pub fn range(&self, d: usize) -> DimRange {
+        self.ranges[d]
+    }
+
+    /// All ranges.
+    pub fn ranges(&self) -> &[DimRange] {
+        &self.ranges
+    }
+
+    /// Replace the range along dimension `d` (builder style).
+    pub fn with_range(mut self, d: usize, r: DimRange) -> Self {
+        self.ranges[d] = r;
+        self
+    }
+
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        self.ranges.iter().map(|r| r.len()).product()
+    }
+
+    /// True when the section selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.iter().any(|r| r.is_empty())
+    }
+
+    /// The extents of the section viewed as a dense array of its own.
+    pub fn shape(&self) -> Shape {
+        Shape::new(self.ranges.iter().map(|r| r.len()).collect::<Vec<_>>())
+    }
+
+    /// Element-wise intersection; `None` if empty or not representable.
+    pub fn intersect(&self, other: &Section) -> Option<Section> {
+        assert_eq!(self.ndims(), other.ndims(), "rank mismatch");
+        let mut ranges = Vec::with_capacity(self.ndims());
+        for (a, b) in self.ranges.iter().zip(other.ranges.iter()) {
+            ranges.push(a.intersect(b)?);
+        }
+        Some(Section::new(ranges))
+    }
+
+    /// Membership test for a multi-index.
+    pub fn contains(&self, index: &[usize]) -> bool {
+        index.len() == self.ndims()
+            && self
+                .ranges
+                .iter()
+                .zip(index)
+                .all(|(r, &i)| r.contains(i))
+    }
+
+    /// Iterate the selected multi-indices in column-major order (dimension 0
+    /// fastest).
+    pub fn indices(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let sec_shape = self.shape();
+        sec_shape.indices().map(move |rel| {
+            rel.iter()
+                .enumerate()
+                .map(|(d, &k)| self.ranges[d].lo + k * self.ranges[d].step)
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn range_len_and_contains() {
+        let r = DimRange::strided(2, 11, 3); // 2, 5, 8
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(5));
+        assert!(!r.contains(6));
+        assert!(!r.contains(11));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn dense_intersection() {
+        let a = DimRange::new(0, 10);
+        let b = DimRange::new(5, 20);
+        assert_eq!(a.intersect(&b), Some(DimRange::new(5, 10)));
+        assert_eq!(b.intersect(&a), Some(DimRange::new(5, 10)));
+        assert_eq!(a.intersect(&DimRange::new(10, 12)), None);
+    }
+
+    #[test]
+    fn strided_vs_dense_intersection() {
+        let s = DimRange::strided(1, 20, 4); // 1,5,9,13,17
+        let d = DimRange::new(6, 18);
+        let got = s.intersect(&d).unwrap();
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![9, 13, 17]);
+        let got2 = d.intersect(&s).unwrap();
+        assert_eq!(got2.iter().collect::<Vec<_>>(), vec![9, 13, 17]);
+    }
+
+    #[test]
+    fn section_basics() {
+        let s = Section::new(vec![DimRange::new(1, 3), DimRange::new(0, 4)]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.shape().extents(), &[2, 4]);
+        assert!(s.contains(&[2, 3]));
+        assert!(!s.contains(&[3, 3]));
+    }
+
+    #[test]
+    fn section_indices_cm_order() {
+        let s = Section::new(vec![DimRange::new(1, 3), DimRange::new(5, 7)]);
+        let idx: Vec<_> = s.indices().collect();
+        assert_eq!(
+            idx,
+            vec![vec![1, 5], vec![2, 5], vec![1, 6], vec![2, 6]]
+        );
+    }
+
+    #[test]
+    fn full_section_covers_shape() {
+        let shape = Shape::matrix(3, 5);
+        let s = Section::full(&shape);
+        assert_eq!(s.len(), 15);
+        assert!(s.range(0).covers(3));
+        assert!(s.range(1).covers(5));
+    }
+
+    #[test]
+    fn empty_intersection_is_none() {
+        let a = Section::new(vec![DimRange::new(0, 2), DimRange::new(0, 2)]);
+        let b = Section::new(vec![DimRange::new(2, 4), DimRange::new(0, 2)]);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_matches_pointwise(
+            alo in 0usize..15, alen in 0usize..15, astep in 1usize..4,
+            blo in 0usize..15, blen in 0usize..15,
+        ) {
+            let a = DimRange::strided(alo, alo + alen, astep);
+            let b = DimRange::new(blo, blo + blen);
+            let got: Vec<usize> = match a.intersect(&b) {
+                Some(r) => r.iter().collect(),
+                None => vec![],
+            };
+            let expect: Vec<usize> =
+                (0..40).filter(|&i| a.contains(i) && b.contains(i)).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn section_len_equals_index_count(
+            l0 in 0usize..4, n0 in 0usize..4, l1 in 0usize..4, n1 in 0usize..4
+        ) {
+            let s = Section::new(vec![
+                DimRange::new(l0, l0 + n0),
+                DimRange::new(l1, l1 + n1),
+            ]);
+            prop_assert_eq!(s.indices().count(), s.len());
+            prop_assert_eq!(s.is_empty(), s.is_empty());
+        }
+    }
+}

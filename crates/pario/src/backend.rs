@@ -1,0 +1,275 @@
+//! Storage backends for logical disks.
+//!
+//! [`MemBackend`] keeps file contents in memory — fast and hermetic, the
+//! default for tests and benchmark sweeps. [`DiskBackend`] stores each file
+//! as a real file under a private scratch directory, demonstrating the
+//! system against an actual filesystem; the scratch directory is removed on
+//! drop.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{IoError, Result};
+
+/// Abstract byte store addressed by `(file id, byte offset)`.
+///
+/// Files are created with a fixed size and are dense (zero-filled). This
+/// mirrors a local array file, whose size is known from the out-of-core
+/// local array's shape at allocation time.
+pub trait StorageBackend: Send {
+    /// Create file `id` with `len` zero bytes. `id` must be fresh.
+    fn create(&mut self, id: u64, len: u64) -> Result<()>;
+    /// Length of file `id` in bytes.
+    fn len(&self, id: u64) -> Result<u64>;
+    /// Read `buf.len()` bytes starting at `offset`.
+    fn read_at(&mut self, id: u64, offset: u64, buf: &mut [u8]) -> Result<()>;
+    /// Write `data` starting at `offset`.
+    fn write_at(&mut self, id: u64, offset: u64, data: &[u8]) -> Result<()>;
+    /// Remove file `id`, releasing its storage.
+    fn remove(&mut self, id: u64) -> Result<()>;
+}
+
+fn check_bounds(id: u64, offset: u64, len: usize, file_len: u64) -> Result<()> {
+    let needed = offset + len as u64;
+    if needed > file_len {
+        Err(IoError::OutOfBounds {
+            file: id,
+            needed,
+            len: file_len,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// In-memory backend: each file is a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    files: HashMap<u64, Vec<u8>>,
+}
+
+impl MemBackend {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn create(&mut self, id: u64, len: u64) -> Result<()> {
+        assert!(
+            !self.files.contains_key(&id),
+            "file id {id} created twice on one disk"
+        );
+        self.files.insert(id, vec![0u8; len as usize]);
+        Ok(())
+    }
+
+    fn len(&self, id: u64) -> Result<u64> {
+        self.files
+            .get(&id)
+            .map(|f| f.len() as u64)
+            .ok_or(IoError::NoSuchFile { file: id })
+    }
+
+    fn read_at(&mut self, id: u64, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let file = self.files.get(&id).ok_or(IoError::NoSuchFile { file: id })?;
+        check_bounds(id, offset, buf.len(), file.len() as u64)?;
+        let start = offset as usize;
+        buf.copy_from_slice(&file[start..start + buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, id: u64, offset: u64, data: &[u8]) -> Result<()> {
+        let file = self
+            .files
+            .get_mut(&id)
+            .ok_or(IoError::NoSuchFile { file: id })?;
+        check_bounds(id, offset, data.len(), file.len() as u64)?;
+        let start = offset as usize;
+        file[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> Result<()> {
+        self.files
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(IoError::NoSuchFile { file: id })
+    }
+}
+
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// On-disk backend: one real file per file id under a private scratch
+/// directory in the system temp dir. The directory is deleted when the
+/// backend is dropped.
+#[derive(Debug)]
+pub struct DiskBackend {
+    dir: PathBuf,
+    files: HashMap<u64, (fs::File, u64)>,
+}
+
+impl DiskBackend {
+    /// Create a fresh scratch directory named after the process, a global
+    /// counter and a label (e.g. the processor rank).
+    pub fn new(label: &str) -> Result<Self> {
+        let n = SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "pario-{}-{}-{}",
+            std::process::id(),
+            n,
+            label
+        ));
+        fs::create_dir_all(&dir)?;
+        Ok(DiskBackend {
+            dir,
+            files: HashMap::new(),
+        })
+    }
+
+    fn path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("laf-{id}.bin"))
+    }
+}
+
+impl Drop for DiskBackend {
+    fn drop(&mut self) {
+        self.files.clear(); // close handles before unlinking
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn create(&mut self, id: u64, len: u64) -> Result<()> {
+        assert!(
+            !self.files.contains_key(&id),
+            "file id {id} created twice on one disk"
+        );
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(self.path(id))?;
+        file.set_len(len)?;
+        self.files.insert(id, (file, len));
+        Ok(())
+    }
+
+    fn len(&self, id: u64) -> Result<u64> {
+        self.files
+            .get(&id)
+            .map(|(_, len)| *len)
+            .ok_or(IoError::NoSuchFile { file: id })
+    }
+
+    fn read_at(&mut self, id: u64, offset: u64, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let (file, len) = self.files.get(&id).ok_or(IoError::NoSuchFile { file: id })?;
+        check_bounds(id, offset, buf.len(), *len)?;
+        file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+
+    fn write_at(&mut self, id: u64, offset: u64, data: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let (file, len) = self.files.get(&id).ok_or(IoError::NoSuchFile { file: id })?;
+        check_bounds(id, offset, data.len(), *len)?;
+        file.write_all_at(data, offset)?;
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> Result<()> {
+        self.files
+            .remove(&id)
+            .ok_or(IoError::NoSuchFile { file: id })?;
+        fs::remove_file(self.path(id))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &mut dyn StorageBackend) {
+        backend.create(1, 16).unwrap();
+        assert_eq!(backend.len(1).unwrap(), 16);
+
+        // Fresh files read as zeros.
+        let mut buf = [0xFFu8; 4];
+        backend.read_at(1, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0]);
+
+        backend.write_at(1, 4, &[1, 2, 3, 4]).unwrap();
+        backend.read_at(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 1, 2]);
+
+        // Bounds are enforced.
+        assert!(matches!(
+            backend.read_at(1, 14, &mut buf),
+            Err(IoError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            backend.write_at(1, 13, &[0; 4]),
+            Err(IoError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            backend.len(42),
+            Err(IoError::NoSuchFile { file: 42 })
+        ));
+
+        backend.remove(1).unwrap();
+        assert!(matches!(backend.len(1), Err(IoError::NoSuchFile { .. })));
+    }
+
+    #[test]
+    fn mem_backend_semantics() {
+        exercise(&mut MemBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_semantics() {
+        exercise(&mut DiskBackend::new("test").unwrap());
+    }
+
+    #[test]
+    fn disk_backend_cleans_up_scratch_dir() {
+        let dir;
+        {
+            let mut b = DiskBackend::new("cleanup").unwrap();
+            b.create(7, 128).unwrap();
+            dir = b.dir.clone();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "scratch dir should be removed on drop");
+    }
+
+    #[test]
+    fn backends_agree_on_random_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut mem = MemBackend::new();
+        let mut disk = DiskBackend::new("fuzz").unwrap();
+        let len = 1024u64;
+        mem.create(0, len).unwrap();
+        disk.create(0, len).unwrap();
+        for _ in 0..200 {
+            let off = rng.gen_range(0..len - 32);
+            let n = rng.gen_range(1..32usize);
+            if rng.gen_bool(0.5) {
+                let data: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+                mem.write_at(0, off, &data).unwrap();
+                disk.write_at(0, off, &data).unwrap();
+            } else {
+                let mut a = vec![0u8; n];
+                let mut b = vec![0u8; n];
+                mem.read_at(0, off, &mut a).unwrap();
+                disk.read_at(0, off, &mut b).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Logical disks.
+//!
+//! Each simulated processor owns one [`LogicalDisk`] — the paper's
+//! abstraction of "another level of memory which is much slower than the
+//! main memory" (§2.3). The mapping from logical to physical disks is
+//! declared system-dependent by the paper; here the *timing* effect of
+//! sharing physical disks is carried by the cost model's
+//! `shared_disks`/aggregate-bandwidth parameters, while each logical disk
+//! stores its own bytes.
+
+use crate::backend::{MemBackend, StorageBackend};
+use crate::error::Result;
+use crate::request::{coalesce_runs, total_bytes, ByteRun};
+use crate::stats::DiskStats;
+use crate::IoCharge;
+
+/// Identifier of a file on a particular logical disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// A processor-private disk holding local array files.
+pub struct LogicalDisk {
+    backend: Box<dyn StorageBackend>,
+    next_id: u64,
+    stats: DiskStats,
+}
+
+impl std::fmt::Debug for LogicalDisk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogicalDisk")
+            .field("next_id", &self.next_id)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LogicalDisk {
+    /// A disk backed by memory.
+    pub fn in_memory() -> Self {
+        Self::with_backend(Box::new(MemBackend::new()))
+    }
+
+    /// A disk backed by real files in a scratch directory; `label`
+    /// distinguishes directories (typically the processor rank).
+    pub fn on_disk(label: &str) -> Result<Self> {
+        Ok(Self::with_backend(Box::new(
+            crate::backend::DiskBackend::new(label)?,
+        )))
+    }
+
+    /// A disk over an explicit backend.
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Self {
+        LogicalDisk {
+            backend,
+            next_id: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Allocate a new zero-filled file of `len` bytes.
+    pub fn create_file(&mut self, len: u64) -> Result<FileId> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.backend.create(id, len)?;
+        Ok(FileId(id))
+    }
+
+    /// Length of `file` in bytes.
+    pub fn file_len(&self, file: FileId) -> Result<u64> {
+        self.backend.len(file.0)
+    }
+
+    /// Delete `file`.
+    pub fn remove_file(&mut self, file: FileId) -> Result<()> {
+        self.backend.remove(file.0)
+    }
+
+    /// Cumulative I/O counters for this disk.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Read the byte `runs` of `file` into `out` (appended in run order,
+    /// after coalescing). Charges one request per coalesced run.
+    ///
+    /// Returns the number of requests issued.
+    pub fn read_runs(
+        &mut self,
+        file: FileId,
+        runs: &[ByteRun],
+        out: &mut Vec<u8>,
+        charge: &dyn IoCharge,
+    ) -> Result<u64> {
+        self.read_runs_with(file, runs, out, charge, crate::sieve::SievePolicy::Direct)
+    }
+
+    /// Like [`LogicalDisk::read_runs`] but the access may be serviced by
+    /// data sieving according to `policy`: one spanning request whose
+    /// unwanted bytes are discarded in memory. The charged request/byte
+    /// counts reflect what actually moved.
+    pub fn read_runs_with(
+        &mut self,
+        file: FileId,
+        runs: &[ByteRun],
+        out: &mut Vec<u8>,
+        charge: &dyn IoCharge,
+        policy: crate::sieve::SievePolicy,
+    ) -> Result<u64> {
+        use crate::sieve::{plan_access, sieve_extract, AccessPlan};
+        match plan_access(runs, policy) {
+            AccessPlan::Direct(coalesced) => {
+                let bytes = total_bytes(&coalesced);
+                let start = out.len();
+                out.resize(start + bytes as usize, 0);
+                let mut cursor = start;
+                for run in &coalesced {
+                    let buf = &mut out[cursor..cursor + run.len as usize];
+                    self.backend.read_at(file.0, run.offset, buf)?;
+                    cursor += run.len as usize;
+                }
+                let requests = coalesced.len() as u64;
+                self.stats.add_read(requests, bytes);
+                charge.io_read(requests, bytes);
+                Ok(requests)
+            }
+            AccessPlan::Sieved { span, useful } => {
+                let mut span_buf = vec![0u8; span.len as usize];
+                self.backend.read_at(file.0, span.offset, &mut span_buf)?;
+                out.extend(sieve_extract(&span, &useful, &span_buf));
+                self.stats.add_read(1, span.len);
+                charge.io_read(1, span.len);
+                Ok(1)
+            }
+        }
+    }
+
+    /// Like [`LogicalDisk::write_runs`] but a strided write may be serviced
+    /// by sieving: read the spanning extent, scatter the new values into
+    /// it, and write the span back (one read + one write request instead of
+    /// one write per run).
+    pub fn write_runs_with(
+        &mut self,
+        file: FileId,
+        runs: &[ByteRun],
+        data: &[u8],
+        charge: &dyn IoCharge,
+        policy: crate::sieve::SievePolicy,
+    ) -> Result<u64> {
+        use crate::sieve::{plan_access, sieve_scatter, AccessPlan};
+        match plan_access(runs, policy) {
+            AccessPlan::Direct(_) => self.write_runs(file, runs, data, charge),
+            AccessPlan::Sieved { span, useful } => {
+                // The useful runs are coalesced+sorted; reorder `data` from
+                // the caller's run order into sorted order first.
+                let sorted = sort_write_data(runs, data);
+                let mut span_buf = vec![0u8; span.len as usize];
+                self.backend.read_at(file.0, span.offset, &mut span_buf)?;
+                let updated = sieve_scatter(&span, &useful, span_buf, &sorted);
+                self.backend.write_at(file.0, span.offset, &updated)?;
+                self.stats.add_read(1, span.len);
+                self.stats.add_write(1, span.len);
+                charge.io_read(1, span.len);
+                charge.io_write(1, span.len);
+                Ok(2)
+            }
+        }
+    }
+
+    /// Write `data` to the byte `runs` of `file` (consumed in run order,
+    /// after coalescing; total run length must equal `data.len()`).
+    /// Charges one request per coalesced run.
+    ///
+    /// Write runs must be disjoint — merging overlapping writes would change
+    /// the stored bytes.
+    pub fn write_runs(
+        &mut self,
+        file: FileId,
+        runs: &[ByteRun],
+        data: &[u8],
+        charge: &dyn IoCharge,
+    ) -> Result<u64> {
+        let coalesced = coalesce_runs(runs);
+        let bytes = total_bytes(&coalesced);
+        debug_assert_eq!(
+            bytes,
+            total_bytes(runs),
+            "overlapping write runs are not allowed"
+        );
+        assert_eq!(
+            bytes as usize,
+            data.len(),
+            "write data length {} does not match run total {}",
+            data.len(),
+            bytes
+        );
+        // The coalesced runs are sorted by offset, but `data` is laid out in
+        // the *original* run order; build the mapping original -> data.
+        let mut sorted_idx: Vec<usize> = (0..runs.len()).filter(|&i| runs[i].len > 0).collect();
+        sorted_idx.sort_by_key(|&i| runs[i].offset);
+        let mut data_offsets = vec![0usize; runs.len()];
+        let mut acc = 0usize;
+        for (i, run) in runs.iter().enumerate() {
+            data_offsets[i] = acc;
+            acc += run.len as usize;
+        }
+        for &i in &sorted_idx {
+            let run = runs[i];
+            let src = &data[data_offsets[i]..data_offsets[i] + run.len as usize];
+            self.backend.write_at(file.0, run.offset, src)?;
+        }
+        let requests = coalesced.len() as u64;
+        self.stats.add_write(requests, bytes);
+        charge.io_write(requests, bytes);
+        Ok(requests)
+    }
+
+    /// Convenience: read one contiguous extent.
+    pub fn read_extent(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        charge: &dyn IoCharge,
+    ) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.read_runs(file, &[ByteRun::new(offset, len)], &mut out, charge)?;
+        Ok(out)
+    }
+
+    /// Convenience: write one contiguous extent.
+    pub fn write_extent(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        data: &[u8],
+        charge: &dyn IoCharge,
+    ) -> Result<()> {
+        self.write_runs(
+            file,
+            &[ByteRun::new(offset, data.len() as u64)],
+            data,
+            charge,
+        )?;
+        Ok(())
+    }
+}
+
+/// Reorder write payload bytes from the caller's run order into
+/// offset-sorted run order (what the coalesced/sieved paths consume).
+fn sort_write_data(runs: &[ByteRun], data: &[u8]) -> Vec<u8> {
+    let mut data_offsets = Vec::with_capacity(runs.len());
+    let mut acc = 0usize;
+    for run in runs {
+        data_offsets.push(acc);
+        acc += run.len as usize;
+    }
+    debug_assert_eq!(acc, data.len());
+    let mut idx: Vec<usize> = (0..runs.len()).filter(|&i| runs[i].len > 0).collect();
+    idx.sort_by_key(|&i| runs[i].offset);
+    let mut out = Vec::with_capacity(data.len());
+    for i in idx {
+        let s = data_offsets[i];
+        out.extend_from_slice(&data[s..s + runs[i].len as usize]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoCharge;
+
+    #[test]
+    fn create_read_write_roundtrip() {
+        let mut d = LogicalDisk::in_memory();
+        let f = d.create_file(64).unwrap();
+        d.write_extent(f, 8, &[1, 2, 3, 4], &NoCharge).unwrap();
+        let got = d.read_extent(f, 6, 8, &NoCharge).unwrap();
+        assert_eq!(got, vec![0, 0, 1, 2, 3, 4, 0, 0]);
+        assert_eq!(d.file_len(f).unwrap(), 64);
+    }
+
+    #[test]
+    fn request_counting_respects_coalescing() {
+        let mut d = LogicalDisk::in_memory();
+        let f = d.create_file(100).unwrap();
+        let runs = [ByteRun::new(0, 10), ByteRun::new(10, 10), ByteRun::new(50, 10)];
+        let mut out = Vec::new();
+        let reqs = d.read_runs(f, &runs, &mut out, &NoCharge).unwrap();
+        assert_eq!(reqs, 2, "adjacent runs coalesce into one request");
+        assert_eq!(out.len(), 30);
+        assert_eq!(d.stats().read_requests, 2);
+        assert_eq!(d.stats().bytes_read, 30);
+    }
+
+    #[test]
+    fn strided_write_lands_in_right_places() {
+        let mut d = LogicalDisk::in_memory();
+        let f = d.create_file(16).unwrap();
+        // Write [1,2] at offset 12 and [3,4] at offset 2, in that run order.
+        let runs = [ByteRun::new(12, 2), ByteRun::new(2, 2)];
+        d.write_runs(f, &runs, &[1, 2, 3, 4], &NoCharge).unwrap();
+        let all = d.read_extent(f, 0, 16, &NoCharge).unwrap();
+        assert_eq!(all[12..14], [1, 2]);
+        assert_eq!(all[2..4], [3, 4]);
+        assert_eq!(d.stats().write_requests, 2);
+    }
+
+    #[test]
+    fn file_ids_are_unique() {
+        let mut d = LogicalDisk::in_memory();
+        let a = d.create_file(8).unwrap();
+        let b = d.create_file(8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_file_frees_id_space_use() {
+        let mut d = LogicalDisk::in_memory();
+        let a = d.create_file(8).unwrap();
+        d.remove_file(a).unwrap();
+        assert!(d.file_len(a).is_err());
+    }
+
+    #[test]
+    fn charges_flow_to_sink() {
+        use std::cell::Cell;
+        #[derive(Default)]
+        struct Counting {
+            reads: Cell<(u64, u64)>,
+            writes: Cell<(u64, u64)>,
+        }
+        impl IoCharge for Counting {
+            fn io_read(&self, r: u64, b: u64) {
+                let (cr, cb) = self.reads.get();
+                self.reads.set((cr + r, cb + b));
+            }
+            fn io_write(&self, r: u64, b: u64) {
+                let (cr, cb) = self.writes.get();
+                self.writes.set((cr + r, cb + b));
+            }
+        }
+        let sink = Counting::default();
+        let mut d = LogicalDisk::in_memory();
+        let f = d.create_file(100).unwrap();
+        d.write_extent(f, 0, &[9; 10], &sink).unwrap();
+        let _ = d.read_extent(f, 0, 20, &sink).unwrap();
+        assert_eq!(sink.writes.get(), (1, 10));
+        assert_eq!(sink.reads.get(), (1, 20));
+    }
+}

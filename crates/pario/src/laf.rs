@@ -1,0 +1,271 @@
+//! Local Array Files.
+//!
+//! A LAF (§2.3) is the disk-resident image of one processor's out-of-core
+//! local array. This module adds element typing on top of the byte-level
+//! [`LogicalDisk`]: element runs are expressed in element units and
+//! converted to byte runs; payloads move as `f32`/`f64` vectors, which is
+//! what the compute kernels and message payloads use.
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::{FileId, LogicalDisk};
+use crate::error::{IoError, Result};
+use crate::request::ByteRun;
+use crate::IoCharge;
+
+/// Element type stored in a local array file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElemKind {
+    /// 32-bit IEEE float — HPF `real`, the paper's element type.
+    F32,
+    /// 64-bit IEEE float — HPF `double precision`.
+    F64,
+}
+
+impl ElemKind {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            ElemKind::F32 => 4,
+            ElemKind::F64 => 8,
+        }
+    }
+}
+
+/// An element run: `len` consecutive elements starting at element `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElemRun {
+    /// First element index.
+    pub offset: u64,
+    /// Number of elements.
+    pub len: u64,
+}
+
+impl ElemRun {
+    /// Construct a run in element units.
+    pub fn new(offset: u64, len: u64) -> Self {
+        ElemRun { offset, len }
+    }
+
+    fn to_bytes(self, elem: ElemKind) -> ByteRun {
+        let s = elem.size() as u64;
+        ByteRun::new(self.offset * s, self.len * s)
+    }
+}
+
+/// Typed handle to one local array file on a processor's logical disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalArrayFile {
+    file: FileId,
+    elem: ElemKind,
+    len_elems: u64,
+}
+
+impl LocalArrayFile {
+    /// Allocate a LAF of `len_elems` elements on `disk`.
+    pub fn create(disk: &mut LogicalDisk, elem: ElemKind, len_elems: u64) -> Result<Self> {
+        let file = disk.create_file(len_elems * elem.size() as u64)?;
+        Ok(LocalArrayFile {
+            file,
+            elem,
+            len_elems,
+        })
+    }
+
+    /// Number of elements in the file.
+    pub fn len(&self) -> u64 {
+        self.len_elems
+    }
+
+    /// True when the file holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len_elems == 0
+    }
+
+    /// Element kind.
+    pub fn elem(&self) -> ElemKind {
+        self.elem
+    }
+
+    /// Underlying file id.
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    fn byte_runs(&self, runs: &[ElemRun]) -> Vec<ByteRun> {
+        runs.iter().map(|r| r.to_bytes(self.elem)).collect()
+    }
+
+    /// Read element `runs` as `f32` values (file must be `F32`).
+    pub fn read_f32(
+        &self,
+        disk: &mut LogicalDisk,
+        runs: &[ElemRun],
+        charge: &dyn IoCharge,
+    ) -> Result<Vec<f32>> {
+        self.read_f32_with(disk, runs, charge, crate::sieve::SievePolicy::Direct)
+    }
+
+    /// Read element `runs` as `f32` values under a sieving policy.
+    pub fn read_f32_with(
+        &self,
+        disk: &mut LogicalDisk,
+        runs: &[ElemRun],
+        charge: &dyn IoCharge,
+        policy: crate::sieve::SievePolicy,
+    ) -> Result<Vec<f32>> {
+        assert_eq!(self.elem, ElemKind::F32, "read_f32 on non-f32 file");
+        let mut bytes = Vec::new();
+        disk.read_runs_with(self.file, &self.byte_runs(runs), &mut bytes, charge, policy)?;
+        bytes_to_f32(&bytes)
+    }
+
+    /// Write `data` to element `runs` (file must be `F32`; total run length
+    /// must equal `data.len()`).
+    pub fn write_f32(
+        &self,
+        disk: &mut LogicalDisk,
+        runs: &[ElemRun],
+        data: &[f32],
+        charge: &dyn IoCharge,
+    ) -> Result<()> {
+        self.write_f32_with(disk, runs, data, charge, crate::sieve::SievePolicy::Direct)
+    }
+
+    /// Write `data` to element `runs` under a sieving policy (strided
+    /// writes may become a read-modify-write of the spanning extent).
+    pub fn write_f32_with(
+        &self,
+        disk: &mut LogicalDisk,
+        runs: &[ElemRun],
+        data: &[f32],
+        charge: &dyn IoCharge,
+        policy: crate::sieve::SievePolicy,
+    ) -> Result<()> {
+        assert_eq!(self.elem, ElemKind::F32, "write_f32 on non-f32 file");
+        let bytes = f32_to_bytes(data);
+        disk.write_runs_with(self.file, &self.byte_runs(runs), &bytes, charge, policy)?;
+        Ok(())
+    }
+
+    /// Read the whole file as `f32` in storage order.
+    pub fn read_all_f32(&self, disk: &mut LogicalDisk, charge: &dyn IoCharge) -> Result<Vec<f32>> {
+        self.read_f32(disk, &[ElemRun::new(0, self.len_elems)], charge)
+    }
+
+    /// Overwrite the whole file from `data` in storage order.
+    pub fn write_all_f32(
+        &self,
+        disk: &mut LogicalDisk,
+        data: &[f32],
+        charge: &dyn IoCharge,
+    ) -> Result<()> {
+        assert_eq!(data.len() as u64, self.len_elems, "full write wrong length");
+        self.write_f32(disk, &[ElemRun::new(0, self.len_elems)], data, charge)
+    }
+}
+
+/// Reinterpret little-endian bytes as `f32`s.
+pub fn bytes_to_f32(bytes: &[u8]) -> Result<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(IoError::BadElementSize {
+            bytes: bytes.len(),
+            elem: 4,
+        });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Serialize `f32`s as little-endian bytes.
+pub fn f32_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoCharge;
+
+    #[test]
+    fn f32_roundtrip_through_file() {
+        let mut disk = LogicalDisk::in_memory();
+        let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, 8).unwrap();
+        let data = [1.0f32, -2.5, 3.25, f32::MIN_POSITIVE];
+        laf.write_f32(&mut disk, &[ElemRun::new(2, 4)], &data, &NoCharge)
+            .unwrap();
+        let got = laf
+            .read_f32(&mut disk, &[ElemRun::new(2, 4)], &NoCharge)
+            .unwrap();
+        assert_eq!(got, data);
+        // Untouched elements are zero.
+        let all = laf.read_all_f32(&mut disk, &NoCharge).unwrap();
+        assert_eq!(all[0], 0.0);
+        assert_eq!(all[7], 0.0);
+    }
+
+    #[test]
+    fn strided_element_runs_map_to_byte_runs() {
+        let mut disk = LogicalDisk::in_memory();
+        let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, 16).unwrap();
+        laf.write_all_f32(&mut disk, &(0..16).map(|i| i as f32).collect::<Vec<_>>(), &NoCharge)
+            .unwrap();
+        // Read elements 0..2 and 8..10 — two separate requests.
+        let before = disk.stats().read_requests;
+        let got = laf
+            .read_f32(
+                &mut disk,
+                &[ElemRun::new(0, 2), ElemRun::new(8, 2)],
+                &NoCharge,
+            )
+            .unwrap();
+        assert_eq!(got, vec![0.0, 1.0, 8.0, 9.0]);
+        assert_eq!(disk.stats().read_requests - before, 2);
+    }
+
+    #[test]
+    fn adjacent_element_runs_become_one_request() {
+        let mut disk = LogicalDisk::in_memory();
+        let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, 16).unwrap();
+        let before = disk.stats().read_requests;
+        let _ = laf
+            .read_f32(
+                &mut disk,
+                &[ElemRun::new(0, 4), ElemRun::new(4, 4)],
+                &NoCharge,
+            )
+            .unwrap();
+        assert_eq!(disk.stats().read_requests - before, 1);
+    }
+
+    #[test]
+    fn bytes_f32_conversions() {
+        let v = vec![0.5f32, -1.0, 1e30];
+        let b = f32_to_bytes(&v);
+        assert_eq!(bytes_to_f32(&b).unwrap(), v);
+        assert!(matches!(
+            bytes_to_f32(&[1, 2, 3]),
+            Err(IoError::BadElementSize { .. })
+        ));
+    }
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(ElemKind::F32.size(), 4);
+        assert_eq!(ElemKind::F64.size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "full write wrong length")]
+    fn full_write_checks_length() {
+        let mut disk = LogicalDisk::in_memory();
+        let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, 4).unwrap();
+        laf.write_all_f32(&mut disk, &[0.0; 3], &NoCharge).unwrap();
+    }
+}

@@ -1,0 +1,106 @@
+//! # pario — the parallel I/O substrate
+//!
+//! Implements the data storage model of §2.3 of the paper: every simulated
+//! processor owns a **logical disk** holding its **Local Array Files**
+//! (LAFs). A processor can only touch its own logical disk; data living on
+//! another processor's disk must be read by the owner and communicated.
+//!
+//! The unit of cost is the **I/O request**: one contiguous byte run moved
+//! between disk and memory. Strided accesses decompose into multiple runs;
+//! adjacent runs are coalesced before being counted, mirroring what a
+//! PASSION-style runtime does with data sieving. The two metrics the paper
+//! uses to compare translation schemes — requests per processor and bytes per
+//! processor — are charged to the machine's [`dmsim`] cost model through the
+//! [`IoCharge`] trait at the moment the access happens, so the executor's
+//! measured costs and the compiler's estimates can be compared exactly.
+//!
+//! Two interchangeable backends store the bytes: an in-memory store (fast,
+//! used by most tests and benches) and a real-file store under a scratch
+//! directory (used to demonstrate the system against a genuine filesystem).
+
+pub mod backend;
+pub mod disk;
+pub mod error;
+pub mod laf;
+pub mod request;
+pub mod sieve;
+pub mod stats;
+
+pub use backend::{DiskBackend, MemBackend, StorageBackend};
+pub use disk::{FileId, LogicalDisk};
+pub use error::IoError;
+pub use laf::{bytes_to_f32, f32_to_bytes, ElemKind, ElemRun, LocalArrayFile};
+pub use request::{coalesce_runs, ByteRun};
+pub use sieve::{plan_access, AccessPlan, SievePolicy};
+pub use stats::DiskStats;
+
+use dmsim::ProcCtx;
+
+/// Sink for I/O cost charges.
+///
+/// The production implementation is [`dmsim::ProcCtx`], which advances the
+/// virtual clock and the per-processor counters. [`NoCharge`] supports
+/// standalone use of the I/O layer (tests, file preparation outside the
+/// simulated region).
+pub trait IoCharge {
+    /// Charge a read of `requests` contiguous runs totalling `bytes`.
+    fn io_read(&self, requests: u64, bytes: u64);
+    /// Charge a write of `requests` contiguous runs totalling `bytes`.
+    fn io_write(&self, requests: u64, bytes: u64);
+}
+
+impl IoCharge for ProcCtx {
+    fn io_read(&self, requests: u64, bytes: u64) {
+        self.charge_io_read(requests, bytes);
+    }
+    fn io_write(&self, requests: u64, bytes: u64) {
+        self.charge_io_write(requests, bytes);
+    }
+}
+
+/// An [`IoCharge`] that discards charges (setup work outside the measured
+/// region, e.g. initial array distribution from "archival storage").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCharge;
+
+impl IoCharge for NoCharge {
+    fn io_read(&self, _requests: u64, _bytes: u64) {}
+    fn io_write(&self, _requests: u64, _bytes: u64) {}
+}
+
+/// An [`IoCharge`] that accumulates instead of charging, so callers can
+/// apply the cost later with different timing semantics (e.g. overlapped
+/// with computation by [`dmsim::ProcCtx::charge_prefetched_read`]).
+#[derive(Debug, Default)]
+pub struct PendingIo {
+    reads: std::cell::Cell<(u64, u64)>,
+    writes: std::cell::Cell<(u64, u64)>,
+}
+
+impl PendingIo {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated `(requests, bytes)` read so far.
+    pub fn reads(&self) -> (u64, u64) {
+        self.reads.get()
+    }
+
+    /// Accumulated `(requests, bytes)` written so far.
+    pub fn writes(&self) -> (u64, u64) {
+        self.writes.get()
+    }
+}
+
+impl IoCharge for PendingIo {
+    fn io_read(&self, requests: u64, bytes: u64) {
+        let (r, b) = self.reads.get();
+        self.reads.set((r + requests, b + bytes));
+    }
+    fn io_write(&self, requests: u64, bytes: u64) {
+        let (r, b) = self.writes.get();
+        self.writes.set((r + requests, b + bytes));
+    }
+}

@@ -1,0 +1,103 @@
+//! Byte runs and request coalescing.
+//!
+//! A [`ByteRun`] is one contiguous extent of a file. Array-section accesses
+//! produce lists of runs (one per contiguous piece of the section in the
+//! file's linearization); [`coalesce_runs`] merges touching runs so the
+//! request count charged to the cost model reflects what a real strided-I/O
+//! runtime would issue.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous byte extent of a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteRun {
+    /// First byte of the run.
+    pub offset: u64,
+    /// Length in bytes; zero-length runs are dropped by coalescing.
+    pub len: u64,
+}
+
+impl ByteRun {
+    /// Construct a run.
+    pub fn new(offset: u64, len: u64) -> Self {
+        ByteRun { offset, len }
+    }
+
+    /// One past the last byte of the run.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Sort runs by offset and merge runs that touch or overlap.
+///
+/// The result is the minimal set of contiguous requests covering the same
+/// bytes — the number the cost model counts as "I/O requests". Overlapping
+/// runs are merged (reads may legitimately overlap; writers of overlapping
+/// runs get last-writer-wins semantics *before* coalescing, so callers must
+/// not pass overlapping write runs — debug builds assert this).
+pub fn coalesce_runs(runs: &[ByteRun]) -> Vec<ByteRun> {
+    let mut sorted: Vec<ByteRun> = runs.iter().copied().filter(|r| r.len > 0).collect();
+    sorted.sort_by_key(|r| r.offset);
+    let mut out: Vec<ByteRun> = Vec::with_capacity(sorted.len());
+    for run in sorted {
+        match out.last_mut() {
+            Some(last) if run.offset <= last.end() => {
+                let new_end = last.end().max(run.end());
+                last.len = new_end - last.offset;
+            }
+            _ => out.push(run),
+        }
+    }
+    out
+}
+
+/// Total bytes covered by a set of runs (before coalescing; duplicates count
+/// once per run, matching the "data moved" metric for repeated fetches).
+pub fn total_bytes(runs: &[ByteRun]) -> u64 {
+    runs.iter().map(|r| r.len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_merges_adjacent() {
+        let runs = [ByteRun::new(0, 10), ByteRun::new(10, 10), ByteRun::new(30, 5)];
+        let out = coalesce_runs(&runs);
+        assert_eq!(out, vec![ByteRun::new(0, 20), ByteRun::new(30, 5)]);
+    }
+
+    #[test]
+    fn coalesce_sorts_first() {
+        let runs = [ByteRun::new(20, 4), ByteRun::new(0, 4), ByteRun::new(4, 4)];
+        let out = coalesce_runs(&runs);
+        assert_eq!(out, vec![ByteRun::new(0, 8), ByteRun::new(20, 4)]);
+    }
+
+    #[test]
+    fn coalesce_merges_overlap() {
+        let runs = [ByteRun::new(0, 10), ByteRun::new(5, 10)];
+        let out = coalesce_runs(&runs);
+        assert_eq!(out, vec![ByteRun::new(0, 15)]);
+    }
+
+    #[test]
+    fn coalesce_drops_empty_runs() {
+        let runs = [ByteRun::new(5, 0), ByteRun::new(1, 2)];
+        let out = coalesce_runs(&runs);
+        assert_eq!(out, vec![ByteRun::new(1, 2)]);
+    }
+
+    #[test]
+    fn total_bytes_sums_every_run() {
+        let runs = [ByteRun::new(0, 10), ByteRun::new(0, 10)];
+        assert_eq!(total_bytes(&runs), 20);
+    }
+
+    #[test]
+    fn end_is_exclusive() {
+        assert_eq!(ByteRun::new(4, 6).end(), 10);
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-disk I/O accounting, independent of the machine's virtual clock.
+//!
+//! The simulated-time charges flow through [`crate::IoCharge`]; these
+//! counters additionally live on the logical disk itself so that file setup
+//! done *outside* an SPMD region (e.g. the initial distribution of an array
+//! from "archival storage") can still be inspected by tests and reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters for one logical disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Read requests (contiguous runs) issued.
+    pub read_requests: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Write requests (contiguous runs) issued.
+    pub write_requests: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl DiskStats {
+    /// Total requests, the paper's first I/O metric.
+    pub fn requests(&self) -> u64 {
+        self.read_requests + self.write_requests
+    }
+
+    /// Total bytes, the paper's second I/O metric.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    pub(crate) fn add_read(&mut self, requests: u64, bytes: u64) {
+        self.read_requests += requests;
+        self.bytes_read += bytes;
+    }
+
+    pub(crate) fn add_write(&mut self, requests: u64, bytes: u64) {
+        self.write_requests += requests;
+        self.bytes_written += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_reads_and_writes() {
+        let mut s = DiskStats::default();
+        s.add_read(2, 100);
+        s.add_write(3, 50);
+        assert_eq!(s.requests(), 5);
+        assert_eq!(s.bytes(), 150);
+        assert_eq!(s.read_requests, 2);
+        assert_eq!(s.write_requests, 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: data sieving must be invisible in the data — any access
+//! serviced by a spanning request returns/stores exactly the bytes the
+//! direct path would, on both backends.
+
+use proptest::prelude::*;
+
+use pario::{ElemKind, ElemRun, LocalArrayFile, LogicalDisk, NoCharge, SievePolicy};
+
+fn arb_runs(file_elems: u64) -> impl Strategy<Value = Vec<ElemRun>> {
+    // Sorted, disjoint element runs inside the file.
+    proptest::collection::vec((0u64..file_elems, 1u64..8), 1..10).prop_map(move |raw| {
+        let mut runs: Vec<ElemRun> = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, len) in raw {
+            let offset = cursor + gap % 16;
+            if offset >= file_elems {
+                break;
+            }
+            let len = len.min(file_elems - offset);
+            runs.push(ElemRun::new(offset, len));
+            cursor = offset + len + 1; // at least one element of gap
+            if cursor >= file_elems {
+                break;
+            }
+        }
+        if runs.is_empty() {
+            runs.push(ElemRun::new(0, 1));
+        }
+        runs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sieved_reads_return_direct_data(runs in arb_runs(256)) {
+        let elems = 256u64;
+        let mut disk = LogicalDisk::in_memory();
+        let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, elems).unwrap();
+        let data: Vec<f32> = (0..elems).map(|i| i as f32 * 1.5 - 7.0).collect();
+        laf.write_all_f32(&mut disk, &data, &NoCharge).unwrap();
+
+        let direct = laf.read_f32(&mut disk, &runs, &NoCharge).unwrap();
+        for policy in [
+            SievePolicy::Always,
+            SievePolicy::WasteBound { max_waste: 2.0 },
+            SievePolicy::CostBased { startup: 1e-2, bandwidth: 1e6 },
+        ] {
+            let sieved = laf.read_f32_with(&mut disk, &runs, &NoCharge, policy).unwrap();
+            prop_assert_eq!(&sieved, &direct, "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn sieved_writes_store_direct_bytes(runs in arb_runs(128), seed in 0u64..1000) {
+        let elems = 128u64;
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        let payload: Vec<f32> = (0..total).map(|i| ((i * 31 + seed) % 97) as f32).collect();
+        let background: Vec<f32> = (0..elems).map(|i| -(i as f32)).collect();
+
+        let run_with = |policy: SievePolicy| -> Vec<f32> {
+            let mut disk = LogicalDisk::in_memory();
+            let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, elems).unwrap();
+            laf.write_all_f32(&mut disk, &background, &NoCharge).unwrap();
+            laf.write_f32_with(&mut disk, &runs, &payload, &NoCharge, policy)
+                .unwrap();
+            laf.read_all_f32(&mut disk, &NoCharge).unwrap()
+        };
+
+        let direct = run_with(SievePolicy::Direct);
+        let sieved = run_with(SievePolicy::Always);
+        prop_assert_eq!(direct, sieved);
+    }
+
+    #[test]
+    fn sieving_never_issues_more_requests(runs in arb_runs(256)) {
+        let elems = 256u64;
+        let count_reqs = |policy: SievePolicy| -> u64 {
+            let mut disk = LogicalDisk::in_memory();
+            let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, elems).unwrap();
+            let _ = laf.read_f32_with(&mut disk, &runs, &NoCharge, policy).unwrap();
+            disk.stats().read_requests
+        };
+        let direct = count_reqs(SievePolicy::Direct);
+        let always = count_reqs(SievePolicy::Always);
+        prop_assert!(always <= direct);
+        prop_assert!(always <= 1 || always == direct);
+    }
+}

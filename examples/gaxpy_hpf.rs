@@ -1,0 +1,87 @@
+//! The paper's running example in full: both translations of the
+//! out-of-core GAXPY program, side by side.
+//!
+//! Prints the column-slab node program (Figure 9), the row-slab node
+//! program (Figure 12), the compiler's cost estimates for each, and the
+//! measured execution of both — demonstrating the order-of-magnitude I/O
+//! reduction of §4.
+//!
+//! ```text
+//! cargo run --release -p ooc-bench --example gaxpy_hpf
+//! ```
+
+use noderun::{init_fn, run, RunConfig};
+use ooc_core::{compile_source, CompilerOptions, SlabStrategy};
+
+fn main() {
+    let n = 256;
+    let p = 4;
+    let source = format!(
+        "
+      parameter (n={n}, nprocs={p})
+      real a(n,n), b(n,n), c(n,n), temp(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: a, c, temp
+!hpf$ align (:,*) with d :: b
+      do j = 1, n
+        forall (k = 1:n)
+          temp(1:n, k) = b(k, j) * a(1:n, k)
+        end forall
+        c(1:n, j) = sum(temp, 2)
+      end do
+      end
+"
+    );
+    println!("source program (paper, Figure 3):\n{source}");
+
+    for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+        let opts = CompilerOptions {
+            sizing: ooc_core::stripmine::SlabSizing::Ratio(0.25),
+            force_strategy: Some(strategy),
+            ..CompilerOptions::default()
+        };
+        let compiled = compile_source(&source, &opts).expect("compiles");
+        println!(
+            "==== {} version (paper Figure {}) ====",
+            strategy.name(),
+            match strategy {
+                SlabStrategy::ColumnSlab => 9,
+                SlabStrategy::RowSlab => 12,
+            }
+        );
+        println!("{}", compiled.node_program_text(0));
+        let est = &compiled.estimates[0];
+        println!(
+            "estimated: {} I/O requests, {} bytes, {:.2} s (I/O {:.2} + comm {:.2} + compute {:.2})",
+            est.io_requests(),
+            est.io_bytes(),
+            est.time(),
+            est.io_time,
+            est.comm_time,
+            est.compute_time
+        );
+
+        let mut cfg = RunConfig::default();
+        cfg.init.insert(
+            "a".into(),
+            init_fn(|g| ((g[0] * 7 + g[1] * 3) % 8) as f32 * 0.25 - 1.0),
+        );
+        cfg.init.insert(
+            "b".into(),
+            init_fn(|g| ((g[0] * 5 + g[1]) % 9) as f32 * 0.25 - 1.0),
+        );
+        let outcome = run(&compiled, &cfg).expect("runs");
+        println!(
+            "measured:  {} I/O requests, {} bytes, {:.2} s simulated\n",
+            outcome.report.io_requests_per_proc(),
+            outcome.report.io_bytes_per_proc(),
+            outcome.report.elapsed()
+        );
+    }
+
+    // Finally, what the optimizer would have picked on its own.
+    let auto = compile_source(&source, &CompilerOptions::default()).expect("compiles");
+    println!("compiler's own choice:\n{}", auto.report());
+}

@@ -1,0 +1,199 @@
+//! Shape tests for the paper's evaluation claims, at reduced scale.
+//!
+//! These encode the qualitative structure of Table 1, Table 2 and Figure 10
+//! — who wins, in which direction the trends run — so regressions in the
+//! cost model, the planner or the executor that would silently change the
+//! reproduced results fail CI.
+
+use ooc_bench::{run_incore_matmul, run_matmul, MatmulSetup};
+use ooc_core::stripmine::SlabSizing;
+use ooc_core::SlabStrategy;
+
+const N: usize = 128;
+
+fn t(setup: &MatmulSetup) -> f64 {
+    run_matmul(setup).sim_seconds
+}
+
+#[test]
+fn table1_row_slabs_win_big_everywhere() {
+    for p in [4usize, 8] {
+        for ratio in [0.125, 0.5, 1.0] {
+            let col = t(&MatmulSetup::table1(N, p, ratio, SlabStrategy::ColumnSlab));
+            let row = t(&MatmulSetup::table1(N, p, ratio, SlabStrategy::RowSlab));
+            assert!(
+                col > 3.0 * row,
+                "p={p} ratio={ratio}: col {col:.2} not >> row {row:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_io_reduction_is_an_order_of_magnitude() {
+    // The headline claim is about the I/O metrics, not just time.
+    let col = run_matmul(&MatmulSetup::table1(N, 4, 0.25, SlabStrategy::ColumnSlab));
+    let row = run_matmul(&MatmulSetup::table1(N, 4, 0.25, SlabStrategy::RowSlab));
+    assert!(
+        col.io_bytes as f64 > 10.0 * row.io_bytes as f64,
+        "bytes: col {} row {}",
+        col.io_bytes,
+        row.io_bytes
+    );
+    assert!(
+        col.io_requests as f64 > 10.0 * row.io_requests as f64,
+        "requests: col {} row {}",
+        col.io_requests,
+        row.io_requests
+    );
+}
+
+#[test]
+fn fig10_time_grows_as_slab_ratio_shrinks() {
+    for p in [4usize, 8] {
+        let times: Vec<f64> = [1.0, 0.5, 0.25, 0.125]
+            .iter()
+            .map(|&r| t(&MatmulSetup::table1(N, p, r, SlabStrategy::ColumnSlab)))
+            .collect();
+        for w in times.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "p={p}: smaller slabs must cost more: {times:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_time_falls_with_more_processors() {
+    for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+        let t4 = t(&MatmulSetup::table1(N, 4, 0.25, strategy));
+        let t16 = t(&MatmulSetup::table1(N, 16, 0.25, strategy));
+        assert!(t16 < t4, "{strategy:?}: t16 {t16:.2} !< t4 {t4:.2}");
+    }
+}
+
+#[test]
+fn table1_incore_is_the_floor() {
+    let incore = run_incore_matmul(N, 4).sim_seconds;
+    for ratio in [0.125, 0.5] {
+        for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+            let ooc = t(&MatmulSetup::table1(N, 4, ratio, strategy));
+            assert!(
+                incore < ooc,
+                "in-core {incore:.2} !< {strategy:?}@{ratio} {ooc:.2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_give_the_frequent_array_the_memory() {
+    // Row version on p procs: A streams once but every slab of A re-streams
+    // all of B, so B is the frequently-accessed array under row slabs; with
+    // total memory fixed, growing the A slab (fewer B restreams) must beat
+    // growing the B slab once the budget is large.
+    let p = 8;
+    let fixed = 8usize;
+    let big = 64usize;
+    let vary_a = t(&MatmulSetup {
+        n: N,
+        p,
+        strategy: Some(SlabStrategy::RowSlab),
+        sizing: SlabSizing::Explicit { a: big, b: fixed },
+        reorganize: true,
+        verify: false,
+    });
+    let vary_b = t(&MatmulSetup {
+        n: N,
+        p,
+        strategy: Some(SlabStrategy::RowSlab),
+        sizing: SlabSizing::Explicit { a: fixed, b: big },
+        reorganize: true,
+        verify: false,
+    });
+    assert!(
+        vary_a < vary_b,
+        "same total memory: larger A slab ({vary_a:.2}) must beat larger B slab ({vary_b:.2})"
+    );
+}
+
+#[test]
+fn table2_more_memory_never_hurts() {
+    let p = 8;
+    let mut last = f64::INFINITY;
+    for s in [8usize, 16, 32, 64] {
+        let time = t(&MatmulSetup {
+            n: N,
+            p,
+            strategy: Some(SlabStrategy::RowSlab),
+            sizing: SlabSizing::Explicit { a: s, b: s },
+            reorganize: true,
+            verify: false,
+        });
+        assert!(time <= last + 1e-9, "slab {s}: {time:.2} > previous {last:.2}");
+        last = time;
+    }
+}
+
+#[test]
+fn selection_always_matches_the_cheaper_forced_run() {
+    // The compiler's pick must agree with brute-force measurement.
+    for ratio in [0.125, 1.0] {
+        let auto = run_matmul(&MatmulSetup {
+            n: N,
+            p: 4,
+            strategy: None,
+            sizing: SlabSizing::Ratio(ratio),
+            reorganize: true,
+            verify: false,
+        });
+        let col = t(&MatmulSetup::table1(N, 4, ratio, SlabStrategy::ColumnSlab));
+        let row = t(&MatmulSetup::table1(N, 4, ratio, SlabStrategy::RowSlab));
+        let best = col.min(row);
+        assert!(
+            (auto.sim_seconds - best).abs() / best < 1e-6,
+            "auto {} vs best {}",
+            auto.sim_seconds,
+            best
+        );
+    }
+}
+
+#[test]
+fn estimator_matches_measured_io_exactly_on_experiment_cells() {
+    use ooc_core::{compile_hir, CompilerOptions, ExecPlan};
+    for (p, ratio, strategy) in [
+        (4usize, 0.125, SlabStrategy::ColumnSlab),
+        (4, 1.0, SlabStrategy::ColumnSlab),
+        (8, 0.25, SlabStrategy::RowSlab),
+        (8, 1.0, SlabStrategy::RowSlab),
+    ] {
+        let compiled = compile_hir(
+            ooc_bench::gaxpy_hir(N, p),
+            &CompilerOptions {
+                sizing: SlabSizing::Ratio(ratio),
+                force_strategy: Some(strategy),
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        let ExecPlan::Gaxpy(_) = &compiled.plans[0] else {
+            panic!()
+        };
+        let est = &compiled.estimates[0];
+        let mut cfg = noderun::RunConfig::default();
+        cfg.init
+            .insert("a".into(), noderun::init_fn(ooc_bench::harness::init_a));
+        cfg.init
+            .insert("b".into(), noderun::init_fn(ooc_bench::harness::init_b));
+        let outcome = noderun::run(&compiled, &cfg).unwrap();
+        let s0 = outcome.report.per_proc()[0].stats;
+        assert_eq!(
+            s0.io_requests(),
+            est.io_requests(),
+            "p={p} ratio={ratio} {strategy:?}"
+        );
+        assert_eq!(s0.io_bytes(), est.io_bytes(), "p={p} ratio={ratio} {strategy:?}");
+    }
+}
