@@ -41,13 +41,8 @@ fn bench_laf_access(c: &mut Criterion) {
     });
     group.bench_function("strided_sieved", |b| {
         b.iter(|| {
-            laf.read_f32_with(
-                &mut disk,
-                &strided,
-                &NoCharge,
-                pario::SievePolicy::Always,
-            )
-            .unwrap()
+            laf.read_f32_with(&mut disk, &strided, &NoCharge, pario::SievePolicy::Always)
+                .unwrap()
         })
     });
     group.finish();

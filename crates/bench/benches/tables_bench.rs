@@ -53,6 +53,7 @@ fn table2_cells(c: &mut Criterion) {
                 sizing: SlabSizing::Explicit { a: fixed, b: s },
                 reorganize: true,
                 verify: false,
+                cache_budget: None,
             };
             b.iter(|| run_matmul(&setup));
         });
@@ -64,6 +65,7 @@ fn table2_cells(c: &mut Criterion) {
                 sizing: SlabSizing::Explicit { a: s, b: fixed },
                 reorganize: true,
                 verify: false,
+                cache_budget: None,
             };
             b.iter(|| run_matmul(&setup));
         });

@@ -38,6 +38,7 @@ fn main() {
             sizing: SlabSizing::Ratio(0.25),
             reorganize: reorg,
             verify: false,
+            cache_budget: None,
         });
         t.row(vec![
             reorg.to_string(),
@@ -62,6 +63,7 @@ fn main() {
             sizing: SlabSizing::Ratio(0.25),
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
         t.row(vec![
             label.to_string(),
@@ -106,6 +108,7 @@ fn main() {
                         sizing: SlabSizing::Budget { elems, policy },
                         reorganize: true,
                         verify: false,
+                        cache_budget: None,
                     },
                     profile.clone(),
                 );
@@ -195,7 +198,9 @@ fn main() {
     println!("\nablation 6: amortizing the storage reorganization of A\n");
     {
         use dmsim::Machine;
-        use ooc_array::{relayout_in_place, ArrayDesc, ArrayId, Distribution, FileLayout, OocEnv, Shape};
+        use ooc_array::{
+            relayout_in_place, ArrayDesc, ArrayId, Distribution, FileLayout, OocEnv, Shape,
+        };
         use pario::ElemKind;
         let dist = Distribution::column_block(Shape::matrix(n, n), p);
         let desc = ArrayDesc::new(ArrayId(0), "a", ElemKind::F32, dist);

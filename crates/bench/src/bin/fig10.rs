@@ -16,9 +16,7 @@ fn main() {
     let procs = [4usize, 16, 32, 64];
     let ratios = [(1.0, "1"), (0.5, "1/2"), (0.25, "1/4"), (0.125, "1/8")];
 
-    println!(
-        "Figure 10: column-slab {n}x{n} matmul, time vs slab ratio (simulated seconds)\n"
-    );
+    println!("Figure 10: column-slab {n}x{n} matmul, time vs slab ratio (simulated seconds)\n");
     let mut headers = vec!["Processors".to_string()];
     for (_, label) in ratios {
         headers.push(format!("ratio {label}"));

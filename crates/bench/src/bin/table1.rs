@@ -17,9 +17,7 @@ fn main() {
     let procs = [4usize, 16, 32, 64];
     let ratios = [(0.125, "1/8"), (0.25, "1/4"), (0.5, "1/2"), (1.0, "1")];
 
-    println!(
-        "Table 1: out-of-core {n}x{n} matmul, simulated Touchstone Delta (time in seconds)\n"
-    );
+    println!("Table 1: out-of-core {n}x{n} matmul, simulated Touchstone Delta (time in seconds)\n");
     let mut headers = vec!["Slab Ratio".to_string()];
     for p in procs {
         headers.push(format!("{p}P col"));

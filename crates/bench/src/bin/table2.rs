@@ -26,7 +26,11 @@ fn main() {
         "Table 2: row-slab {n}x{n} matmul on {p} processors, varying slab sizes (time in seconds)\n"
     );
     let mut t = TextTable::new(&[
-        "Slab B", "A fixed: time", "Slab A", "B fixed: time", "Total (A+B)",
+        "Slab B",
+        "A fixed: time",
+        "Slab A",
+        "B fixed: time",
+        "Total (A+B)",
     ]);
     for &s in &sweep {
         let vary_b = run_matmul(&MatmulSetup {
@@ -36,6 +40,7 @@ fn main() {
             sizing: SlabSizing::Explicit { a: fixed, b: s },
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
         let vary_a = run_matmul(&MatmulSetup {
             n,
@@ -44,6 +49,7 @@ fn main() {
             sizing: SlabSizing::Explicit { a: s, b: fixed },
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
         t.row(vec![
             s.to_string(),
@@ -79,6 +85,7 @@ fn main() {
             },
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
         t2.row(vec![
             name.to_string(),

@@ -70,6 +70,9 @@ pub struct MatmulSetup {
     /// Verify the product against the serial reference (slow; use for
     /// small `n`).
     pub verify: bool,
+    /// Byte budget of the runtime slab cache (`None` = uncached). Threaded
+    /// into both the compiler (reuse-aware estimates) and the runtime.
+    pub cache_budget: Option<usize>,
 }
 
 impl MatmulSetup {
@@ -83,6 +86,7 @@ impl MatmulSetup {
             sizing: SlabSizing::Ratio(ratio),
             reorganize: true,
             verify: false,
+            cache_budget: None,
         }
     }
 }
@@ -121,10 +125,14 @@ pub fn run_matmul_on(
         force_strategy: setup.strategy,
         reorganize_storage: setup.reorganize,
         profile,
+        cache_budget: setup.cache_budget,
         ..CompilerOptions::default()
     };
     let compiled = compile_hir(hir, &options).expect("gaxpy compiles");
-    let mut cfg = RunConfig::default();
+    let mut cfg = RunConfig {
+        cache_budget: setup.cache_budget,
+        ..RunConfig::default()
+    };
     cfg.init.insert("a".into(), init_fn(init_a));
     cfg.init.insert("b".into(), init_fn(init_b));
     if setup.verify {
@@ -176,12 +184,8 @@ pub fn run_incore_matmul(n: usize, p: usize) -> ExperimentRow {
         // Initial read: whole local arrays, one request each.
         let la = a.local_shape(rank);
         let lb = b.local_shape(rank);
-        let a_in = env
-            .read_section(&a, &Section::full(&la), ctx)
-            .unwrap();
-        let b_in = env
-            .read_section(&b, &Section::full(&lb), ctx)
-            .unwrap();
+        let a_in = env.read_section(&a, &Section::full(&la), ctx).unwrap();
+        let b_in = env.read_section(&b, &Section::full(&lb), ctx).unwrap();
 
         let lc = la.extent(1);
         let lr_b = lb.extent(0);
@@ -261,6 +265,11 @@ mod tests {
         // exact; the collective-time model is approximate).
         let row = run_matmul(&MatmulSetup::table1(64, 4, 0.5, SlabStrategy::RowSlab));
         let rel = (row.est_seconds - row.sim_seconds).abs() / row.sim_seconds;
-        assert!(rel < 0.15, "est {} vs sim {}", row.est_seconds, row.sim_seconds);
+        assert!(
+            rel < 0.15,
+            "est {} vs sim {}",
+            row.est_seconds,
+            row.sim_seconds
+        );
     }
 }

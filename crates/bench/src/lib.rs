@@ -19,7 +19,5 @@ pub mod harness;
 pub mod plot;
 pub mod table;
 
-pub use harness::{
-    gaxpy_hir, run_incore_matmul, run_matmul, ExperimentRow, MatmulSetup,
-};
+pub use harness::{gaxpy_hir, run_incore_matmul, run_matmul, ExperimentRow, MatmulSetup};
 pub use table::TextTable;

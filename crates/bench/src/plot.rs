@@ -96,11 +96,19 @@ mod tests {
         vec![
             Series::new(
                 "4 procs",
-                vec![("1".into(), 931.9), ("1/2".into(), 947.3), ("1/8".into(), 1039.6)],
+                vec![
+                    ("1".into(), 931.9),
+                    ("1/2".into(), 947.3),
+                    ("1/8".into(), 1039.6),
+                ],
             ),
             Series::new(
                 "64 procs",
-                vec![("1".into(), 807.5), ("1/2".into(), 823.0), ("1/8".into(), 915.6)],
+                vec![
+                    ("1".into(), 807.5),
+                    ("1/2".into(), 823.0),
+                    ("1/8".into(), 915.6),
+                ],
             ),
         ]
     }

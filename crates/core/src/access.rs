@@ -60,10 +60,7 @@ pub fn gaxpy_candidates(n: usize) -> Vec<GaxpyCandidate> {
         },
         GaxpyCandidate {
             strategy: SlabStrategy::RowSlab,
-            a_dims: vec![
-                DimTraversal::StreamedOnce,
-                DimTraversal::StreamedOnce,
-            ],
+            a_dims: vec![DimTraversal::StreamedOnce, DimTraversal::StreamedOnce],
             rationale: "row slabs: a slab holds subcolumns of every local column, \
                         enough to produce the matching subcolumn of every result \
                         column, so A streams from disk exactly once"
@@ -87,11 +84,13 @@ pub fn elw_dim_scores(
     let ndims = local.ndims();
     let mut scores = Vec::with_capacity(ndims);
     for d in 0..ndims {
-        let plan = SlabPlan::new(local.clone(), d, slab_thickness.max(1).min(local.extent(d).max(1)));
+        let plan = SlabPlan::new(
+            local.clone(),
+            d,
+            slab_thickness.max(1).min(local.extent(d).max(1)),
+        );
         let slab = plan.slab(0);
-        let mut requests = lhs_desc
-            .layout
-            .count_section_runs(&local, &slab);
+        let mut requests = lhs_desc.layout.count_section_runs(&local, &slab);
         let shifts = stmt.max_shift(ndims);
         for rd in rhs_descs {
             // The read section is the slab widened by the ghost width along
@@ -100,7 +99,9 @@ pub fn elw_dim_scores(
             let lo = r.lo.saturating_sub(shifts[d]);
             let hi = (r.hi + shifts[d]).min(local.extent(d));
             let widened = slab.clone().with_range(d, DimRange::new(lo, hi));
-            requests += rd.layout.count_section_runs(&rd.local_shape(rank), &widened);
+            requests += rd
+                .layout
+                .count_section_runs(&rd.local_shape(rank), &widened);
         }
         scores.push((d, requests));
     }

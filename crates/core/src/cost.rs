@@ -35,7 +35,13 @@ impl CostEstimate {
     /// Evaluate a nest under a cost model. Reads and writes are priced
     /// separately (writes are buffered by the I/O nodes).
     pub fn from_nest(nest: &[NestNode], model: &CostModel, elem_size: usize) -> Self {
-        let t = totals(nest);
+        Self::from_totals(totals(nest), model, elem_size)
+    }
+
+    /// Price already-computed totals — the entry point for reuse-aware
+    /// estimation, where the totals come from a cache replay
+    /// ([`crate::reuse::gaxpy_cached_totals`]) rather than a nest walk.
+    pub fn from_totals(t: NestTotals, model: &CostModel, elem_size: usize) -> Self {
         let (mut r_req, mut r_el, mut w_req, mut w_el) = (0u64, 0u64, 0u64, 0u64);
         for a in t.per_array.values() {
             r_req += a.read_requests;
@@ -132,9 +138,7 @@ mod tests {
         assert!((est.comm_time - expect_comm).abs() < 1e-12);
         let expect_comp = model.compute_time(20_000);
         assert!((est.compute_time - expect_comp).abs() < 1e-12);
-        assert!(
-            (est.time() - (expect_io + expect_comm + expect_comp)).abs() < 1e-12
-        );
+        assert!((est.time() - (expect_io + expect_comm + expect_comp)).abs() < 1e-12);
     }
 
     #[test]

@@ -170,11 +170,13 @@ impl ElwExpr {
     }
 
     /// `l + r`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(l: ElwExpr, r: ElwExpr) -> ElwExpr {
         ElwExpr::Add(Box::new(l), Box::new(r))
     }
 
     /// `l * r`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(l: ElwExpr, r: ElwExpr) -> ElwExpr {
         ElwExpr::Mul(Box::new(l), Box::new(r))
     }

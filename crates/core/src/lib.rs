@@ -41,6 +41,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod plan;
 pub mod reorg;
+pub mod reuse;
 pub mod stripmine;
 
 pub use cost::{CostEstimate, IoEstimate};

@@ -84,7 +84,12 @@ fn lower_stmt_seq(s: &Stmt, info: &ProgramInfo) -> LowerResult<Vec<HirStmt>> {
 
 fn stmt_uses_var(s: &Stmt, var: &str) -> bool {
     match s {
-        Stmt::Do { var: v, lo, hi, body } => {
+        Stmt::Do {
+            var: v,
+            lo,
+            hi,
+            body,
+        } => {
             // An inner loop may shadow `var`.
             expr_uses_var(lo, var)
                 || expr_uses_var(hi, var)
@@ -284,8 +289,16 @@ fn try_transpose(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<HirStmt>> {
     let Stmt::Assign { lhs, rhs } = &body[0] else {
         return Ok(None);
     };
-    let (Expr::ArrayRef { name: dst, subs: ls }, Expr::ArrayRef { name: src, subs: rs }) =
-        (lhs, rhs)
+    let (
+        Expr::ArrayRef {
+            name: dst,
+            subs: ls,
+        },
+        Expr::ArrayRef {
+            name: src,
+            subs: rs,
+        },
+    ) = (lhs, rhs)
     else {
         return Ok(None);
     };

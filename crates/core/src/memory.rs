@@ -35,9 +35,17 @@ pub enum MemoryPolicy {
 /// Elements one index of A's slab dimension occupies.
 fn a_elems_per_index(strategy: SlabStrategy, n: usize, p: usize) -> usize {
     match strategy {
-        SlabStrategy::ColumnSlab => n,             // a column of the OCLA
-        SlabStrategy::RowSlab => n.div_ceil(p),    // a row of the OCLA
+        SlabStrategy::ColumnSlab => n,          // a column of the OCLA
+        SlabStrategy::RowSlab => n.div_ceil(p), // a row of the OCLA
     }
+}
+
+/// Memory-to-thickness clamp shared by the split policies.
+fn clamp_split(strategy: SlabStrategy, n: usize, p: usize, ma: usize, mb: usize) -> (usize, usize) {
+    let epi_a = a_elems_per_index(strategy, n, p);
+    let epi_b = n.div_ceil(p); // a column of B's OCLA
+    let a_extent = a_slab_extent(strategy, n, p);
+    ((ma / epi_a).clamp(1, a_extent), (mb / epi_b).clamp(1, n))
 }
 
 /// Split `elems` of memory into `(slab_a, slab_b)` thicknesses.
@@ -49,16 +57,7 @@ pub fn split_gaxpy_budget(
     policy: MemoryPolicy,
     model: &CostModel,
 ) -> (usize, usize) {
-    let lc = n.div_ceil(p);
-    let epi_a = a_elems_per_index(strategy, n, p);
-    let epi_b = lc; // a column of B's OCLA
-    let a_extent = a_slab_extent(strategy, n, p);
-    let clamp = |ma: usize, mb: usize| -> (usize, usize) {
-        (
-            (ma / epi_a).clamp(1, a_extent),
-            (mb / epi_b).clamp(1, n),
-        )
-    };
+    let clamp = |ma: usize, mb: usize| clamp_split(strategy, n, p, ma, mb);
     match policy {
         MemoryPolicy::EqualSplit => clamp(elems / 2, elems / 2),
         MemoryPolicy::AccessWeighted => {
@@ -82,6 +81,63 @@ pub fn split_gaxpy_budget(
             best.expect("non-empty search").1
         }
     }
+}
+
+/// Like [`split_gaxpy_budget`], but when the target runs with a slab cache
+/// of `cache_budget` bytes, the [`MemoryPolicy::Search`] grid is scored by
+/// *replaying* each candidate split through the reuse predictor
+/// ([`crate::reuse::gaxpy_cached_totals`]) instead of the closed-form
+/// request counts — cached executions reward splits the uncached formulas
+/// undervalue (e.g. an A slab that fits residently). Other policies, and an
+/// uncached target, delegate unchanged. The replay walks the full access
+/// sequence per grid point, so this is meant for compile-time search over
+/// moderate problem sizes, not inner loops.
+pub fn split_gaxpy_budget_with_cache(
+    strategy: SlabStrategy,
+    n: usize,
+    p: usize,
+    elems: usize,
+    policy: MemoryPolicy,
+    model: &CostModel,
+    cache_budget: Option<usize>,
+) -> (usize, usize) {
+    let (Some(budget), MemoryPolicy::Search) = (cache_budget, policy) else {
+        return split_gaxpy_budget(strategy, n, p, elems, policy, model);
+    };
+    let mut best: Option<(f64, (usize, usize))> = None;
+    for pct in (5..=95).step_by(5) {
+        let ma = elems * pct / 100;
+        let (sa, sb) = clamp_split(strategy, n, p, ma, elems - ma);
+        let time = cached_time_estimate(strategy, n, p, sa, sb, budget, model);
+        if best.map(|(t, _)| time < t).unwrap_or(true) {
+            best = Some((time, (sa, sb)));
+        }
+    }
+    best.expect("non-empty search").1
+}
+
+/// Modeled I/O time of a cached execution of the canonical plan at this
+/// split — the cache-aware search objective (reads and write-backs both
+/// priced; hits are free).
+fn cached_time_estimate(
+    strategy: SlabStrategy,
+    n: usize,
+    p: usize,
+    sa: usize,
+    sb: usize,
+    budget: usize,
+    model: &CostModel,
+) -> f64 {
+    let plan = crate::reuse::canonical_gaxpy_plan(strategy, n, p, sa, sb);
+    let t = crate::reuse::gaxpy_cached_totals(&plan, 0, budget);
+    let (mut r_req, mut r_el, mut w_req, mut w_el) = (0u64, 0u64, 0u64, 0u64);
+    for a in t.per_array.values() {
+        r_req += a.read_requests;
+        r_el += a.read_elems;
+        w_req += a.write_requests;
+        w_el += a.write_elems;
+    }
+    model.io_time(r_req, r_el * 4) + model.io_write_time(w_req, w_el * 4)
 }
 
 /// Streaming weights `K_X`: total elements of X moved from disk over the
@@ -176,7 +232,14 @@ mod tests {
     #[test]
     fn equal_split_halves_memory() {
         let elems = 2 * 256 * 128; // Table 2's 512-column budget (x128 elems)
-        let (sa, sb) = split_gaxpy_budget(SlabStrategy::RowSlab, N, P, elems, MemoryPolicy::EqualSplit, &CostModel::delta(P));
+        let (sa, sb) = split_gaxpy_budget(
+            SlabStrategy::RowSlab,
+            N,
+            P,
+            elems,
+            MemoryPolicy::EqualSplit,
+            &CostModel::delta(P),
+        );
         // epi are both 128 for 2K/16: equal thicknesses.
         assert_eq!(sa, sb);
         assert_eq!(sa, 256);
@@ -186,8 +249,14 @@ mod tests {
     fn access_weighted_gives_dominant_array_more() {
         // Column version: A streams N times, B once -> A gets more memory.
         let elems = 1 << 18;
-        let (sa, sb) =
-            split_gaxpy_budget(SlabStrategy::ColumnSlab, N, P, elems, MemoryPolicy::AccessWeighted, &CostModel::delta(P));
+        let (sa, sb) = split_gaxpy_budget(
+            SlabStrategy::ColumnSlab,
+            N,
+            P,
+            elems,
+            MemoryPolicy::AccessWeighted,
+            &CostModel::delta(P),
+        );
         let epi_a = N;
         let epi_b = N / P;
         assert!(
@@ -202,9 +271,22 @@ mod tests {
     fn search_beats_or_matches_equal_split() {
         for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
             let elems = 1 << 17;
-            let (ea, eb) =
-                split_gaxpy_budget(strategy, N, P, elems, MemoryPolicy::EqualSplit, &CostModel::delta(P));
-            let (oa, ob) = split_gaxpy_budget(strategy, N, P, elems, MemoryPolicy::Search, &CostModel::delta(P));
+            let (ea, eb) = split_gaxpy_budget(
+                strategy,
+                N,
+                P,
+                elems,
+                MemoryPolicy::EqualSplit,
+                &CostModel::delta(P),
+            );
+            let (oa, ob) = split_gaxpy_budget(
+                strategy,
+                N,
+                P,
+                elems,
+                MemoryPolicy::Search,
+                &CostModel::delta(P),
+            );
             let m = CostModel::delta(P);
             assert!(
                 time_estimate(strategy, N, P, oa, ob, &m)
@@ -223,10 +305,57 @@ mod tests {
         ] {
             for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
                 for elems in [16usize, 1 << 10, 1 << 24] {
-                    let (sa, sb) = split_gaxpy_budget(strategy, 64, 4, elems, policy, &CostModel::delta(4));
+                    let (sa, sb) =
+                        split_gaxpy_budget(strategy, 64, 4, elems, policy, &CostModel::delta(4));
                     assert!(sa >= 1 && sa <= a_slab_extent(strategy, 64, 4));
                     assert!((1..=64).contains(&sb));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_aware_search_delegates_without_a_cache() {
+        let m = CostModel::delta(4);
+        for policy in [
+            MemoryPolicy::EqualSplit,
+            MemoryPolicy::AccessWeighted,
+            MemoryPolicy::Search,
+        ] {
+            for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+                let plain = split_gaxpy_budget(strategy, 64, 4, 1 << 10, policy, &m);
+                let cached =
+                    split_gaxpy_budget_with_cache(strategy, 64, 4, 1 << 10, policy, &m, None);
+                assert_eq!(plain, cached, "{policy:?} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_aware_search_is_no_worse_under_the_cached_objective() {
+        // Small problem so the replay-based grid search stays fast.
+        let (n, p) = (32, 4);
+        let m = CostModel::delta(p);
+        let budget = 1 << 14;
+        for strategy in [SlabStrategy::ColumnSlab, SlabStrategy::RowSlab] {
+            for elems in [256usize, 1 << 11] {
+                let (ua, ub) = split_gaxpy_budget(strategy, n, p, elems, MemoryPolicy::Search, &m);
+                let (ca, cb) = split_gaxpy_budget_with_cache(
+                    strategy,
+                    n,
+                    p,
+                    elems,
+                    MemoryPolicy::Search,
+                    &m,
+                    Some(budget),
+                );
+                assert!(
+                    cached_time_estimate(strategy, n, p, ca, cb, budget, &m)
+                        <= cached_time_estimate(strategy, n, p, ua, ub, budget, &m) + 1e-9,
+                    "{strategy:?} elems={elems}: cache-aware split ({ca},{cb}) \
+                     worse than uncached-scored split ({ua},{ub})"
+                );
+                assert!(ca >= 1 && cb >= 1);
             }
         }
     }

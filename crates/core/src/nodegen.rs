@@ -312,12 +312,10 @@ pub fn elw_nest(plan: &ElwPlan, rank: usize) -> Vec<NestNode> {
         }
         for rd in &plan.rhs_arrays {
             for &w in &sends {
-                let strip = Section::full(&local_shape)
-                    .with_range(g.dim, DimRange::new(0, w));
+                let strip = Section::full(&local_shape).with_range(g.dim, DimRange::new(0, w));
                 nest.push(NestNode::read(
                     &rd.name,
-                    rd.layout
-                        .count_section_runs(&rd.local_shape(rank), &strip),
+                    rd.layout.count_section_runs(&rd.local_shape(rank), &strip),
                     (w * other) as u64,
                 ));
                 nest.push(NestNode::Comm {
@@ -356,14 +354,14 @@ pub fn elw_nest(plan: &ElwPlan, rank: usize) -> Vec<NestNode> {
             // The read section spans the region widened by all shifts in
             // every dimension, clamped to the local array.
             let mut rsec = sec.clone();
-            for d in 0..local_shape.ndims() {
+            for (d, &shift) in shifts.iter().enumerate().take(local_shape.ndims()) {
                 let rr = rsec.range(d);
                 let (a, b) = if d == plan.slab_dim {
                     (wlo, whi)
                 } else {
                     (
-                        rr.lo.saturating_sub(shifts[d]),
-                        (rr.hi + shifts[d]).min(local_shape.extent(d)),
+                        rr.lo.saturating_sub(shift),
+                        (rr.hi + shift).min(local_shape.extent(d)),
                     )
                 };
                 rsec = rsec.with_range(d, DimRange::new(a, b));
@@ -435,7 +433,11 @@ pub fn transpose_nest(plan: &TransposePlan) -> Vec<NestNode> {
     let rag = extent % t;
     let mut nest = Vec::new();
     if full > 0 {
-        nest.push(NestNode::loop_("l = 1, slabs of src", full as u64, stage(t)));
+        nest.push(NestNode::loop_(
+            "l = 1, slabs of src",
+            full as u64,
+            stage(t),
+        ));
     }
     if rag > 0 {
         nest.extend(stage(rag));
@@ -515,8 +517,7 @@ mod tests {
         assert_eq!(col.slab_a_elems(), row.slab_a_elems());
         let tc = totals(&gaxpy_nest(&col));
         let tr = totals(&gaxpy_nest(&row));
-        let ratio =
-            tc.per_array["a"].read_requests as f64 / tr.per_array["a"].read_requests as f64;
+        let ratio = tc.per_array["a"].read_requests as f64 / tr.per_array["a"].read_requests as f64;
         assert_eq!(ratio, 256.0, "A fetch ratio should be N");
         assert!(
             tc.per_array["a"].read_elems / tr.per_array["a"].read_elems == 256,

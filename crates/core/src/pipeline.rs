@@ -69,6 +69,12 @@ pub struct CompilerOptions {
     pub reorganize_storage: bool,
     /// In-core element budget for elementwise and transpose statements.
     pub elw_slab_elems: usize,
+    /// Byte budget of the runtime slab cache, when the target runs with one
+    /// (`None` = uncached, the default). GAXPY estimates become reuse-aware:
+    /// instead of walking the symbolic nest, the estimator replays the access
+    /// sequence through a predictor-mode cache so estimate == measurement
+    /// still holds under caching.
+    pub cache_budget: Option<usize>,
 }
 
 impl Default for CompilerOptions {
@@ -79,6 +85,7 @@ impl Default for CompilerOptions {
             force_strategy: None,
             reorganize_storage: true,
             elw_slab_elems: 1 << 20,
+            cache_budget: None,
         }
     }
 }
@@ -199,8 +206,7 @@ impl CompiledProgram {
                             );
                         }
                         // The Figure 14 analysis behind the choice.
-                        let rows =
-                            crate::access::fig14_table(alts, &g.a.name, &g.b.name);
+                        let rows = crate::access::fig14_table(alts, &g.a.name, &g.b.name);
                         let _ = writeln!(
                             out,
                             "  access analysis (T_fetch = requests, T_data = elements per processor):"
@@ -370,8 +376,13 @@ pub fn compile_hir(
             let layout = locked[i]
                 .clone()
                 .unwrap_or_else(|| FileLayout::column_major(a.shape.ndims()));
-            ArrayDesc::new(ArrayId(i as u32), a.name.clone(), ElemKind::F32, a.dist.clone())
-                .with_layout(layout)
+            ArrayDesc::new(
+                ArrayId(i as u32),
+                a.name.clone(),
+                ElemKind::F32,
+                a.dist.clone(),
+            )
+            .with_layout(layout)
         })
         .collect();
 
@@ -391,7 +402,16 @@ pub fn compile_hir(
                 plan.b = descs[plan.b.id.0 as usize].clone();
                 plan.c = descs[plan.c.id.0 as usize].clone();
                 let nest = crate::nodegen::gaxpy_nest(&plan);
-                let est = CostEstimate::from_nest(&nest, &model, 4);
+                let est = match options.cache_budget {
+                    // Reuse-aware estimate: replay rank 0's access sequence
+                    // through a predictor-mode slab cache.
+                    Some(budget) => CostEstimate::from_totals(
+                        crate::reuse::gaxpy_cached_totals(&plan, 0, budget),
+                        &model,
+                        4,
+                    ),
+                    None => CostEstimate::from_nest(&nest, &model, 4),
+                };
                 plans.push(ExecPlan::Gaxpy(plan));
                 nests.push(nest);
                 estimates.push(est);
@@ -416,12 +436,11 @@ pub fn compile_hir(
                     }
                     // Every shifted reference must stay inside the global
                     // array over the whole iteration region.
-                    let arr = hir.array(&name).ok_or_else(|| {
-                        CompileError::Plan(format!("undeclared array `{name}`"))
-                    })?;
-                    for d in 0..e.region.ndims() {
+                    let arr = hir
+                        .array(&name)
+                        .ok_or_else(|| CompileError::Plan(format!("undeclared array `{name}`")))?;
+                    for (d, &off) in offs.iter().enumerate().take(e.region.ndims()) {
                         let r = e.region.range(d);
-                        let off = offs[d];
                         let lo = r.lo as isize + off;
                         let hi = (r.hi - 1) as isize + off;
                         if lo < 0 || hi >= arr.shape.extent(d) as isize {
@@ -497,8 +516,7 @@ pub fn compile_hir(
                 let per_array = (options.elw_slab_elems / narr).max(1);
                 let local = lhs_desc.local_shape(0);
                 let probe = SlabPlan::from_memory(local.clone(), local.ndims() - 1, per_array);
-                let slab_dim =
-                    best_elw_slab_dim(e, &lhs_desc, &rhs_descs, 0, probe.thickness());
+                let slab_dim = best_elw_slab_dim(e, &lhs_desc, &rhs_descs, 0, probe.thickness());
                 let plan_sized = SlabPlan::from_memory(local, slab_dim, per_array);
                 let plan = ElwPlan {
                     pre_remaps,
@@ -662,10 +680,7 @@ mod tests {
       end
 ";
         let err = compile_source(src, &CompilerOptions::default()).unwrap_err();
-        assert!(
-            err.to_string().contains("copy-in"),
-            "{err}"
-        );
+        assert!(err.to_string().contains("copy-in"), "{err}");
         // Unshifted in-place update stays legal.
         let ok_src = src.replace("u(i-1, j)", "2.0 * u(i, j)");
         assert!(compile_source(&ok_src, &CompilerOptions::default()).is_ok());

@@ -258,10 +258,7 @@ mod tests {
     fn memory_accounting_is_sum_of_buffers() {
         let g = plan(SlabStrategy::ColumnSlab, 64, 4, 4, 8);
         // A slab 64*4 + B slab 16*8 + temp 64 + C buffer 64*slab_c.
-        assert_eq!(
-            g.memory_elems(),
-            64 * 4 + 16 * 8 + 64 + 64 * g.slab_c
-        );
+        assert_eq!(g.memory_elems(), 64 * 4 + 16 * 8 + 64 + 64 * g.slab_c);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn desired_layouts(strategy: SlabStrategy) -> (FileLayout, FileLayout, FileL
 /// `layouts` are the actual file layouts to use (callers pass the desired
 /// ones, or the already-locked ones when another statement fixed an array's
 /// storage, or column-major when reorganization is disabled — the ablation).
+#[allow(clippy::too_many_arguments)]
 pub fn build_gaxpy_plan(
     ids: (ArrayId, ArrayId, ArrayId),
     arrays: (&HirArray, &HirArray, &HirArray),
@@ -124,16 +125,15 @@ pub fn choose_gaxpy(sel: &GaxpySelection<'_>, model: &CostModel) -> GaxpyChoice 
             sel.locked.1.clone().unwrap_or(desired.1),
             sel.locked.2.clone().unwrap_or(desired.2),
         );
-        let plan =
-            build_gaxpy_plan(sel.ids, sel.arrays, sel.n, sel.p, strategy, sel.sizing, layouts, model);
+        let plan = build_gaxpy_plan(
+            sel.ids, sel.arrays, sel.n, sel.p, strategy, sel.sizing, layouts, model,
+        );
         let nest = gaxpy_nest(&plan);
         let est = CostEstimate::from_nest(&nest, model, 4);
         scored.push((strategy, plan, nest, est));
     }
-    let estimates: Vec<(SlabStrategy, CostEstimate)> = scored
-        .iter()
-        .map(|(s, _, _, e)| (*s, e.clone()))
-        .collect();
+    let estimates: Vec<(SlabStrategy, CostEstimate)> =
+        scored.iter().map(|(s, _, _, e)| (*s, e.clone())).collect();
     let pick = match sel.force {
         Some(f) => scored
             .iter()
@@ -142,11 +142,7 @@ pub fn choose_gaxpy(sel: &GaxpySelection<'_>, model: &CostModel) -> GaxpyChoice 
         None => scored
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.3.time()
-                    .partial_cmp(&b.3.time())
-                    .expect("finite times")
-            })
+            .min_by(|(_, a), (_, b)| a.3.time().partial_cmp(&b.3.time()).expect("finite times"))
             .map(|(i, _)| i)
             .expect("two candidates"),
     };

@@ -102,16 +102,34 @@ mod tests {
     #[test]
     fn ratio_sizing_matches_paper() {
         // 1K arrays on 4 procs: OCLA of A is 1024x256.
-        let s = size_gaxpy(SlabStrategy::ColumnSlab, 1024, 4, SlabSizing::Ratio(0.25), &dmsim::CostModel::delta(4));
+        let s = size_gaxpy(
+            SlabStrategy::ColumnSlab,
+            1024,
+            4,
+            SlabSizing::Ratio(0.25),
+            &dmsim::CostModel::delta(4),
+        );
         assert_eq!(s.a, 64); // 256/4 columns
         assert_eq!(s.b, 256); // 1024/4 columns of B
-        let s1 = size_gaxpy(SlabStrategy::ColumnSlab, 1024, 4, SlabSizing::Ratio(1.0), &dmsim::CostModel::delta(4));
+        let s1 = size_gaxpy(
+            SlabStrategy::ColumnSlab,
+            1024,
+            4,
+            SlabSizing::Ratio(1.0),
+            &dmsim::CostModel::delta(4),
+        );
         assert_eq!(s1.a, 256); // whole OCLA in one slab
     }
 
     #[test]
     fn row_version_ratio_uses_rows() {
-        let s = size_gaxpy(SlabStrategy::RowSlab, 1024, 4, SlabSizing::Ratio(0.125), &dmsim::CostModel::delta(4));
+        let s = size_gaxpy(
+            SlabStrategy::RowSlab,
+            1024,
+            4,
+            SlabSizing::Ratio(0.125),
+            &dmsim::CostModel::delta(4),
+        );
         assert_eq!(s.a, 128); // 1024/8 rows
     }
 
@@ -130,7 +148,13 @@ mod tests {
 
     #[test]
     fn c_buffer_bounded_by_owned_columns() {
-        let s = size_gaxpy(SlabStrategy::RowSlab, 64, 4, SlabSizing::Explicit { a: 32, b: 8 }, &dmsim::CostModel::delta(4));
+        let s = size_gaxpy(
+            SlabStrategy::RowSlab,
+            64,
+            4,
+            SlabSizing::Explicit { a: 32, b: 8 },
+            &dmsim::CostModel::delta(4),
+        );
         assert_eq!(s.c, 32); // row version: one row slab of C per A slab
         let s2 = size_gaxpy(
             SlabStrategy::ColumnSlab,
@@ -145,6 +169,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "slab ratio")]
     fn zero_ratio_rejected() {
-        size_gaxpy(SlabStrategy::ColumnSlab, 64, 4, SlabSizing::Ratio(0.0), &dmsim::CostModel::delta(4));
+        size_gaxpy(
+            SlabStrategy::ColumnSlab,
+            64,
+            4,
+            SlabSizing::Ratio(0.0),
+            &dmsim::CostModel::delta(4),
+        );
     }
 }

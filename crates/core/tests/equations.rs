@@ -23,8 +23,7 @@ fn plan(strategy: SlabStrategy, n: usize, p: usize, sa: usize, sb: usize) -> Gax
     };
     GaxpyPlan {
         strategy,
-        a: ArrayDesc::new(ArrayId(0), "a", ElemKind::F32, col.clone())
-            .with_layout(layout.clone()),
+        a: ArrayDesc::new(ArrayId(0), "a", ElemKind::F32, col.clone()).with_layout(layout.clone()),
         b: ArrayDesc::new(ArrayId(1), "b", ElemKind::F32, row),
         c: ArrayDesc::new(ArrayId(2), "c", ElemKind::F32, col).with_layout(layout),
         n,

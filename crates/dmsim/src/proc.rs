@@ -87,6 +87,22 @@ impl ProcCtx {
         self.stats.record_io_write(requests, bytes, dt);
     }
 
+    /// Record `runs` read accesses of `bytes` served from the slab cache.
+    /// Hits move no data and advance no clock — only the observability
+    /// counters change.
+    pub fn charge_io_cache_hit(&self, runs: u64, bytes: u64) {
+        self.stats.record_cache_hit(runs, bytes);
+    }
+
+    /// Charge a dirty-slab write-back: timed like an ordinary disk write
+    /// and additionally tracked in the write-back counters, so
+    /// `io_write_requests` keeps meaning "requests that reached the disk".
+    pub fn charge_io_write_back(&self, requests: u64, bytes: u64) {
+        let dt = self.cost.io_write_time(requests, bytes);
+        self.clock.advance(dt);
+        self.stats.record_io_write_back(requests, bytes, dt);
+    }
+
     /// Charge an arbitrary fixed delay (used by redistribution setup and the
     /// prefetch pipeline model).
     pub fn charge_seconds(&self, dt: f64) {

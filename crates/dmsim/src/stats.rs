@@ -25,6 +25,10 @@ pub struct ProcStats {
     io_bytes_read: Cell<u64>,
     io_write_requests: Cell<u64>,
     io_bytes_written: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_hit_bytes: Cell<u64>,
+    write_back_requests: Cell<u64>,
+    write_back_bytes: Cell<u64>,
     time_compute: Cell<f64>,
     time_comm: Cell<f64>,
     time_io: Cell<f64>,
@@ -73,6 +77,23 @@ impl ProcStats {
         self.time_io.set(self.time_io.get() + secs);
     }
 
+    /// Record `runs` read accesses of `bytes` served from the slab cache
+    /// (no disk request, no simulated time).
+    pub fn record_cache_hit(&self, runs: u64, bytes: u64) {
+        self.cache_hits.set(self.cache_hits.get() + runs);
+        self.cache_hit_bytes.set(self.cache_hit_bytes.get() + bytes);
+    }
+
+    /// Record a dirty-slab write-back: counted as an ordinary disk write
+    /// *and* in the dedicated write-back counters.
+    pub fn record_io_write_back(&self, requests: u64, bytes: u64, secs: f64) {
+        self.record_io_write(requests, bytes, secs);
+        self.write_back_requests
+            .set(self.write_back_requests.get() + requests);
+        self.write_back_bytes
+            .set(self.write_back_bytes.get() + bytes);
+    }
+
     /// Immutable copy of the current counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -85,6 +106,10 @@ impl ProcStats {
             io_bytes_read: self.io_bytes_read.get(),
             io_write_requests: self.io_write_requests.get(),
             io_bytes_written: self.io_bytes_written.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_hit_bytes: self.cache_hit_bytes.get(),
+            write_back_requests: self.write_back_requests.get(),
+            write_back_bytes: self.write_back_bytes.get(),
             time_compute: self.time_compute.get(),
             time_comm: self.time_comm.get(),
             time_io: self.time_io.get(),
@@ -113,6 +138,14 @@ pub struct StatsSnapshot {
     pub io_write_requests: u64,
     /// Bytes written to disk.
     pub io_bytes_written: u64,
+    /// Read accesses served from the slab cache (no disk request).
+    pub cache_hits: u64,
+    /// Bytes served from the slab cache.
+    pub cache_hit_bytes: u64,
+    /// Dirty-slab write-backs; also counted in `io_write_requests`.
+    pub write_back_requests: u64,
+    /// Bytes written back from dirty slabs; also in `io_bytes_written`.
+    pub write_back_bytes: u64,
     /// Modeled seconds spent computing.
     pub time_compute: f64,
     /// Modeled seconds spent in communication (send + blocked receive).
@@ -152,6 +185,10 @@ impl StatsSnapshot {
             io_bytes_read: self.io_bytes_read + other.io_bytes_read,
             io_write_requests: self.io_write_requests + other.io_write_requests,
             io_bytes_written: self.io_bytes_written + other.io_bytes_written,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_hit_bytes: self.cache_hit_bytes + other.cache_hit_bytes,
+            write_back_requests: self.write_back_requests + other.write_back_requests,
+            write_back_bytes: self.write_back_bytes + other.write_back_bytes,
             time_compute: self.time_compute + other.time_compute,
             time_comm: self.time_comm + other.time_comm,
             time_io: self.time_io + other.time_io,
@@ -183,13 +220,38 @@ mod tests {
     }
 
     #[test]
+    fn cache_counters_are_tracked_separately() {
+        let s = ProcStats::new();
+        s.record_cache_hit(3, 300);
+        s.record_io_write_back(2, 200, 0.1);
+        let snap = s.snapshot();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.cache_hit_bytes, 300);
+        assert_eq!(snap.write_back_requests, 2);
+        assert_eq!(snap.write_back_bytes, 200);
+        // Write-backs are real disk writes too.
+        assert_eq!(snap.io_write_requests, 2);
+        assert_eq!(snap.io_bytes_written, 200);
+        // Hits cost no requests and no time.
+        assert_eq!(snap.io_read_requests, 0);
+        assert!((snap.time_io - 0.1).abs() < 1e-12);
+        let merged = snap.merge(&snap);
+        assert_eq!(merged.cache_hits, 6);
+        assert_eq!(merged.write_back_bytes, 400);
+    }
+
+    #[test]
     fn merge_sums_fields() {
-        let mut a = StatsSnapshot::default();
-        a.flops = 10;
-        a.io_read_requests = 1;
-        let mut b = StatsSnapshot::default();
-        b.flops = 20;
-        b.io_write_requests = 2;
+        let a = StatsSnapshot {
+            flops: 10,
+            io_read_requests: 1,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            flops: 20,
+            io_write_requests: 2,
+            ..StatsSnapshot::default()
+        };
         let c = a.merge(&b);
         assert_eq!(c.flops, 30);
         assert_eq!(c.io_requests(), 3);
@@ -197,11 +259,13 @@ mod tests {
 
     #[test]
     fn io_cost_mirrors_metrics() {
-        let mut s = StatsSnapshot::default();
-        s.io_read_requests = 5;
-        s.io_bytes_read = 100;
-        s.io_write_requests = 3;
-        s.io_bytes_written = 28;
+        let s = StatsSnapshot {
+            io_read_requests: 5,
+            io_bytes_read: 100,
+            io_write_requests: 3,
+            io_bytes_written: 28,
+            ..StatsSnapshot::default()
+        };
         let c = s.io_cost();
         assert_eq!(c.requests, 8);
         assert_eq!(c.bytes, 128);

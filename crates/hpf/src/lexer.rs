@@ -183,9 +183,9 @@ fn tokenize_line(code: &str, line: usize) -> FrontResult<Vec<Tok>> {
                 }
                 let text = &code[start..i];
                 if saw_dot || saw_exp {
-                    let v: f64 = text.parse().map_err(|_| {
-                        FrontError::new(line, format!("bad real literal `{text}`"))
-                    })?;
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| FrontError::new(line, format!("bad real literal `{text}`")))?;
                     toks.push(Tok::Real(v));
                 } else {
                     let v: i64 = text.parse().map_err(|_| {

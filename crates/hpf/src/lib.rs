@@ -26,9 +26,7 @@ pub mod parser;
 pub mod pretty;
 pub mod sema;
 
-pub use ast::{
-    AlignDim, BinOp, Directive, DistSpec, Expr, Program, Stmt, Subscript,
-};
+pub use ast::{AlignDim, BinOp, Directive, DistSpec, Expr, Program, Stmt, Subscript};
 pub use error::{FrontError, FrontResult};
 pub use parser::parse_program;
 pub use pretty::pretty_print;

@@ -20,12 +20,11 @@ pub fn parse_program(source: &str) -> FrontResult<Program> {
     let mut stack: Vec<(Block, Vec<Stmt>)> = Vec::new();
     let mut done = false;
 
-    let push_stmt = |stack: &mut Vec<(Block, Vec<Stmt>)>, prog: &mut Program, s: Stmt| {
-        match stack.last_mut() {
+    let push_stmt =
+        |stack: &mut Vec<(Block, Vec<Stmt>)>, prog: &mut Program, s: Stmt| match stack.last_mut() {
             Some((_, body)) => body.push(s),
             None => prog.stmts.push(s),
-        }
-    };
+        };
 
     for line in &lines {
         if done {
@@ -176,7 +175,10 @@ pub fn parse_program(source: &str) -> FrontResult<Program> {
         expect: &str,
     ) -> FrontResult<()> {
         let Some((block, body)) = stack.pop() else {
-            return Err(FrontError::new(line, format!("`end {expect}` without block")));
+            return Err(FrontError::new(
+                line,
+                format!("`end {expect}` without block"),
+            ));
         };
         let stmt = match block {
             Block::Do { var, lo, hi } => {
@@ -400,7 +402,9 @@ fn parse_primary(cur: &mut Cursor<'_>) -> FrontResult<Expr> {
         }
         other => Err(cur.err(format!(
             "expected expression, found {}",
-            other.map(|t| t.to_string()).unwrap_or_else(|| "end of line".into())
+            other
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of line".into())
         ))),
     }
 }
@@ -580,13 +584,7 @@ mod tests {
                 step: None
             }
         ));
-        assert!(matches!(
-            subs[2],
-            Subscript::Triplet {
-                step: Some(_),
-                ..
-            }
-        ));
+        assert!(matches!(subs[2], Subscript::Triplet { step: Some(_), .. }));
     }
 
     #[test]
@@ -635,10 +633,14 @@ mod tests {
 
     #[test]
     fn distribute_direct_array_form() {
-        let prog =
-            parse_program("!hpf$ processors p(4)\n!hpf$ distribute a(block, *) on p\nend\n")
-                .unwrap();
-        let Directive::Distribute { target, specs, procs } = &prog.directives[1] else {
+        let prog = parse_program("!hpf$ processors p(4)\n!hpf$ distribute a(block, *) on p\nend\n")
+            .unwrap();
+        let Directive::Distribute {
+            target,
+            specs,
+            procs,
+        } = &prog.directives[1]
+        else {
             panic!()
         };
         assert_eq!(target, "a");

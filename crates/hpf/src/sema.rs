@@ -57,9 +57,10 @@ pub fn eval_const(e: &Expr, params: &HashMap<String, i64>) -> FrontResult<i64> {
     match e {
         Expr::Int(v) => Ok(*v),
         Expr::Real(_) => Err(FrontError::new(0, "real literal in constant context")),
-        Expr::Var(name) => params.get(name).copied().ok_or_else(|| {
-            FrontError::new(0, format!("`{name}` is not a constant parameter"))
-        }),
+        Expr::Var(name) => params
+            .get(name)
+            .copied()
+            .ok_or_else(|| FrontError::new(0, format!("`{name}` is not a constant parameter"))),
         Expr::Neg(inner) => Ok(-eval_const(inner, params)?),
         Expr::Bin(op, l, r) => {
             let a = eval_const(l, params)?;
@@ -204,7 +205,10 @@ pub fn analyze(prog: &Program) -> FrontResult<ProgramInfo> {
     if grids.len() != 1 {
         return Err(FrontError::new(
             0,
-            format!("expected exactly one processors directive, found {}", grids.len()),
+            format!(
+                "expected exactly one processors directive, found {}",
+                grids.len()
+            ),
         ));
     }
     let (_grid_name, grid_extents) = grids.iter().next().expect("one grid");
@@ -487,11 +491,7 @@ mod tests {
     fn eval_const_errors() {
         let params = HashMap::new();
         assert!(eval_const(&Expr::var("zz"), &params).is_err());
-        assert!(eval_const(
-            &Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0)),
-            &params
-        )
-        .is_err());
+        assert!(eval_const(&Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0)), &params).is_err());
         assert_eq!(
             eval_const(&Expr::Neg(Box::new(Expr::Int(5))), &params).unwrap(),
             -5

@@ -13,12 +13,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Div),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::bin(op, l, r)),
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
             (inner.clone(), inner.clone(), "[f-h]").prop_map(|(i, j, name)| Expr::ArrayRef {

@@ -134,8 +134,10 @@ pub fn execute_prefetched(
             if coord > 0 && g.lo_width > 0 {
                 let nb = plan.lhs.local_shape(rank - 1);
                 let nb_ext = nb.extent(g.dim);
-                let sec = Section::full(&nb)
-                    .with_range(g.dim, DimRange::new(nb_ext.saturating_sub(g.lo_width), nb_ext));
+                let sec = Section::full(&nb).with_range(
+                    g.dim,
+                    DimRange::new(nb_ext.saturating_sub(g.lo_width), nb_ext),
+                );
                 let data = ctx.recv_expect(rank - 1, GHOST_TAG).into_f32();
                 debug_assert_eq!(data.len(), sec.len());
                 ghost.lo = Some((sec, data));
@@ -201,10 +203,10 @@ pub fn execute_prefetched(
         let mut inputs: Vec<(Section, Vec<f32>)> = Vec::with_capacity(plan.rhs_arrays.len());
         for rd in &plan.rhs_arrays {
             let mut sec = out_sec.clone();
-            for d in 0..ndims {
+            for (d, &shift) in stmt_shifts.iter().enumerate().take(ndims) {
                 let rr = sec.range(d);
-                let a = rr.lo.saturating_sub(stmt_shifts[d]);
-                let b = (rr.hi + stmt_shifts[d]).min(local_shape.extent(d));
+                let a = rr.lo.saturating_sub(shift);
+                let b = (rr.hi + shift).min(local_shape.extent(d));
                 sec = sec.with_range(d, DimRange::new(a, b));
             }
             let data = if prefetch {
@@ -234,9 +236,8 @@ pub fn execute_prefetched(
         } else {
             ctx.charge_flops(out_sec.len() as u64 * plan.flops_per_point);
         }
-        peak = peak.max(
-            ghost_peak + out.len() + inputs.iter().map(|(_, d)| d.len()).sum::<usize>(),
-        );
+        peak =
+            peak.max(ghost_peak + out.len() + inputs.iter().map(|(_, d)| d.len()).sum::<usize>());
 
         env.write_section(&plan.lhs, &out_sec, &out, ctx)?;
         lo = hi;
@@ -330,9 +331,8 @@ fn sample(
 fn section_cm_index(sec: &Section, target: &[isize]) -> usize {
     let mut pos = 0usize;
     let mut stride = 1usize;
-    for d in 0..sec.ndims() {
+    for (d, &t) in target.iter().enumerate().take(sec.ndims()) {
         let r = sec.range(d);
-        let t = target[d];
         debug_assert!(
             t >= r.lo as isize && (t as usize) < r.hi,
             "target {t} outside section dim {d} [{}, {})",
@@ -608,13 +608,11 @@ mod tests {
             });
             let s0 = report.per_proc()[0].stats;
             assert_eq!(
-                s0.io_read_requests,
-                predicted.per_array["u"].read_requests,
+                s0.io_read_requests, predicted.per_array["u"].read_requests,
                 "t={thickness}"
             );
             assert_eq!(
-                s0.io_write_requests,
-                predicted.per_array["v"].write_requests,
+                s0.io_write_requests, predicted.per_array["v"].write_requests,
                 "t={thickness}"
             );
         }

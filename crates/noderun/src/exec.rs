@@ -53,6 +53,12 @@ pub struct RunConfig {
     pub export: Vec<(String, std::path::PathBuf)>,
     /// Arrays to gather into global buffers after the run (verification).
     pub collect: Vec<String>,
+    /// Byte budget of a slab reuse cache in front of each logical disk
+    /// (`None` = uncached, the default). The cache is enabled after the
+    /// uncharged setup (allocation, init, import) so it starts cold, and
+    /// flushed — charged — after every plan, so dirty slabs always reach
+    /// disk inside the timed region.
+    pub cache_budget: Option<usize>,
 }
 
 /// Execution failure.
@@ -114,7 +120,9 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, Ru
     }
     for name in &cfg.collect {
         if compiled.hir.array(name).is_none() {
-            return Err(RunError::Config(format!("cannot collect unknown array `{name}`")));
+            return Err(RunError::Config(format!(
+                "cannot collect unknown array `{name}`"
+            )));
         }
     }
     for (name, _) in cfg.import.iter().chain(cfg.export.iter()) {
@@ -154,7 +162,10 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, Ru
                     .expect("collected on every rank")
             })
             .collect();
-        collected.insert(name.clone(), crate::verify::assemble_global(desc, &per_rank));
+        collected.insert(
+            name.clone(),
+            crate::verify::assemble_global(desc, &per_rank),
+        );
     }
 
     let peak_elems = rank_results.iter().map(|r| r.peak_elems).max().unwrap_or(0);
@@ -201,6 +212,12 @@ fn execute_rank(
         ooc_array::import_array(&mut env, desc, dir)?;
     }
 
+    // Setup (allocation, init, import) is uncharged and must stay uncached
+    // so the cache starts cold and only captures the plans' reuse.
+    if let Some(budget) = cfg.cache_budget {
+        env.enable_cache(budget);
+    }
+
     let mut peak = 0usize;
     for plan in &compiled.plans {
         let used = match plan {
@@ -211,6 +228,9 @@ fn execute_rank(
             ExecPlan::Transpose(t) => crate::transpose::execute(ctx, &mut env, t)?,
         };
         peak = peak.max(used);
+        // Dirty slabs are part of the statement's I/O: write them back,
+        // charged, before the next statement (or collection) observes them.
+        env.flush_cache(ctx)?;
     }
 
     for (name, dir) in &cfg.export {

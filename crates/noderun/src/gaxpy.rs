@@ -129,8 +129,7 @@ fn column_version(
             let mut a_lo = 0usize;
             while a_lo < lc_a {
                 let a_hi = (a_lo + plan.slab_a).min(lc_a);
-                let a_sec =
-                    Section::new(vec![DimRange::new(0, n), DimRange::new(a_lo, a_hi)]);
+                let a_sec = Section::new(vec![DimRange::new(0, n), DimRange::new(a_lo, a_hi)]);
                 let a_icla = if prefetch {
                     read_overlapped(env, &plan.a, &a_sec, ctx, &mut pending_flops)?
                 } else {
@@ -162,7 +161,15 @@ fn column_version(
                 cbuf.extend_from_slice(&column);
                 next_c_col += 1;
                 if next_c_col - cbuf_start_col == plan.slab_c {
-                    flush_c_columns(env, plan, rank, &mut cbuf, cbuf_start_col, next_c_col, charge)?;
+                    flush_c_columns(
+                        env,
+                        plan,
+                        rank,
+                        &mut cbuf,
+                        cbuf_start_col,
+                        next_c_col,
+                        charge,
+                    )?;
                     cbuf_start_col = next_c_col;
                 }
             }
@@ -172,7 +179,15 @@ fn column_version(
 
     // Ragged final C buffer.
     if next_c_col > cbuf_start_col {
-        flush_c_columns(env, plan, rank, &mut cbuf, cbuf_start_col, next_c_col, charge)?;
+        flush_c_columns(
+            env,
+            plan,
+            rank,
+            &mut cbuf,
+            cbuf_start_col,
+            next_c_col,
+            charge,
+        )?;
     }
     debug_assert_eq!(next_c_col, lc_c, "every owned column produced");
     Ok(peak)
@@ -380,8 +395,7 @@ mod tests {
                 "{strategy:?} read elems"
             );
             assert_eq!(
-                per0.io_write_requests,
-                predicted.per_array["c"].write_requests,
+                per0.io_write_requests, predicted.per_array["c"].write_requests,
                 "{strategy:?} write requests"
             );
             assert_eq!(
@@ -390,6 +404,108 @@ mod tests {
                 "{strategy:?} write elems"
             );
         }
+    }
+
+    fn run_plan_cached(plan: &GaxpyPlan, budget: usize) -> (Vec<f32>, dmsim::RunReport) {
+        let p = plan.nprocs;
+        let machine = Machine::new(MachineConfig::delta(p));
+        let (report, results) = machine.run_with(|ctx| {
+            let mut env = OocEnv::in_memory(ctx.rank());
+            env.alloc(&plan.a).unwrap();
+            env.alloc(&plan.b).unwrap();
+            env.alloc(&plan.c).unwrap();
+            env.load_global(&plan.a, &fa).unwrap();
+            env.load_global(&plan.b, &fb).unwrap();
+            // Cache goes live after the uncharged setup, cold — exactly
+            // what the reuse predictor models.
+            env.enable_cache(budget);
+            execute(ctx, &mut env, plan, false).unwrap();
+            env.flush_cache(ctx).unwrap();
+            env.read_local_all(&plan.c).unwrap()
+        });
+        let locals: Vec<&[f32]> = results.iter().map(|v| v.as_slice()).collect();
+        let (_, c) = assemble_global(&plan.c, &locals);
+        (c, report)
+    }
+
+    #[test]
+    fn cached_measured_io_matches_the_reuse_predictor_exactly() {
+        let n = 16;
+        let p = 4;
+        let expect = ref_gaxpy(n, &fa, &fb);
+        for (strategy, sa, sb, budget) in [
+            // One resident A slab (sa = lc): budget of A + B slab + C buffer
+            // turns all A re-reads into hits.
+            (
+                SlabStrategy::ColumnSlab,
+                4,
+                4,
+                (16 * 4 + 4 * 4 + 16 * 4) * 4,
+            ),
+            // Generous budget, small slabs.
+            (SlabStrategy::ColumnSlab, 2, 4, 1 << 20),
+            (SlabStrategy::ColumnSlab, 3, 5, 1 << 20), // ragged
+            (SlabStrategy::RowSlab, 4, 4, 1 << 20),
+            (SlabStrategy::RowSlab, 5, 7, 1 << 20), // ragged
+            // Tiny budget: constant eviction, still exact.
+            (SlabStrategy::ColumnSlab, 2, 4, 256),
+            (SlabStrategy::RowSlab, 4, 4, 0),
+        ] {
+            let plan = make_plan(strategy, n, p, sa, sb);
+            let predicted = ooc_core::reuse::gaxpy_cached_totals(&plan, 0, budget);
+            let (c, report) = run_plan_cached(&plan, budget);
+            assert!(
+                max_abs_diff(&c, &expect) < 1e-3,
+                "{strategy:?} budget={budget} wrong result"
+            );
+            let per0 = report.per_proc()[0].stats;
+            assert_eq!(
+                per0.io_read_requests,
+                predicted.per_array["a"].read_requests + predicted.per_array["b"].read_requests,
+                "{strategy:?} sa={sa} sb={sb} budget={budget} read requests"
+            );
+            assert_eq!(
+                per0.io_bytes_read / 4,
+                predicted.per_array["a"].read_elems + predicted.per_array["b"].read_elems,
+                "{strategy:?} budget={budget} read elems"
+            );
+            assert_eq!(
+                per0.io_write_requests, predicted.per_array["c"].write_requests,
+                "{strategy:?} budget={budget} write requests"
+            );
+            assert_eq!(
+                per0.io_bytes_written / 4,
+                predicted.per_array["c"].write_elems,
+                "{strategy:?} budget={budget} write elems"
+            );
+        }
+    }
+
+    #[test]
+    fn a_resident_cache_budget_cuts_requests_and_time() {
+        // slab_a = lc makes A one slab revisited for every column of C; a
+        // budget holding A + a B slab + the C buffer captures all of that
+        // reuse. Requests and simulated time must strictly drop.
+        let n = 16;
+        let p = 4;
+        let plan = make_plan(SlabStrategy::ColumnSlab, n, p, n / p, 4);
+        let budget = (n * (n / p) + (n / p) * plan.slab_b + n * plan.slab_c) * 4;
+        let (_, base) = run_plan(&plan);
+        let (_, cached) = run_plan_cached(&plan, budget);
+        let (b0, c0) = (base.per_proc()[0].stats, cached.per_proc()[0].stats);
+        assert!(
+            c0.io_requests() < b0.io_requests(),
+            "cached {} !< uncached {}",
+            c0.io_requests(),
+            b0.io_requests()
+        );
+        assert!(c0.cache_hits > 0, "reuse must register as hits");
+        assert!(
+            cached.elapsed() < base.elapsed(),
+            "cached {} !< uncached {}",
+            cached.elapsed(),
+            base.elapsed()
+        );
     }
 
     #[test]

@@ -129,13 +129,13 @@ pub fn run_linear(
 
         // Base source position of the output origin, and per-dim strides.
         let mut base = 0isize;
-        for d in 0..ndims {
+        for (d, &stride) in in_strides.iter().enumerate().take(ndims) {
             let src0 = out_sec.range(d).lo as isize + term.offsets[d] - in_sec.range(d).lo as isize;
             debug_assert!(
                 src0 >= 0 && (src0 as usize) < in_sec.range(d).len().max(1),
                 "term offset leaves the input section (dim {d})"
             );
-            base += src0 * in_strides[d] as isize;
+            base += src0 * stride as isize;
         }
 
         // Iterate outer dims (1..ndims) with an odometer; inner dim 0 is a

@@ -128,21 +128,37 @@ mod tests {
     fn flattening_unrolls_loops_in_order() {
         let nest = vec![
             N::read("b", 1, 10),
-            N::loop_(
-                "l",
-                2,
-                vec![N::read("a", 1, 5), N::write("c", 2, 5)],
-            ),
+            N::loop_("l", 2, vec![N::read("a", 1, 5), N::write("c", 2, 5)]),
         ];
         let seq = expected_io_sequence(&nest, 4, 100).unwrap();
         assert_eq!(
             seq,
             vec![
-                IoOp { read: true, requests: 1, bytes: 40 },
-                IoOp { read: true, requests: 1, bytes: 20 },
-                IoOp { read: false, requests: 2, bytes: 20 },
-                IoOp { read: true, requests: 1, bytes: 20 },
-                IoOp { read: false, requests: 2, bytes: 20 },
+                IoOp {
+                    read: true,
+                    requests: 1,
+                    bytes: 40
+                },
+                IoOp {
+                    read: true,
+                    requests: 1,
+                    bytes: 20
+                },
+                IoOp {
+                    read: false,
+                    requests: 2,
+                    bytes: 20
+                },
+                IoOp {
+                    read: true,
+                    requests: 1,
+                    bytes: 20
+                },
+                IoOp {
+                    read: false,
+                    requests: 2,
+                    bytes: 20
+                },
             ]
         );
     }

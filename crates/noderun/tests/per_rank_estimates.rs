@@ -66,24 +66,21 @@ fn every_rank_matches_its_own_nest_even_when_p_does_not_divide_n() {
         for rank in 0..p {
             let predicted = totals(&gaxpy_nest_for(&plan, rank));
             let measured = report.per_proc()[rank].stats;
-            let pred_read_reqs: u64 = predicted
-                .per_array
-                .values()
-                .map(|a| a.read_requests)
-                .sum();
-            let pred_read_elems: u64 =
-                predicted.per_array.values().map(|a| a.read_elems).sum();
-            let pred_write_reqs: u64 = predicted
-                .per_array
-                .values()
-                .map(|a| a.write_requests)
-                .sum();
-            let pred_write_elems: u64 =
-                predicted.per_array.values().map(|a| a.write_elems).sum();
+            let pred_read_reqs: u64 = predicted.per_array.values().map(|a| a.read_requests).sum();
+            let pred_read_elems: u64 = predicted.per_array.values().map(|a| a.read_elems).sum();
+            let pred_write_reqs: u64 = predicted.per_array.values().map(|a| a.write_requests).sum();
+            let pred_write_elems: u64 = predicted.per_array.values().map(|a| a.write_elems).sum();
             let tag = format!("{strategy:?} n={n} p={p} sa={sa} sb={sb} rank={rank}");
             assert_eq!(measured.io_read_requests, pred_read_reqs, "{tag} read reqs");
-            assert_eq!(measured.io_bytes_read / 4, pred_read_elems, "{tag} read elems");
-            assert_eq!(measured.io_write_requests, pred_write_reqs, "{tag} write reqs");
+            assert_eq!(
+                measured.io_bytes_read / 4,
+                pred_read_elems,
+                "{tag} read elems"
+            );
+            assert_eq!(
+                measured.io_write_requests, pred_write_reqs,
+                "{tag} write reqs"
+            );
             assert_eq!(
                 measured.io_bytes_written / 4,
                 pred_write_elems,

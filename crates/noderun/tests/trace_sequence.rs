@@ -40,7 +40,7 @@ fn executor_io_sequence_matches_the_node_program() {
         (SlabStrategy::ColumnSlab, 2, 4),
         (SlabStrategy::ColumnSlab, 3, 5), // ragged everywhere
         (SlabStrategy::RowSlab, 4, 4),
-        (SlabStrategy::RowSlab, 5, 7), // ragged
+        (SlabStrategy::RowSlab, 5, 7),  // ragged
         (SlabStrategy::RowSlab, 4, 16), // B resident (hoisted read)
     ] {
         let n = 16;
@@ -82,8 +82,18 @@ fn executor_io_sequence_matches_the_node_program() {
 #[test]
 fn sequence_differs_between_strategies() {
     // Sanity: the two translations are genuinely different programs.
-    let a = expected_io_sequence(&gaxpy_nest(&make_plan(SlabStrategy::ColumnSlab, 16, 4, 2, 4)), 4, 100_000).unwrap();
-    let b = expected_io_sequence(&gaxpy_nest(&make_plan(SlabStrategy::RowSlab, 16, 4, 4, 4)), 4, 100_000).unwrap();
+    let a = expected_io_sequence(
+        &gaxpy_nest(&make_plan(SlabStrategy::ColumnSlab, 16, 4, 2, 4)),
+        4,
+        100_000,
+    )
+    .unwrap();
+    let b = expected_io_sequence(
+        &gaxpy_nest(&make_plan(SlabStrategy::RowSlab, 16, 4, 4, 4)),
+        4,
+        100_000,
+    )
+    .unwrap();
     assert_ne!(a, b);
     assert!(a.len() > b.len(), "column version issues more operations");
 }

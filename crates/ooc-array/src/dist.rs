@@ -374,8 +374,8 @@ mod tests {
             let l = d.local_index(0, g);
             assert_eq!(d.global_index(0, c, l), g);
         }
-        for c in 0..4 {
-            assert_eq!(per_proc[c], d.local_extent(0, c), "coord {c}");
+        for (c, &owned) in per_proc.iter().enumerate() {
+            assert_eq!(owned, d.local_extent(0, c), "coord {c}");
         }
         // Owned ranges are strided.
         let r = d.owned_range(0, 1).unwrap();
@@ -402,10 +402,10 @@ mod tests {
             assert_eq!(d.global_index(0, c, l), g, "g={g}");
             seen[c].push(l);
         }
-        for c in 0..3 {
-            assert_eq!(seen[c].len(), d.local_extent(0, c), "coord {c}");
+        for (c, locals) in seen.iter().enumerate() {
+            assert_eq!(locals.len(), d.local_extent(0, c), "coord {c}");
             // Local indices are dense 0..extent.
-            let mut s = seen[c].clone();
+            let mut s = locals.clone();
             s.sort_unstable();
             assert_eq!(s, (0..s.len()).collect::<Vec<_>>(), "coord {c}");
         }
@@ -473,8 +473,8 @@ mod tests {
                 prop_assert_eq!(d.global_index(0, c, l), g);
                 counts[c] += 1;
             }
-            for c in 0..p {
-                prop_assert_eq!(counts[c], d.local_extent(0, c));
+            for (c, &count) in counts.iter().enumerate() {
+                prop_assert_eq!(count, d.local_extent(0, c));
             }
             prop_assert_eq!(counts.iter().sum::<usize>(), n);
         }

@@ -89,11 +89,7 @@ impl FileLayout {
     /// layout.
     pub fn linear(&self, shape: &Shape, index: &[usize]) -> usize {
         let strides = self.strides(shape);
-        index
-            .iter()
-            .zip(&strides)
-            .map(|(&i, &s)| i * s)
-            .sum()
+        index.iter().zip(&strides).map(|(&i, &s)| i * s).sum()
     }
 
     /// Decompose `section` of a local array of `shape` into contiguous
@@ -198,11 +194,7 @@ impl FileLayout {
         &'a self,
         section: &'a Section,
     ) -> impl Iterator<Item = Vec<usize>> + 'a {
-        let counts: Vec<usize> = self
-            .order
-            .iter()
-            .map(|&d| section.range(d).len())
-            .collect();
+        let counts: Vec<usize> = self.order.iter().map(|&d| section.range(d).len()).collect();
         let total: usize = counts.iter().product();
         let order = &self.order;
         (0..total).map(move |mut k| {

@@ -28,7 +28,10 @@ pub mod slab;
 
 pub use dist::{DimDist, DistKind, Distribution, ProcGrid};
 pub use layout::FileLayout;
-pub use localize::{global_section_of_local, global_to_local, local_part, local_section_of_global, local_to_global, owner_of};
+pub use localize::{
+    global_section_of_local, global_to_local, local_part, local_section_of_global, local_to_global,
+    owner_of,
+};
 pub use ocla::{ArrayDesc, ArrayId, OocEnv};
 pub use persist::{export_array, import_array};
 pub use redist::{redistribute, relayout_in_place};

@@ -129,7 +129,7 @@ mod tests {
         let local = local_section_of_global(&d, 2, &global).unwrap();
         assert_eq!(local.range(0), DimRange::new(0, 8));
         assert_eq!(local.range(1), DimRange::new(0, 2)); // cols 4,5 -> local 0,1
-        // Proc 0 owns columns 0..2, disjoint from 3..7.
+                                                         // Proc 0 owns columns 0..2, disjoint from 3..7.
         assert!(local_section_of_global(&d, 0, &global).is_none());
     }
 

@@ -112,6 +112,28 @@ impl OocEnv {
         self.sieve = policy;
     }
 
+    /// Put a slab reuse cache of `budget` bytes in front of this
+    /// processor's logical disk. Section reads covered by cached slabs are
+    /// free; section writes are buffered until eviction or
+    /// [`OocEnv::flush_cache`]. Enable only after uncharged setup
+    /// (allocation, `load_global`) so the cache starts cold with the
+    /// measured region.
+    pub fn enable_cache(&mut self, budget: usize) {
+        self.disk.enable_cache(budget);
+    }
+
+    /// True when a slab cache is active on the logical disk.
+    pub fn cache_enabled(&self) -> bool {
+        self.disk.cache_enabled()
+    }
+
+    /// Write back all dirty cached slabs, charging the write-backs to
+    /// `charge`. Call after each plan so buffered output reaches the LAFs
+    /// before anything else reads them uncached.
+    pub fn flush_cache(&mut self, charge: &dyn IoCharge) -> Result<(), IoError> {
+        self.disk.flush_cache(charge)
+    }
+
     /// This environment's processor rank.
     pub fn rank(&self) -> usize {
         self.rank
@@ -237,7 +259,11 @@ impl OocEnv {
 
 /// Reorder a buffer delivered in `layout` order of `section` into section
 /// column-major order.
-pub(crate) fn reorder_layout_to_cm(layout: &FileLayout, section: &Section, raw: Vec<f32>) -> Vec<f32> {
+pub(crate) fn reorder_layout_to_cm(
+    layout: &FileLayout,
+    section: &Section,
+    raw: Vec<f32>,
+) -> Vec<f32> {
     if layout_is_cm(layout) {
         return raw;
     }
@@ -367,7 +393,8 @@ mod tests {
             let desc = desc_col_block(6, 3, layout);
             let mut env = OocEnv::in_memory(2);
             env.alloc(&desc).unwrap();
-            env.load_global(&desc, &|g| (10 * g[0] + g[1]) as f32).unwrap();
+            env.load_global(&desc, &|g| (10 * g[0] + g[1]) as f32)
+                .unwrap();
             let s = Section::new(vec![DimRange::new(1, 4), DimRange::new(0, 2)]);
             let buf = env.read_section_uncharged(&desc, &s).unwrap();
             // Section CM order: rows fastest. Rank 2 owns global cols 4..6.
@@ -424,13 +451,17 @@ mod tests {
 
         let mut direct = OocEnv::in_memory(0);
         direct.alloc(&desc).unwrap();
-        direct.load_global(&desc, &|g| (g[0] * 100 + g[1]) as f32).unwrap();
+        direct
+            .load_global(&desc, &|g| (g[0] * 100 + g[1]) as f32)
+            .unwrap();
         let want = direct.read_section_uncharged(&desc, &row_slab).unwrap();
         let direct_stats = direct.disk().stats();
 
         let mut sieved = OocEnv::in_memory(0);
         sieved.alloc(&desc).unwrap();
-        sieved.load_global(&desc, &|g| (g[0] * 100 + g[1]) as f32).unwrap();
+        sieved
+            .load_global(&desc, &|g| (g[0] * 100 + g[1]) as f32)
+            .unwrap();
         sieved.set_sieve_policy(pario::SievePolicy::Always);
         let got = sieved.read_section_uncharged(&desc, &row_slab).unwrap();
         let sieved_stats = sieved.disk().stats();
@@ -439,6 +470,36 @@ mod tests {
         assert_eq!(direct_stats.read_requests, n as u64);
         assert_eq!(sieved_stats.read_requests, 1);
         assert!(sieved_stats.bytes_read > direct_stats.bytes_read);
+    }
+
+    #[test]
+    fn cached_reads_hit_and_writes_buffer() {
+        let desc = desc_col_block(8, 2, FileLayout::column_major(2));
+        let mut env = OocEnv::in_memory(0);
+        env.alloc(&desc).unwrap();
+        env.load_global(&desc, &|g| (g[0] * 10 + g[1]) as f32)
+            .unwrap();
+        env.enable_cache(1 << 16);
+        assert!(env.cache_enabled());
+        let s = Section::new(vec![DimRange::full(8), DimRange::new(0, 2)]);
+        let first = env.read_section_uncharged(&desc, &s).unwrap();
+        let base = env.disk().stats();
+        let second = env.read_section_uncharged(&desc, &s).unwrap();
+        assert_eq!(first, second, "cache must not change section contents");
+        let after = env.disk().stats();
+        assert_eq!(after.read_requests, base.read_requests, "repeat read hits");
+        assert_eq!(after.cache_hits, base.cache_hits + 1);
+        // Writes buffer until flushed and stay visible to reads meanwhile.
+        // (`load_global` already issued one uncached setup write.)
+        let writes_before = env.disk().stats().write_requests;
+        let data: Vec<f32> = (0..s.len()).map(|i| i as f32).collect();
+        env.write_section(&desc, &s, &data, &NoCharge).unwrap();
+        assert_eq!(env.disk().stats().write_requests, writes_before);
+        let back = env.read_section_uncharged(&desc, &s).unwrap();
+        assert_eq!(back, data);
+        env.flush_cache(&NoCharge).unwrap();
+        assert_eq!(env.disk().stats().write_requests, writes_before + 1);
+        assert_eq!(env.disk().stats().write_back_requests, 1);
     }
 
     #[test]

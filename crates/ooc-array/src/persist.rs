@@ -134,7 +134,8 @@ mod tests {
         let d_cm = desc(FileLayout::column_major(2));
         let mut env = OocEnv::in_memory(1);
         env.alloc(&d_cm).unwrap();
-        env.load_global(&d_cm, &|g| (g[0] * 100 + g[1]) as f32).unwrap();
+        env.load_global(&d_cm, &|g| (g[0] * 100 + g[1]) as f32)
+            .unwrap();
         export_array(&mut env, &d_cm, &dir).unwrap();
         let original = env.read_local_all(&d_cm).unwrap();
 

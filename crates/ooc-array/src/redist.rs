@@ -91,8 +91,8 @@ pub fn redistribute(
     let me = ctx.rank();
     let p = ctx.nprocs();
 
-    let my_src_global = global_section_of_local(&src.dist, me)
-        .expect("regular source distribution required");
+    let my_src_global =
+        global_section_of_local(&src.dist, me).expect("regular source distribution required");
 
     // Send phase (unbounded channels: sends never block on capacity).
     for dst_rank in 0..p {
@@ -101,12 +101,12 @@ pub fn redistribute(
         let Some(isect) = my_src_global.intersect(&their_dst_global) else {
             continue;
         };
-        let local_src = local_section_of_global(&src.dist, me, &isect)
-            .expect("sender owns intersection");
+        let local_src =
+            local_section_of_global(&src.dist, me, &isect).expect("sender owns intersection");
         let data = env.read_section(src, &local_src, charge)?;
         if dst_rank == me {
-            let local_dst = local_section_of_global(&dst.dist, me, &isect)
-                .expect("receiver owns intersection");
+            let local_dst =
+                local_section_of_global(&dst.dist, me, &isect).expect("receiver owns intersection");
             env.write_section(dst, &local_dst, &data, charge)?;
         } else {
             ctx.send(dst_rank, REDIST_TAG, Payload::F32(data));
@@ -114,8 +114,8 @@ pub fn redistribute(
     }
 
     // Receive phase.
-    let my_dst_global = global_section_of_local(&dst.dist, me)
-        .expect("regular destination distribution required");
+    let my_dst_global =
+        global_section_of_local(&dst.dist, me).expect("regular destination distribution required");
     for src_rank in 0..p {
         if src_rank == me {
             continue;
@@ -126,8 +126,8 @@ pub fn redistribute(
             continue;
         };
         let data = ctx.recv_expect(src_rank, REDIST_TAG).into_f32();
-        let local_dst = local_section_of_global(&dst.dist, me, &isect)
-            .expect("receiver owns intersection");
+        let local_dst =
+            local_section_of_global(&dst.dist, me, &isect).expect("receiver owns intersection");
         assert_eq!(data.len(), local_dst.len(), "redistribute payload size");
         env.write_section(dst, &local_dst, &data, charge)?;
     }
@@ -178,14 +178,8 @@ mod tests {
         let mut env = OocEnv::in_memory(0);
         env.alloc(&desc).unwrap();
         let stats_before = env.disk().stats();
-        let nd = relayout_in_place(
-            &mut env,
-            &desc,
-            FileLayout::column_major(2),
-            4,
-            &NoCharge,
-        )
-        .unwrap();
+        let nd =
+            relayout_in_place(&mut env, &desc, FileLayout::column_major(2), 4, &NoCharge).unwrap();
         assert_eq!(nd, desc);
         assert_eq!(env.disk().stats(), stats_before);
     }

@@ -186,12 +186,7 @@ impl Section {
 
     /// Membership test for a multi-index.
     pub fn contains(&self, index: &[usize]) -> bool {
-        index.len() == self.ndims()
-            && self
-                .ranges
-                .iter()
-                .zip(index)
-                .all(|(r, &i)| r.contains(i))
+        index.len() == self.ndims() && self.ranges.iter().zip(index).all(|(r, &i)| r.contains(i))
     }
 
     /// Iterate the selected multi-indices in column-major order (dimension 0
@@ -254,10 +249,7 @@ mod tests {
     fn section_indices_cm_order() {
         let s = Section::new(vec![DimRange::new(1, 3), DimRange::new(5, 7)]);
         let idx: Vec<_> = s.indices().collect();
-        assert_eq!(
-            idx,
-            vec![vec![1, 5], vec![2, 5], vec![1, 6], vec![2, 6]]
-        );
+        assert_eq!(idx, vec![vec![1, 5], vec![2, 5], vec![1, 6], vec![2, 6]]);
     }
 
     #[test]

@@ -38,8 +38,7 @@ impl SlabPlan {
             .filter(|&d| d != slab_dim)
             .map(|d| local_shape.extent(d))
             .fold(1, |a, b| a * b.max(1));
-        let thickness = (max_elems / others.max(1))
-            .clamp(1, local_shape.extent(slab_dim).max(1));
+        let thickness = (max_elems / others.max(1)).clamp(1, local_shape.extent(slab_dim).max(1));
         SlabPlan::new(local_shape, slab_dim, thickness)
     }
 
@@ -69,7 +68,9 @@ impl SlabPlan {
 
     /// Number of slabs (stages of the stripmined loop).
     pub fn num_slabs(&self) -> usize {
-        self.local_shape.extent(self.slab_dim).div_ceil(self.thickness)
+        self.local_shape
+            .extent(self.slab_dim)
+            .div_ceil(self.thickness)
     }
 
     /// Maximum elements of any slab — the ICLA size this plan requires.

@@ -32,7 +32,10 @@ pub trait StorageBackend: Send {
 }
 
 fn check_bounds(id: u64, offset: u64, len: usize, file_len: u64) -> Result<()> {
-    let needed = offset + len as u64;
+    // `offset + len` can wrap for adversarial offsets near `u64::MAX`, which
+    // would make a far-out-of-bounds access look in-bounds. Saturate instead:
+    // any overflowing request is certainly past the end of the file.
+    let needed = offset.saturating_add(len as u64);
     if needed > file_len {
         Err(IoError::OutOfBounds {
             file: id,
@@ -75,7 +78,10 @@ impl StorageBackend for MemBackend {
     }
 
     fn read_at(&mut self, id: u64, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let file = self.files.get(&id).ok_or(IoError::NoSuchFile { file: id })?;
+        let file = self
+            .files
+            .get(&id)
+            .ok_or(IoError::NoSuchFile { file: id })?;
         check_bounds(id, offset, buf.len(), file.len() as u64)?;
         let start = offset as usize;
         buf.copy_from_slice(&file[start..start + buf.len()]);
@@ -117,12 +123,8 @@ impl DiskBackend {
     /// counter and a label (e.g. the processor rank).
     pub fn new(label: &str) -> Result<Self> {
         let n = SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "pario-{}-{}-{}",
-            std::process::id(),
-            n,
-            label
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("pario-{}-{}-{}", std::process::id(), n, label));
         fs::create_dir_all(&dir)?;
         Ok(DiskBackend {
             dir,
@@ -167,7 +169,10 @@ impl StorageBackend for DiskBackend {
 
     fn read_at(&mut self, id: u64, offset: u64, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
-        let (file, len) = self.files.get(&id).ok_or(IoError::NoSuchFile { file: id })?;
+        let (file, len) = self
+            .files
+            .get(&id)
+            .ok_or(IoError::NoSuchFile { file: id })?;
         check_bounds(id, offset, buf.len(), *len)?;
         file.read_exact_at(buf, offset)?;
         Ok(())
@@ -175,7 +180,10 @@ impl StorageBackend for DiskBackend {
 
     fn write_at(&mut self, id: u64, offset: u64, data: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
-        let (file, len) = self.files.get(&id).ok_or(IoError::NoSuchFile { file: id })?;
+        let (file, len) = self
+            .files
+            .get(&id)
+            .ok_or(IoError::NoSuchFile { file: id })?;
         check_bounds(id, offset, data.len(), *len)?;
         file.write_all_at(data, offset)?;
         Ok(())
@@ -214,6 +222,15 @@ mod tests {
         ));
         assert!(matches!(
             backend.write_at(1, 13, &[0; 4]),
+            Err(IoError::OutOfBounds { .. })
+        ));
+        // Offsets near u64::MAX must not wrap around into bounds.
+        assert!(matches!(
+            backend.read_at(1, u64::MAX - 2, &mut buf),
+            Err(IoError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            backend.write_at(1, u64::MAX - 2, &[0; 4]),
             Err(IoError::OutOfBounds { .. })
         ));
         assert!(matches!(

@@ -9,6 +9,7 @@
 //! stores its own bytes.
 
 use crate::backend::{MemBackend, StorageBackend};
+use crate::cache::{BufferPool, SlabCache};
 use crate::error::Result;
 use crate::request::{coalesce_runs, total_bytes, ByteRun};
 use crate::stats::DiskStats;
@@ -23,6 +24,8 @@ pub struct LogicalDisk {
     backend: Box<dyn StorageBackend>,
     next_id: u64,
     stats: DiskStats,
+    cache: Option<SlabCache>,
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for LogicalDisk {
@@ -30,6 +33,7 @@ impl std::fmt::Debug for LogicalDisk {
         f.debug_struct("LogicalDisk")
             .field("next_id", &self.next_id)
             .field("stats", &self.stats)
+            .field("cache", &self.cache)
             .finish()
     }
 }
@@ -54,7 +58,38 @@ impl LogicalDisk {
             backend,
             next_id: 0,
             stats: DiskStats::default(),
+            cache: None,
+            pool: BufferPool::new(),
         }
+    }
+
+    /// Put a slab cache with the given byte budget in front of the backend.
+    /// Subsequent run reads/writes go through the cache: covered reads cost
+    /// nothing, writes are buffered until eviction or
+    /// [`LogicalDisk::flush_cache`]. Replaces any previous cache (flush
+    /// first if it may hold dirty data).
+    pub fn enable_cache(&mut self, budget: usize) {
+        self.cache = Some(SlabCache::new(budget));
+    }
+
+    /// True when a slab cache is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Write back all dirty cached segments, charging each write-back to
+    /// `charge`. No-op without a cache.
+    pub fn flush_cache(&mut self, charge: &dyn IoCharge) -> Result<()> {
+        let LogicalDisk {
+            backend,
+            cache,
+            stats,
+            ..
+        } = self;
+        if let Some(c) = cache.as_mut() {
+            c.flush(Some(&mut **backend), charge, stats)?;
+        }
+        Ok(())
     }
 
     /// Allocate a new zero-filled file of `len` bytes.
@@ -70,14 +105,29 @@ impl LogicalDisk {
         self.backend.len(file.0)
     }
 
-    /// Delete `file`.
+    /// Delete `file`. Cached segments of the file are dropped without
+    /// write-back.
     pub fn remove_file(&mut self, file: FileId) -> Result<()> {
+        if let Some(c) = self.cache.as_mut() {
+            c.invalidate_file(file.0);
+        }
         self.backend.remove(file.0)
     }
 
     /// Cumulative I/O counters for this disk.
     pub fn stats(&self) -> DiskStats {
         self.stats
+    }
+
+    /// Take a cleared staging buffer from the disk's pool (return it with
+    /// [`LogicalDisk::put_buf`] so the capacity is recycled).
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.take()
+    }
+
+    /// Return a staging buffer to the pool.
+    pub fn put_buf(&mut self, buf: Vec<u8>) {
+        self.pool.put(buf)
     }
 
     /// Read the byte `runs` of `file` into `out` (appended in run order,
@@ -107,6 +157,30 @@ impl LogicalDisk {
         policy: crate::sieve::SievePolicy,
     ) -> Result<u64> {
         use crate::sieve::{plan_access, sieve_extract, AccessPlan};
+        // With a slab cache the sieve is bypassed: the cache's miss handling
+        // already issues one spanning request per uncovered gap, which
+        // subsumes data sieving while also capturing reuse.
+        if self.cache.is_some() {
+            let coalesced = coalesce_runs(runs);
+            let bytes = total_bytes(&coalesced);
+            let start = out.len();
+            out.resize(start + bytes as usize, 0);
+            let LogicalDisk {
+                backend,
+                cache,
+                stats,
+                ..
+            } = self;
+            let cache = cache.as_mut().expect("cache checked above");
+            let before = stats.read_requests;
+            let mut cursor = start;
+            for run in &coalesced {
+                let buf = &mut out[cursor..cursor + run.len as usize];
+                cache.read(file.0, *run, Some(buf), Some(&mut **backend), charge, stats)?;
+                cursor += run.len as usize;
+            }
+            return Ok(self.stats.read_requests - before);
+        }
         match plan_access(runs, policy) {
             AccessPlan::Direct(coalesced) => {
                 let bytes = total_bytes(&coalesced);
@@ -124,9 +198,11 @@ impl LogicalDisk {
                 Ok(requests)
             }
             AccessPlan::Sieved { span, useful } => {
-                let mut span_buf = vec![0u8; span.len as usize];
+                let mut span_buf = self.pool.take();
+                span_buf.resize(span.len as usize, 0);
                 self.backend.read_at(file.0, span.offset, &mut span_buf)?;
                 out.extend(sieve_extract(&span, &useful, &span_buf));
+                self.pool.put(span_buf);
                 self.stats.add_read(1, span.len);
                 charge.io_read(1, span.len);
                 Ok(1)
@@ -147,16 +223,21 @@ impl LogicalDisk {
         policy: crate::sieve::SievePolicy,
     ) -> Result<u64> {
         use crate::sieve::{plan_access, sieve_scatter, AccessPlan};
+        if self.cache.is_some() {
+            return self.write_runs(file, runs, data, charge);
+        }
         match plan_access(runs, policy) {
             AccessPlan::Direct(_) => self.write_runs(file, runs, data, charge),
             AccessPlan::Sieved { span, useful } => {
                 // The useful runs are coalesced+sorted; reorder `data` from
                 // the caller's run order into sorted order first.
                 let sorted = sort_write_data(runs, data);
-                let mut span_buf = vec![0u8; span.len as usize];
+                let mut span_buf = self.pool.take();
+                span_buf.resize(span.len as usize, 0);
                 self.backend.read_at(file.0, span.offset, &mut span_buf)?;
                 let updated = sieve_scatter(&span, &useful, span_buf, &sorted);
                 self.backend.write_at(file.0, span.offset, &updated)?;
+                self.pool.put(updated);
                 self.stats.add_read(1, span.len);
                 self.stats.add_write(1, span.len);
                 charge.io_read(1, span.len);
@@ -193,6 +274,26 @@ impl LogicalDisk {
             data.len(),
             bytes
         );
+        if self.cache.is_some() {
+            // Buffer each coalesced run as a dirty cache segment; the
+            // requests are charged at write-back time.
+            let sorted = sort_write_data(runs, data);
+            let LogicalDisk {
+                backend,
+                cache,
+                stats,
+                ..
+            } = self;
+            let cache = cache.as_mut().expect("cache checked above");
+            let before = stats.write_requests;
+            let mut cursor = 0usize;
+            for run in &coalesced {
+                let src = &sorted[cursor..cursor + run.len as usize];
+                cache.write(file.0, *run, Some(src), Some(&mut **backend), charge, stats)?;
+                cursor += run.len as usize;
+            }
+            return Ok(self.stats.write_requests - before);
+        }
         // The coalesced runs are sorted by offset, but `data` is laid out in
         // the *original* run order; build the mapping original -> data.
         let mut sorted_idx: Vec<usize> = (0..runs.len()).filter(|&i| runs[i].len > 0).collect();
@@ -284,7 +385,11 @@ mod tests {
     fn request_counting_respects_coalescing() {
         let mut d = LogicalDisk::in_memory();
         let f = d.create_file(100).unwrap();
-        let runs = [ByteRun::new(0, 10), ByteRun::new(10, 10), ByteRun::new(50, 10)];
+        let runs = [
+            ByteRun::new(0, 10),
+            ByteRun::new(10, 10),
+            ByteRun::new(50, 10),
+        ];
         let mut out = Vec::new();
         let reqs = d.read_runs(f, &runs, &mut out, &NoCharge).unwrap();
         assert_eq!(reqs, 2, "adjacent runs coalesce into one request");

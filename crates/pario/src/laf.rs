@@ -115,9 +115,14 @@ impl LocalArrayFile {
         policy: crate::sieve::SievePolicy,
     ) -> Result<Vec<f32>> {
         assert_eq!(self.elem, ElemKind::F32, "read_f32 on non-f32 file");
-        let mut bytes = Vec::new();
-        disk.read_runs_with(self.file, &self.byte_runs(runs), &mut bytes, charge, policy)?;
-        bytes_to_f32(&bytes)
+        // Stage through a pooled buffer so repeated slab reads reuse one
+        // allocation instead of growing a fresh Vec per call.
+        let mut bytes = disk.take_buf();
+        let read =
+            disk.read_runs_with(self.file, &self.byte_runs(runs), &mut bytes, charge, policy);
+        let out = read.and_then(|_| bytes_to_f32(&bytes));
+        disk.put_buf(bytes);
+        out
     }
 
     /// Write `data` to element `runs` (file must be `F32`; total run length
@@ -214,8 +219,12 @@ mod tests {
     fn strided_element_runs_map_to_byte_runs() {
         let mut disk = LogicalDisk::in_memory();
         let laf = LocalArrayFile::create(&mut disk, ElemKind::F32, 16).unwrap();
-        laf.write_all_f32(&mut disk, &(0..16).map(|i| i as f32).collect::<Vec<_>>(), &NoCharge)
-            .unwrap();
+        laf.write_all_f32(
+            &mut disk,
+            &(0..16).map(|i| i as f32).collect::<Vec<_>>(),
+            &NoCharge,
+        )
+        .unwrap();
         // Read elements 0..2 and 8..10 — two separate requests.
         let before = disk.stats().read_requests;
         let got = laf

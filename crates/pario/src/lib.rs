@@ -19,6 +19,7 @@
 //! directory (used to demonstrate the system against a genuine filesystem).
 
 pub mod backend;
+pub mod cache;
 pub mod disk;
 pub mod error;
 pub mod laf;
@@ -27,6 +28,7 @@ pub mod sieve;
 pub mod stats;
 
 pub use backend::{DiskBackend, MemBackend, StorageBackend};
+pub use cache::{BufferPool, FileIoCounts, SlabCache};
 pub use disk::{FileId, LogicalDisk};
 pub use error::IoError;
 pub use laf::{bytes_to_f32, f32_to_bytes, ElemKind, ElemRun, LocalArrayFile};
@@ -47,6 +49,16 @@ pub trait IoCharge {
     fn io_read(&self, requests: u64, bytes: u64);
     /// Charge a write of `requests` contiguous runs totalling `bytes`.
     fn io_write(&self, requests: u64, bytes: u64);
+    /// Record `runs` read accesses totalling `bytes` served entirely from
+    /// the slab cache. Hits cost no simulated time; the default does
+    /// nothing so plain sinks ignore them.
+    fn io_cache_hit(&self, _runs: u64, _bytes: u64) {}
+    /// Charge a dirty-slab write-back of `requests` contiguous runs
+    /// totalling `bytes`. Timed like an ordinary write by default;
+    /// implementations may additionally track it separately.
+    fn io_write_back(&self, requests: u64, bytes: u64) {
+        self.io_write(requests, bytes);
+    }
 }
 
 impl IoCharge for ProcCtx {
@@ -55,6 +67,12 @@ impl IoCharge for ProcCtx {
     }
     fn io_write(&self, requests: u64, bytes: u64) {
         self.charge_io_write(requests, bytes);
+    }
+    fn io_cache_hit(&self, runs: u64, bytes: u64) {
+        self.charge_io_cache_hit(runs, bytes);
+    }
+    fn io_write_back(&self, requests: u64, bytes: u64) {
+        self.charge_io_write_back(requests, bytes);
     }
 }
 

@@ -64,7 +64,11 @@ mod tests {
 
     #[test]
     fn coalesce_merges_adjacent() {
-        let runs = [ByteRun::new(0, 10), ByteRun::new(10, 10), ByteRun::new(30, 5)];
+        let runs = [
+            ByteRun::new(0, 10),
+            ByteRun::new(10, 10),
+            ByteRun::new(30, 5),
+        ];
         let out = coalesce_runs(&runs);
         assert_eq!(out, vec![ByteRun::new(0, 20), ByteRun::new(30, 5)]);
     }

@@ -11,8 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::request::{coalesce_runs, total_bytes, ByteRun};
 
 /// When to replace a strided access by one spanning request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SievePolicy {
     /// Never sieve: one request per contiguous run.
     #[default]
@@ -34,7 +33,6 @@ pub enum SievePolicy {
         bandwidth: f64,
     },
 }
-
 
 /// The access plan chosen by a policy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,9 +80,7 @@ pub fn plan_access(runs: &[ByteRun], policy: SievePolicy) -> AccessPlan {
     let sieve = match policy {
         SievePolicy::Direct => false,
         SievePolicy::Always => true,
-        SievePolicy::WasteBound { max_waste } => {
-            span.len as f64 <= useful as f64 * max_waste
-        }
+        SievePolicy::WasteBound { max_waste } => span.len as f64 <= useful as f64 * max_waste,
         SievePolicy::CostBased { startup, bandwidth } => {
             let direct = coalesced.len() as f64 * startup + useful as f64 / bandwidth;
             let sieved = startup + span.len as f64 / bandwidth;
@@ -175,12 +171,15 @@ mod tests {
     #[test]
     fn cost_based_matches_arithmetic() {
         let runs = strided(10, 100, 100); // 10 reqs/1000B vs 1 req/1900B
-        // Expensive seeks: sieve wins.
+                                          // Expensive seeks: sieve wins.
         let cheap_bw = SievePolicy::CostBased {
             startup: 1e-2,
             bandwidth: 1e6,
         };
-        assert!(matches!(plan_access(&runs, cheap_bw), AccessPlan::Sieved { .. }));
+        assert!(matches!(
+            plan_access(&runs, cheap_bw),
+            AccessPlan::Sieved { .. }
+        ));
         // Nearly free seeks: direct wins.
         let costly_bytes = SievePolicy::CostBased {
             startup: 1e-9,

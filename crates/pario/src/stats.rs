@@ -8,6 +8,12 @@
 use serde::{Deserialize, Serialize};
 
 /// Cumulative counters for one logical disk.
+///
+/// The request/byte counters record actual disk traffic: a section read
+/// absorbed by the slab cache does **not** bump `read_requests`, and a
+/// buffered section write only bumps `write_requests` when the dirty slab
+/// is written back (eviction or flush). The `cache_*`, `write_back_*` and
+/// `evicted_bytes` counters make the cache's behaviour observable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DiskStats {
     /// Read requests (contiguous runs) issued.
@@ -18,6 +24,19 @@ pub struct DiskStats {
     pub write_requests: u64,
     /// Bytes written.
     pub bytes_written: u64,
+    /// Section-read runs fully satisfied from the slab cache.
+    pub cache_hits: u64,
+    /// Bytes served from the slab cache on hits.
+    pub cache_hit_bytes: u64,
+    /// Section-read runs that needed at least one disk request.
+    pub cache_misses: u64,
+    /// Dirty-slab write-backs (eviction + flush); also counted in
+    /// `write_requests`.
+    pub write_back_requests: u64,
+    /// Bytes written back from dirty slabs; also counted in `bytes_written`.
+    pub write_back_bytes: u64,
+    /// Bytes dropped from the cache by eviction (clean and dirty).
+    pub evicted_bytes: u64,
 }
 
 impl DiskStats {
@@ -39,6 +58,24 @@ impl DiskStats {
     pub(crate) fn add_write(&mut self, requests: u64, bytes: u64) {
         self.write_requests += requests;
         self.bytes_written += bytes;
+    }
+
+    pub(crate) fn add_cache_hit(&mut self, runs: u64, bytes: u64) {
+        self.cache_hits += runs;
+        self.cache_hit_bytes += bytes;
+    }
+
+    pub(crate) fn add_cache_miss(&mut self, runs: u64) {
+        self.cache_misses += runs;
+    }
+
+    pub(crate) fn add_write_back(&mut self, requests: u64, bytes: u64) {
+        self.write_back_requests += requests;
+        self.write_back_bytes += bytes;
+    }
+
+    pub(crate) fn add_evicted(&mut self, bytes: u64) {
+        self.evicted_bytes += bytes;
     }
 }
 

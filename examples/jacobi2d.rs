@@ -54,15 +54,15 @@ fn init(g: &[usize]) -> f32 {
 }
 
 fn serial_sweeps(n: usize, sweeps: usize) -> Vec<f32> {
-    let mut u: Vec<f32> = (0..n * n)
-        .map(|off| init(&[off % n, off / n]))
-        .collect();
+    let mut u: Vec<f32> = (0..n * n).map(|off| init(&[off % n, off / n])).collect();
     let mut v = u.clone();
     for _ in 0..sweeps {
         for j in 1..n - 1 {
             for i in 1..n - 1 {
                 v[i + j * n] = 0.25
-                    * (u[i - 1 + j * n] + u[i + 1 + j * n] + u[i + (j - 1) * n]
+                    * (u[i - 1 + j * n]
+                        + u[i + 1 + j * n]
+                        + u[i + (j - 1) * n]
                         + u[i + (j + 1) * n]);
             }
         }

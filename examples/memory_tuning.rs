@@ -34,6 +34,7 @@ fn main() {
             },
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
         t.row(vec![
             a_share.to_string(),
@@ -62,6 +63,7 @@ fn main() {
                 sizing: SlabSizing::Budget { elems, policy },
                 reorganize: true,
                 verify: false,
+                cache_budget: None,
             });
             cells.push(secs(row.sim_seconds));
         }

@@ -34,7 +34,10 @@ fn main() {
     println!("{}", compiled.report());
 
     // 2. The generated node program (Figure 12 of the paper).
-    println!("generated node+MP+I/O program:\n{}", compiled.node_program_text(0));
+    println!(
+        "generated node+MP+I/O program:\n{}",
+        compiled.node_program_text(0)
+    );
 
     // 3. Execute with real data and verify.
     let fa = |g: &[usize]| ((g[0] * 7 + g[1] * 3) % 8) as f32 * 0.25 - 1.0;
@@ -53,7 +56,10 @@ fn main() {
         outcome.report.io_requests_per_proc(),
         outcome.report.io_bytes_per_proc(),
     );
-    println!("max |error| vs serial reference: {:.3e}", max_abs_diff(c, &expect));
+    println!(
+        "max |error| vs serial reference: {:.3e}",
+        max_abs_diff(c, &expect)
+    );
     assert!(max_abs_diff(c, &expect) < 1e-2);
     println!("OK");
 }

@@ -10,7 +10,7 @@
 //! cargo run --release -p ooc-bench --example staged_pipeline
 //! ```
 
-use noderun::{init_fn, max_abs_diff, ref_gaxpy, run, RunConfig};
+use noderun::{init_fn, ref_gaxpy, run, RunConfig};
 use ooc_core::{compile_source, CompilerOptions};
 
 const N: usize = 64;

@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand`, covering the seeded-test surface this
+//! workspace uses: `StdRng::seed_from_u64`, `gen_range` over integer ranges,
+//! `gen::<u8>()` and `gen_bool`. The generator is splitmix64 — statistically
+//! fine for randomized tests, deterministic for a given seed, and not
+//! bit-compatible with the real crate (no test here depends on the exact
+//! stream, only on determinism).
+
+/// Types that can be drawn uniformly from a `lo..hi` range.
+pub trait SampleUniform: Copy {
+    /// Map a raw 64-bit draw into `lo..hi` (half-open, `hi > lo`).
+    fn from_draw(draw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn from_draw(draw: u64, lo: Self, hi: Self) -> Self {
+                assert!(hi > lo, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (draw as u128 % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types drawable from the full-width "standard" distribution.
+pub trait Standard {
+    /// Build a value from a raw 64-bit draw.
+    fn from_draw(draw: u64) -> Self;
+}
+
+impl Standard for u8 {
+    fn from_draw(draw: u64) -> Self {
+        draw as u8
+    }
+}
+
+impl Standard for u32 {
+    fn from_draw(draw: u64) -> Self {
+        draw as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_draw(draw: u64) -> Self {
+        draw
+    }
+}
+
+impl Standard for bool {
+    fn from_draw(draw: u64) -> Self {
+        draw & 1 == 1
+    }
+}
+
+/// Subset of `rand::Rng` used by the workspace's tests.
+pub trait Rng {
+    /// Next raw 64-bit draw from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from the half-open range `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::from_draw(self.next_u64(), range.start, range.end)
+    }
+
+    /// Draw a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_draw(self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53-bit mantissa draw in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Subset of `rand::SeedableRng` used by the workspace's tests.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seeded generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(-4i64..3);
+            assert!((-4..3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

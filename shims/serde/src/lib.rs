@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! annotations on plain-old-data types; nothing actually serializes. This
+//! shim keeps those annotations compiling in a build environment with no
+//! crates.io access: the traits are markers and the derives expand to
+//! nothing. If a future change needs real serialization, replace the
+//! `shims/serde` path dependency in the workspace manifest with the real
+//! crates.io `serde`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -150,7 +150,10 @@ fn mixed_distribution_stencil_with_shifts() {
         panic!()
     };
     assert_eq!(e.pre_remaps.len(), 1);
-    assert!(e.ghosts.is_empty(), "shifts along a collapsed (post-remap) dim");
+    assert!(
+        e.ghosts.is_empty(),
+        "shifts along a collapsed (post-remap) dim"
+    );
 
     let init = |g: &[usize]| ((g[0] * 13 + g[1] * 7) % 23) as f32;
     let mut cfg = RunConfig::default();
@@ -243,14 +246,12 @@ fn block_cyclic_declaration_is_analyzable() {
             let mut cfg = RunConfig::default();
             cfg.init.insert("u".into(), init_fn(|g| g[0] as f32));
             cfg.collect.push("v".into());
-            match run(&compiled, &cfg) {
-                Ok(outcome) => {
-                    let (_, v) = &outcome.collected["v"];
-                    for (i, &val) in v.iter().enumerate() {
-                        assert_eq!(val, i as f32);
-                    }
+            // A clean runtime rejection is acceptable too.
+            if let Ok(outcome) = run(&compiled, &cfg) {
+                let (_, v) = &outcome.collected["v"];
+                for (i, &val) in v.iter().enumerate() {
+                    assert_eq!(val, i as f32);
                 }
-                Err(_) => {} // clean runtime rejection is acceptable too
             }
         }
     }

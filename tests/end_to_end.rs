@@ -36,8 +36,7 @@ fn fb(g: &[usize]) -> f32 {
 fn hpf_source_to_verified_product() {
     let n = 32;
     for p in [1, 2, 4] {
-        let compiled =
-            compile_source(&gaxpy_source(n, p), &CompilerOptions::default()).unwrap();
+        let compiled = compile_source(&gaxpy_source(n, p), &CompilerOptions::default()).unwrap();
         let mut cfg = RunConfig::default();
         cfg.init.insert("a".into(), init_fn(fa));
         cfg.init.insert("b".into(), init_fn(fb));
@@ -45,10 +44,7 @@ fn hpf_source_to_verified_product() {
         let outcome = run(&compiled, &cfg).unwrap();
         let (_, c) = &outcome.collected["c"];
         let expect = ref_gaxpy(n, &fa, &fb);
-        assert!(
-            max_abs_diff(c, &expect) < 1e-3,
-            "wrong product for p={p}"
-        );
+        assert!(max_abs_diff(c, &expect) < 1e-3, "wrong product for p={p}");
         assert!(outcome.report.elapsed() > 0.0);
     }
 }
@@ -197,7 +193,10 @@ fn prefetch_and_sieving_preserve_results() {
         (false, None),
         (true, None),
         (false, Some(pario::SievePolicy::Always)),
-        (true, Some(pario::SievePolicy::WasteBound { max_waste: 4.0 })),
+        (
+            true,
+            Some(pario::SievePolicy::WasteBound { max_waste: 4.0 }),
+        ),
     ] {
         let mut cfg = RunConfig {
             prefetch,
@@ -217,7 +216,10 @@ fn prefetch_and_sieving_preserve_results() {
             None => base_time = Some(outcome.report.elapsed()),
             Some(base) => {
                 if prefetch && sieve.is_none() {
-                    assert!(outcome.report.elapsed() <= base, "prefetch slower than base");
+                    assert!(
+                        outcome.report.elapsed() <= base,
+                        "prefetch slower than base"
+                    );
                 }
             }
         }

@@ -103,6 +103,7 @@ fn table2_give_the_frequent_array_the_memory() {
         sizing: SlabSizing::Explicit { a: big, b: fixed },
         reorganize: true,
         verify: false,
+        cache_budget: None,
     });
     let vary_b = t(&MatmulSetup {
         n: N,
@@ -111,6 +112,7 @@ fn table2_give_the_frequent_array_the_memory() {
         sizing: SlabSizing::Explicit { a: fixed, b: big },
         reorganize: true,
         verify: false,
+        cache_budget: None,
     });
     assert!(
         vary_a < vary_b,
@@ -130,8 +132,12 @@ fn table2_more_memory_never_hurts() {
             sizing: SlabSizing::Explicit { a: s, b: s },
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
-        assert!(time <= last + 1e-9, "slab {s}: {time:.2} > previous {last:.2}");
+        assert!(
+            time <= last + 1e-9,
+            "slab {s}: {time:.2} > previous {last:.2}"
+        );
         last = time;
     }
 }
@@ -147,6 +153,7 @@ fn selection_always_matches_the_cheaper_forced_run() {
             sizing: SlabSizing::Ratio(ratio),
             reorganize: true,
             verify: false,
+            cache_budget: None,
         });
         let col = t(&MatmulSetup::table1(N, 4, ratio, SlabStrategy::ColumnSlab));
         let row = t(&MatmulSetup::table1(N, 4, ratio, SlabStrategy::RowSlab));
@@ -194,6 +201,10 @@ fn estimator_matches_measured_io_exactly_on_experiment_cells() {
             est.io_requests(),
             "p={p} ratio={ratio} {strategy:?}"
         );
-        assert_eq!(s0.io_bytes(), est.io_bytes(), "p={p} ratio={ratio} {strategy:?}");
+        assert_eq!(
+            s0.io_bytes(),
+            est.io_bytes(),
+            "p={p} ratio={ratio} {strategy:?}"
+        );
     }
 }
