@@ -1,0 +1,157 @@
+//! Chaos smoke: run the three paper kernels under a fixed fault seed and
+//! assert that every run completes and computes exactly the fault-free
+//! answer. CI runs this to catch regressions in the fault-injection and
+//! recovery substrate without paying for the full property suite.
+//!
+//! ```text
+//! cargo run --release -p ooc-bench --bin chaos_smoke [seed]
+//! ```
+
+use dmsim::FaultConfig;
+use noderun::{init_fn, max_abs_diff, ref_transpose, run, RunConfig, RunOutcome};
+use ooc_core::{compile_source, CompiledProgram, CompilerOptions};
+
+const N: usize = 64;
+const P: usize = 4;
+
+fn fa(g: &[usize]) -> f32 {
+    ((g[0] * 7 + g[1] * 3) % 11) as f32 * 0.125 - 0.5
+}
+fn fb(g: &[usize]) -> f32 {
+    ((g[0] * 5 + g[1]) % 13) as f32 * 0.125 - 0.75
+}
+
+struct Kernel {
+    name: &'static str,
+    compiled: CompiledProgram,
+    cfg: RunConfig,
+    result: &'static str,
+}
+
+fn gaxpy() -> Kernel {
+    let compiled = compile_source(hpf::GAXPY_SOURCE, &CompilerOptions::default()).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.init.insert("a".into(), init_fn(fa));
+    cfg.init.insert("b".into(), init_fn(fb));
+    cfg.collect.push("c".into());
+    Kernel {
+        name: "gaxpy",
+        compiled,
+        cfg,
+        result: "c",
+    }
+}
+
+fn jacobi() -> Kernel {
+    let src = format!(
+        "
+      parameter (n={N})
+      real u(n, n), v(n, n)
+!hpf$ processors pr({P})
+!hpf$ template t(n)
+!hpf$ distribute t(block) on pr
+!hpf$ align (:, *) with t :: u, v
+      forall (i = 2:n-1, j = 2:n-1)
+        v(i, j) = 0.25 * (u(i-1, j) + u(i+1, j) + u(i, j-1) + u(i, j+1))
+      end forall
+      forall (i = 2:n-1, j = 2:n-1)
+        u(i, j) = 0.25 * (v(i-1, j) + v(i+1, j) + v(i, j-1) + v(i, j+1))
+      end forall
+      end
+"
+    );
+    let compiled = compile_source(&src, &CompilerOptions::default()).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.init.insert("u".into(), init_fn(fa));
+    cfg.init.insert("v".into(), init_fn(fa));
+    cfg.collect.push("u".into());
+    Kernel {
+        name: "jacobi",
+        compiled,
+        cfg,
+        result: "u",
+    }
+}
+
+fn transpose() -> Kernel {
+    let src = format!(
+        "
+      parameter (n={N})
+      real a(n, n), b(n, n)
+!hpf$ processors pr({P})
+!hpf$ distribute a(*, block) on pr
+!hpf$ distribute b(*, block) on pr
+      forall (i = 1:n, j = 1:n)
+        b(i, j) = a(j, i)
+      end forall
+      end
+"
+    );
+    let compiled = compile_source(&src, &CompilerOptions::default()).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.init.insert("a".into(), init_fn(fa));
+    cfg.collect.push("b".into());
+    Kernel {
+        name: "transpose",
+        compiled,
+        cfg,
+        result: "b",
+    }
+}
+
+fn run_once(k: &Kernel, fault: Option<FaultConfig>) -> RunOutcome {
+    let mut cfg = k.cfg.clone();
+    cfg.fault = fault;
+    run(&k.compiled, &cfg)
+        .unwrap_or_else(|e| panic!("{} failed under fault injection: {e}", k.name))
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(2026);
+    println!("chaos smoke: {N}x{N} kernels on {P} procs, fault seed {seed}");
+
+    let mut failures = 0;
+    for kernel in [gaxpy(), jacobi(), transpose()] {
+        let clean = run_once(&kernel, None);
+        let chaos = run_once(&kernel, Some(FaultConfig::chaos(seed)));
+        let (_, want) = &clean.collected[kernel.result];
+        let (_, got) = &chaos.collected[kernel.result];
+        let diff = max_abs_diff(got, want);
+        let t = chaos.report.totals();
+        let ok = diff == 0.0 && t.faults_injected > 0;
+        println!(
+            "  {:<9} {}  |diff| {:e}  faults {}  retries {}+{}  t_clean {:.3}s  t_chaos {:.3}s",
+            kernel.name,
+            if ok { "OK " } else { "FAIL" },
+            diff,
+            t.faults_injected,
+            t.io_retries,
+            t.msg_retries,
+            clean.report.elapsed(),
+            chaos.report.elapsed(),
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    // Transpose doubles as the reference cross-check: the chaos result must
+    // also match the serial transpose, not merely the fault-free run.
+    let k = transpose();
+    let chaos = run_once(&k, Some(FaultConfig::chaos(seed)));
+    let (_, b) = &chaos.collected["b"];
+    assert_eq!(
+        max_abs_diff(b, &ref_transpose(N, &fa)),
+        0.0,
+        "chaos transpose diverged from the serial reference"
+    );
+
+    if failures > 0 {
+        eprintln!("chaos smoke: {failures} kernel(s) failed");
+        std::process::exit(1);
+    }
+    println!("chaos smoke: all kernels byte-identical under fault injection");
+}

@@ -48,11 +48,11 @@ fn replay_access(
     for run in coalesce_runs(&byte_runs) {
         if is_read {
             cache
-                .read(file, run, None, None, &NoCharge, stats)
+                .read(file, run, None, None, None, &NoCharge, stats)
                 .expect("predictor cache read cannot fail");
         } else {
             cache
-                .write(file, run, None, None, &NoCharge, stats)
+                .write(file, run, None, None, None, &NoCharge, stats)
                 .expect("predictor cache write cannot fail");
         }
     }
@@ -86,7 +86,7 @@ pub fn gaxpy_cached_totals(plan: &GaxpyPlan, rank: usize, budget: usize) -> Nest
         SlabStrategy::RowSlab => replay_row(plan, rank, &mut cache, &mut stats),
     }
     cache
-        .flush(None, &NoCharge, &mut stats)
+        .flush(None, None, &NoCharge, &mut stats)
         .expect("predictor flush cannot fail");
 
     let mut t = NestTotals {

@@ -10,8 +10,49 @@
 //! All collectives are methods on [`ProcCtx`] and must be called by every
 //! rank (they are synchronizing).
 
-use crate::comm::{Payload, Tag};
+use crate::comm::{Payload, ProtocolError, RecvError, Tag};
 use crate::proc::{ProcCtx, Rank};
+
+/// A communication step failed: either the peer is gone or the payloads
+/// disagree with the protocol. Collective `try_*` methods return this so
+/// executors can unwind cleanly instead of panicking the whole machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The receive itself failed (peer exited without sending).
+    Recv(RecvError),
+    /// A payload arrived with the wrong variant.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Recv(e) => e.fmt(f),
+            CommError::Protocol(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Recv(e) => Some(e),
+            CommError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+impl From<RecvError> for CommError {
+    fn from(e: RecvError) -> Self {
+        CommError::Recv(e)
+    }
+}
+
+impl From<ProtocolError> for CommError {
+    fn from(e: ProtocolError) -> Self {
+        CommError::Protocol(e)
+    }
+}
 
 /// Reduction operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,16 +69,20 @@ pub enum ReduceOp {
 pub trait CommElem: Copy + PartialOrd + std::ops::Add<Output = Self> {
     /// Wrap a vector of elements into a [`Payload`].
     fn wrap(v: Vec<Self>) -> Payload;
-    /// Unwrap a payload into a vector of elements.
-    fn unwrap(p: Payload) -> Vec<Self>;
+    /// Unwrap a payload into a vector of elements, surfacing a mismatch.
+    fn try_unwrap(p: Payload) -> Result<Vec<Self>, ProtocolError>;
+    /// Unwrap a payload; panics with a protocol error on mismatch.
+    fn unwrap(p: Payload) -> Vec<Self> {
+        Self::try_unwrap(p).unwrap_or_else(|e| panic!("{e}"))
+    }
 }
 
 impl CommElem for f32 {
     fn wrap(v: Vec<Self>) -> Payload {
         Payload::F32(v)
     }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_f32()
+    fn try_unwrap(p: Payload) -> Result<Vec<Self>, ProtocolError> {
+        p.try_into_f32()
     }
 }
 
@@ -45,8 +90,8 @@ impl CommElem for f64 {
     fn wrap(v: Vec<Self>) -> Payload {
         Payload::F64(v)
     }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_f64()
+    fn try_unwrap(p: Payload) -> Result<Vec<Self>, ProtocolError> {
+        p.try_into_f64()
     }
 }
 
@@ -54,8 +99,8 @@ impl CommElem for u64 {
     fn wrap(v: Vec<Self>) -> Payload {
         Payload::U64(v)
     }
-    fn unwrap(p: Payload) -> Vec<Self> {
-        p.into_u64()
+    fn try_unwrap(p: Payload) -> Result<Vec<Self>, ProtocolError> {
+        p.try_into_u64()
     }
 }
 
@@ -118,9 +163,19 @@ fn children(rank: Rank, nprocs: usize) -> Vec<Rank> {
 }
 
 impl ProcCtx {
+    fn comm_panic<T>(&self, r: Result<T, CommError>) -> T {
+        r.unwrap_or_else(|e| panic!("rank {}: {e}", self.rank()))
+    }
+
     /// Reduce `data` element-wise to rank `root` with operator `op`.
-    /// Returns `Some(result)` on the root, `None` elsewhere.
-    pub fn reduce<T: CommElem>(&self, data: &[T], op: ReduceOp, root: Rank) -> Option<Vec<T>> {
+    /// Returns `Ok(Some(result))` on the root, `Ok(None)` elsewhere; a dead
+    /// peer or protocol mismatch surfaces as [`CommError`].
+    pub fn try_reduce<T: CommElem>(
+        &self,
+        data: &[T],
+        op: ReduceOp,
+        root: Rank,
+    ) -> Result<Option<Vec<T>>, CommError> {
         assert!(root < self.nprocs(), "reduce root out of range");
         // Run the tree rooted at 0 in a rotated rank space so any root works.
         let p = self.nprocs();
@@ -130,24 +185,36 @@ impl ProcCtx {
         let mut acc = data.to_vec();
         // Receive from children (deepest subtree last for pipelining).
         for child in children(vrank, p) {
-            let payload = self.recv_expect(unrotate(child), Tag::COLLECTIVE);
-            let theirs = T::unwrap(payload);
+            let payload = self.recv(unrotate(child), Tag::COLLECTIVE)?;
+            let theirs = T::try_unwrap(payload)?;
             combine(&mut acc, &theirs, op);
             self.charge_flops(acc.len() as u64);
         }
         match parent(vrank) {
-            None => Some(acc),
+            None => Ok(Some(acc)),
             Some(par) => {
                 self.send(unrotate(par), Tag::COLLECTIVE, T::wrap(acc));
-                None
+                Ok(None)
             }
         }
     }
 
+    /// Reduce `data` element-wise to rank `root` with operator `op`.
+    /// Returns `Some(result)` on the root, `None` elsewhere. Panics on a
+    /// dead peer — use [`ProcCtx::try_reduce`] on recoverable paths.
+    pub fn reduce<T: CommElem>(&self, data: &[T], op: ReduceOp, root: Rank) -> Option<Vec<T>> {
+        let r = self.try_reduce(data, op, root);
+        self.comm_panic(r)
+    }
+
     /// Broadcast `data` from `root` to all ranks; every rank returns the
-    /// root's vector. Non-root ranks pass their (ignored) local buffer length
-    /// via `data` being empty or anything — only the root's data matters.
-    pub fn broadcast<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Vec<T> {
+    /// root's vector (non-root input is ignored). Errors surface instead of
+    /// panicking.
+    pub fn try_broadcast<T: CommElem>(
+        &self,
+        data: Vec<T>,
+        root: Rank,
+    ) -> Result<Vec<T>, CommError> {
         assert!(root < self.nprocs(), "broadcast root out of range");
         let p = self.nprocs();
         let vrank = (self.rank() + p - root) % p;
@@ -155,21 +222,39 @@ impl ProcCtx {
 
         let buf = match parent(vrank) {
             None => data,
-            Some(par) => T::unwrap(self.recv_expect(unrotate(par), Tag::COLLECTIVE)),
+            Some(par) => T::try_unwrap(self.recv(unrotate(par), Tag::COLLECTIVE)?)?,
         };
         for child in children(vrank, p) {
             self.send(unrotate(child), Tag::COLLECTIVE, T::wrap(buf.clone()));
         }
-        buf
+        Ok(buf)
+    }
+
+    /// Broadcast `data` from `root` to all ranks; every rank returns the
+    /// root's vector. Non-root ranks pass their (ignored) local buffer length
+    /// via `data` being empty or anything — only the root's data matters.
+    pub fn broadcast<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Vec<T> {
+        let r = self.try_broadcast(data, root);
+        self.comm_panic(r)
+    }
+
+    /// All-reduce with surfaced errors: reduce to rank 0 then broadcast.
+    pub fn try_allreduce<T: CommElem>(
+        &self,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Vec<T>, CommError> {
+        match self.try_reduce(data, op, 0)? {
+            Some(total) => self.try_broadcast(total, 0),
+            None => self.try_broadcast(Vec::new(), 0),
+        }
     }
 
     /// All-reduce: reduce to rank 0 then broadcast; every rank returns the
     /// combined vector.
     pub fn allreduce<T: CommElem>(&self, data: &[T], op: ReduceOp) -> Vec<T> {
-        match self.reduce(data, op, 0) {
-            Some(total) => self.broadcast(total, 0),
-            None => self.broadcast(Vec::new(), 0),
-        }
+        let r = self.try_allreduce(data, op);
+        self.comm_panic(r)
     }
 
     /// Global sum of `f32` data to `root` — the paper's reduction. Returns
@@ -183,12 +268,41 @@ impl ProcCtx {
         self.allreduce(data, ReduceOp::Sum)
     }
 
+    /// Barrier with surfaced errors: a zero-payload reduce + broadcast.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        let token = [0u64; 0];
+        self.try_allreduce(&token, ReduceOp::Sum).map(|_| ())
+    }
+
     /// Barrier: a zero-payload reduce + broadcast. After it returns, every
     /// rank's clock is at least the maximum pre-barrier clock plus the tree
     /// traversal cost.
     pub fn barrier(&self) {
-        let token = [0u64; 0];
-        let _ = self.allreduce(&token, ReduceOp::Sum);
+        let r = self.try_barrier();
+        self.comm_panic(r)
+    }
+
+    /// Gather with surfaced errors; `Ok(Some(concatenation))` on the root.
+    pub fn try_gather<T: CommElem>(
+        &self,
+        data: &[T],
+        root: Rank,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        if self.rank() == root {
+            let mut out = Vec::new();
+            for r in 0..self.nprocs() {
+                if r == root {
+                    out.extend_from_slice(data);
+                } else {
+                    let theirs = T::try_unwrap(self.recv(r, Tag::COLLECTIVE)?)?;
+                    out.extend(theirs);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, Tag::COLLECTIVE, T::wrap(data.to_vec()));
+            Ok(None)
+        }
     }
 
     /// Gather each rank's `data` to `root`, concatenated in rank order.
@@ -197,27 +311,12 @@ impl ProcCtx {
     /// Linear algorithm (each rank sends straight to the root), matching the
     /// era's NX `gcolx`.
     pub fn gather<T: CommElem>(&self, data: &[T], root: Rank) -> Option<Vec<T>> {
-        if self.rank() == root {
-            let mut out = Vec::new();
-            for r in 0..self.nprocs() {
-                if r == root {
-                    out.extend_from_slice(data);
-                } else {
-                    let theirs = T::unwrap(self.recv_expect(r, Tag::COLLECTIVE));
-                    out.extend(theirs);
-                }
-            }
-            Some(out)
-        } else {
-            self.send(root, Tag::COLLECTIVE, T::wrap(data.to_vec()));
-            None
-        }
+        let r = self.try_gather(data, root);
+        self.comm_panic(r)
     }
 
-    /// Scatter equal-length chunks of `data` (present on `root`) to all
-    /// ranks; returns this rank's chunk. `data.len()` must be divisible by
-    /// the processor count on the root.
-    pub fn scatter<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Vec<T> {
+    /// Scatter with surfaced errors; returns this rank's chunk.
+    pub fn try_scatter<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Result<Vec<T>, CommError> {
         if self.rank() == root {
             let p = self.nprocs();
             assert!(
@@ -235,10 +334,18 @@ impl ProcCtx {
                     self.send(r, Tag::COLLECTIVE, T::wrap(piece));
                 }
             }
-            mine
+            Ok(mine)
         } else {
-            T::unwrap(self.recv_expect(root, Tag::COLLECTIVE))
+            Ok(T::try_unwrap(self.recv(root, Tag::COLLECTIVE)?)?)
         }
+    }
+
+    /// Scatter equal-length chunks of `data` (present on `root`) to all
+    /// ranks; returns this rank's chunk. `data.len()` must be divisible by
+    /// the processor count on the root.
+    pub fn scatter<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Vec<T> {
+        let r = self.try_scatter(data, root);
+        self.comm_panic(r)
     }
 }
 

@@ -55,38 +55,99 @@ impl Payload {
         }
     }
 
+    /// Name of the payload variant, for protocol diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::Bytes(_) => "Bytes",
+            Payload::F32(_) => "F32",
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+        }
+    }
+
+    /// Unwrap an `F32` payload.
+    pub fn try_into_f32(self) -> Result<Vec<f32>, ProtocolError> {
+        match self {
+            Payload::F32(v) => Ok(v),
+            other => Err(ProtocolError::mismatch("F32", &other)),
+        }
+    }
+
+    /// Unwrap an `F64` payload.
+    pub fn try_into_f64(self) -> Result<Vec<f64>, ProtocolError> {
+        match self {
+            Payload::F64(v) => Ok(v),
+            other => Err(ProtocolError::mismatch("F64", &other)),
+        }
+    }
+
+    /// Unwrap a `U64` payload.
+    pub fn try_into_u64(self) -> Result<Vec<u64>, ProtocolError> {
+        match self {
+            Payload::U64(v) => Ok(v),
+            other => Err(ProtocolError::mismatch("U64", &other)),
+        }
+    }
+
+    /// Unwrap a `Bytes` payload.
+    pub fn try_into_bytes(self) -> Result<Vec<u8>, ProtocolError> {
+        match self {
+            Payload::Bytes(v) => Ok(v),
+            other => Err(ProtocolError::mismatch("Bytes", &other)),
+        }
+    }
+
     /// Unwrap an `F32` payload; panics with a protocol error otherwise.
     pub fn into_f32(self) -> Vec<f32> {
-        match self {
-            Payload::F32(v) => v,
-            other => panic!("protocol error: expected F32 payload, got {other:?}"),
-        }
+        self.try_into_f32().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Unwrap an `F64` payload; panics with a protocol error otherwise.
     pub fn into_f64(self) -> Vec<f64> {
-        match self {
-            Payload::F64(v) => v,
-            other => panic!("protocol error: expected F64 payload, got {other:?}"),
-        }
+        self.try_into_f64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Unwrap a `U64` payload; panics with a protocol error otherwise.
     pub fn into_u64(self) -> Vec<u64> {
-        match self {
-            Payload::U64(v) => v,
-            other => panic!("protocol error: expected U64 payload, got {other:?}"),
-        }
+        self.try_into_u64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Unwrap a `Bytes` payload; panics with a protocol error otherwise.
     pub fn into_bytes(self) -> Vec<u8> {
-        match self {
-            Payload::Bytes(v) => v,
-            other => panic!("protocol error: expected Bytes payload, got {other:?}"),
+        self.try_into_bytes().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// A received payload did not have the variant the protocol step expected —
+/// the SPMD program's send and receive sides disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The payload variant the receiver expected.
+    pub expected: &'static str,
+    /// The variant that actually arrived.
+    pub got: &'static str,
+}
+
+impl ProtocolError {
+    fn mismatch(expected: &'static str, got: &Payload) -> Self {
+        ProtocolError {
+            expected,
+            got: got.kind(),
         }
     }
 }
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol error: expected {} payload, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// A message in flight.
 #[derive(Debug, PartialEq)]
@@ -151,14 +212,15 @@ impl Endpoints {
         }
     }
 
-    /// Send `msg` to `dst`.
+    /// Send `msg` to `dst`. Returns `false` if `dst` has already exited.
     ///
-    /// A send to a finished processor is a protocol error in an SPMD program
-    /// and panics (the matching receive can never happen).
-    pub fn send(&self, dst: usize, msg: Msg) {
-        self.to[dst]
-            .send(msg)
-            .unwrap_or_else(|_| panic!("send failed: processor {dst} already exited"));
+    /// In a healthy SPMD program that never happens; under fault injection a
+    /// peer may have aborted on a permanent fault, in which case the message
+    /// is dropped on the floor — the sender keeps running and the aborted
+    /// rank's error drives machine-level recovery. Panicking here instead
+    /// would tear down every surviving rank's thread.
+    pub fn send(&self, dst: usize, msg: Msg) -> bool {
+        self.to[dst].send(msg).is_ok()
     }
 }
 
@@ -243,5 +305,16 @@ mod tests {
     #[should_panic(expected = "protocol error")]
     fn wrong_payload_unwrap_panics() {
         Payload::F32(vec![1.0]).into_u64();
+    }
+
+    #[test]
+    fn try_unwrap_returns_typed_mismatch() {
+        let err = Payload::F32(vec![1.0]).try_into_u64().unwrap_err();
+        assert_eq!(err.expected, "U64");
+        assert_eq!(err.got, "F32");
+        assert!(err.to_string().contains("protocol error"));
+        assert_eq!(Payload::U64(vec![3]).try_into_u64().unwrap(), vec![3]);
+        assert_eq!(Payload::Bytes(vec![1]).try_into_bytes().unwrap(), vec![1]);
+        assert_eq!(Payload::F64(vec![2.0]).try_into_f64().unwrap(), vec![2.0]);
     }
 }

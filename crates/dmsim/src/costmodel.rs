@@ -138,6 +138,19 @@ impl CostModel {
     pub fn io_write_time(&self, requests: u64, bytes: u64) -> f64 {
         requests as f64 * self.io_write_startup + bytes as f64 / self.io_write_bandwidth
     }
+
+    /// The same machine with its disk subsystem degraded by `factor`: read
+    /// and write bandwidth are divided, request startup costs are unchanged
+    /// (seeks do not get slower, transfers do). Planners use this to re-plan
+    /// slab sizes after the fault layer marks a disk degraded mid-run.
+    pub fn degrade_io(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        CostModel {
+            io_aggregate_bandwidth: self.io_aggregate_bandwidth / factor,
+            io_write_bandwidth: self.io_write_bandwidth / factor,
+            ..self.clone()
+        }
+    }
 }
 
 /// A pre-computed I/O cost: the two metrics of §4 plus the modeled time.
@@ -232,6 +245,18 @@ mod tests {
         assert_eq!(c.requests, 5);
         assert_eq!(c.bytes, 200);
         assert_eq!(IoCost::ZERO.plus(a), a);
+    }
+
+    #[test]
+    fn degraded_model_slows_transfers_not_seeks() {
+        let m = CostModel::delta(4);
+        let d = m.degrade_io(4.0);
+        assert_eq!(d.io_aggregate_bandwidth, m.io_aggregate_bandwidth / 4.0);
+        assert_eq!(d.io_write_bandwidth, m.io_write_bandwidth / 4.0);
+        assert_eq!(d.io_startup, m.io_startup);
+        assert!(d.io_time(10, 1 << 20) > m.io_time(10, 1 << 20));
+        // Pure request cost is unchanged.
+        assert_eq!(d.io_time(10, 0), m.io_time(10, 0));
     }
 
     #[test]

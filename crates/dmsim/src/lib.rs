@@ -36,14 +36,16 @@
 pub mod collectives;
 pub mod comm;
 pub mod costmodel;
+pub mod fault;
 pub mod machine;
 pub mod proc;
 pub mod stats;
 pub mod time;
 
-pub use collectives::{CommElem, ReduceOp};
-pub use comm::{Payload, RecvError, Tag};
+pub use collectives::{CommElem, CommError, ReduceOp};
+pub use comm::{Payload, ProtocolError, RecvError, Tag};
 pub use costmodel::{CostModel, IoCost};
+pub use fault::{FaultCharges, FaultConfig, FaultDomain, FaultInjector, IoFate, RetryPolicy};
 pub use machine::{Machine, MachineConfig};
 pub use proc::{ProcCtx, Rank, RunReport};
 pub use stats::{ProcStats, StatsSnapshot};

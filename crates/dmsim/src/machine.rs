@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::comm::build_fabric;
 use crate::costmodel::CostModel;
+use crate::fault::{FaultConfig, FaultDomain, FaultInjector};
 use crate::proc::{ProcCtx, RunReport};
 
 /// Configuration of a simulated distributed-memory machine.
@@ -44,12 +45,30 @@ impl MachineConfig {
 #[derive(Debug, Clone)]
 pub struct Machine {
     config: MachineConfig,
+    fault: Option<FaultConfig>,
 }
 
 impl Machine {
     /// Build a machine from its configuration.
     pub fn new(config: MachineConfig) -> Self {
-        Machine { config }
+        Machine {
+            config,
+            fault: None,
+        }
+    }
+
+    /// Enable deterministic fault injection on the message fabric. Each rank
+    /// derives its own stream from `cfg.seed`, so same-seed runs perturb
+    /// identically. (Disk faults are wired separately, through
+    /// `pario::LogicalDisk::enable_faults`, from the same config.)
+    pub fn with_fault_injection(mut self, cfg: FaultConfig) -> Self {
+        self.fault = Some(cfg);
+        self
+    }
+
+    /// The fault configuration, when injection is enabled.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
     }
 
     /// The machine's configuration.
@@ -83,9 +102,13 @@ impl Machine {
             let mut handles = Vec::with_capacity(n);
             for (rank, endpoints) in fabric.into_iter().enumerate() {
                 let cost = self.config.cost.clone();
+                let faults = self
+                    .fault
+                    .as_ref()
+                    .map(|fc| FaultInjector::new(fc, rank, FaultDomain::Msg));
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let ctx = ProcCtx::new(rank, n, cost, endpoints);
+                    let ctx = ProcCtx::new(rank, n, cost, endpoints, faults);
                     let value = body(&ctx);
                     (rank, ctx.finish(), value)
                 }));
@@ -254,6 +277,83 @@ mod tests {
         assert_eq!(totals.io_write_requests, 4);
         assert_eq!(report.io_requests_per_proc(), 12);
         assert!(report.elapsed() > 0.0);
+    }
+
+    #[test]
+    fn message_faults_delay_but_never_corrupt() {
+        let body = |ctx: &ProcCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag(3), Payload::F64(vec![1.5; 64]));
+                Vec::new()
+            } else {
+                ctx.recv(0, Tag(3)).unwrap().into_f64()
+            }
+        };
+        let clean = Machine::new(MachineConfig::delta(2));
+        let (clean_rep, clean_vals) = clean.run_with(body);
+        let chaotic = Machine::new(MachineConfig::delta(2))
+            .with_fault_injection(crate::fault::FaultConfig::chaos(11));
+        let (rep, vals) = chaotic.run_with(body);
+        // Payloads are identical; only timing and fault counters differ.
+        assert_eq!(vals, clean_vals);
+        let t = rep.totals();
+        assert_eq!(t.msgs_sent, clean_rep.totals().msgs_sent);
+        assert_eq!(t.bytes_sent, clean_rep.totals().bytes_sent);
+        // Same seed => bit-identical rerun.
+        let (rep2, vals2) = Machine::new(MachineConfig::delta(2))
+            .with_fault_injection(crate::fault::FaultConfig::chaos(11))
+            .run_with(body);
+        assert_eq!(vals2, vals);
+        assert_eq!(rep2.per_proc(), rep.per_proc());
+        assert_eq!(rep2.elapsed(), rep.elapsed());
+    }
+
+    #[test]
+    fn dropped_messages_charge_retries_into_time() {
+        let cfg = crate::fault::FaultConfig {
+            msg_drop: 1.0, // every attempt up to the bound is dropped
+            ..crate::fault::FaultConfig::quiet(5)
+        };
+        let m = Machine::new(MachineConfig::delta(2)).with_fault_injection(cfg);
+        let rep = m.run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag(1), Payload::U64(vec![7; 16]));
+            } else {
+                assert_eq!(ctx.recv(0, Tag(1)).unwrap().into_u64(), vec![7; 16]);
+            }
+        });
+        let t = rep.totals();
+        assert_eq!(t.msgs_sent, 1, "logical count unchanged");
+        assert_eq!(t.msg_retries, 7, "max_attempts-1 retransmissions");
+        assert!(t.faults_injected >= 7);
+        assert!(t.time_faults > 0.0);
+        // The clean run's send costs one message time; this one cost 8.
+        let clean = Machine::new(MachineConfig::delta(2)).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, Tag(1), Payload::U64(vec![7; 16]));
+            } else {
+                let _ = ctx.recv(0, Tag(1)).unwrap();
+            }
+        });
+        assert!(rep.elapsed() > clean.elapsed());
+    }
+
+    #[test]
+    fn fault_free_machine_is_bit_identical_with_quiet_injector() {
+        let body = |ctx: &ProcCtx| {
+            ctx.charge_flops(1000);
+            let v = vec![ctx.rank() as f64; 32];
+            let s = ctx.allreduce_sum_f64(&v);
+            ctx.barrier();
+            s
+        };
+        let (rep_a, vals_a) = Machine::new(MachineConfig::delta(4)).run_with(body);
+        let (rep_b, vals_b) = Machine::new(MachineConfig::delta(4))
+            .with_fault_injection(crate::fault::FaultConfig::quiet(99))
+            .run_with(body);
+        assert_eq!(vals_a, vals_b);
+        assert_eq!(rep_a.per_proc(), rep_b.per_proc());
+        assert_eq!(rep_a.elapsed(), rep_b.elapsed());
     }
 
     #[test]

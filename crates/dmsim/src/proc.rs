@@ -10,8 +10,10 @@ use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
+use crate::collectives::CommError;
 use crate::comm::{Endpoints, Msg, Payload, RecvError, Tag};
 use crate::costmodel::CostModel;
+use crate::fault::{FaultCharges, FaultInjector};
 use crate::stats::{ProcStats, StatsSnapshot};
 use crate::time::{Clock, SimTime};
 
@@ -26,10 +28,18 @@ pub struct ProcCtx {
     clock: Clock,
     stats: ProcStats,
     endpoints: RefCell<Endpoints>,
+    /// Message-domain fault injector; `None` runs the exact fault-free path.
+    faults: Option<FaultInjector>,
 }
 
 impl ProcCtx {
-    pub(crate) fn new(rank: Rank, nprocs: usize, cost: CostModel, endpoints: Endpoints) -> Self {
+    pub(crate) fn new(
+        rank: Rank,
+        nprocs: usize,
+        cost: CostModel,
+        endpoints: Endpoints,
+        faults: Option<FaultInjector>,
+    ) -> Self {
         ProcCtx {
             rank,
             nprocs,
@@ -37,6 +47,7 @@ impl ProcCtx {
             clock: Clock::new(),
             stats: ProcStats::new(),
             endpoints: RefCell::new(endpoints),
+            faults,
         }
     }
 
@@ -109,6 +120,24 @@ impl ProcCtx {
         self.clock.advance(dt);
     }
 
+    /// Charge recovery work accumulated by the I/O fault layer: re-issued
+    /// requests are timed like the originals, backoff and latency spikes are
+    /// pure waiting. None of it touches the logical request/byte counters —
+    /// the new fault counters record it instead.
+    pub fn charge_io_faults(&self, c: &FaultCharges) {
+        if c.is_zero() {
+            return;
+        }
+        let dt = self.cost.io_time(c.read_retries, c.read_retry_bytes)
+            + self
+                .cost
+                .io_write_time(c.write_retries, c.write_retry_bytes)
+            + c.wait_secs;
+        self.clock.advance(dt);
+        self.stats
+            .record_io_faults(c.faults, c.read_retries + c.write_retries, dt);
+    }
+
     /// Charge a disk read that was *prefetched*: it overlapped `flops` of
     /// computation, so the clock advances by `max(read time, compute time)`
     /// while the counters record both components in full (software
@@ -129,10 +158,31 @@ impl ProcCtx {
         assert!(dst < self.nprocs, "send to rank {dst} of {}", self.nprocs);
         assert_ne!(dst, self.rank, "self-send is a protocol error");
         let bytes = payload.size_bytes();
+        // Injected message faults are resolved sender-side: a dropped attempt
+        // costs a full transfer plus a retransmission backoff, a delay pushes
+        // the arrival instant out. The payload itself always arrives intact,
+        // so injected faults can never change computed values.
+        let mut extra_delay = 0.0;
+        if let Some(fi) = &self.faults {
+            let plan = fi.msg_plan();
+            for attempt in 1..=plan.drops {
+                let lost = self.cost.message_time(bytes) + fi.retry().backoff(attempt);
+                self.clock.advance(lost);
+                self.stats.record_msg_retry(lost);
+            }
+            if plan.delay_secs > 0.0 {
+                extra_delay = plan.delay_secs;
+                self.stats.record_msg_delay();
+            }
+        }
         let dt = self.cost.message_time(bytes);
         let arrival = self.clock.advance(dt);
+        let arrival = SimTime(arrival.seconds() + extra_delay);
         self.stats.record_send(bytes, dt);
-        self.endpoints.borrow().send(
+        // A `false` return means `dst` already aborted (permanent fault);
+        // the charge above stands either way so the sender's clock and
+        // counters never depend on peer liveness.
+        let _ = self.endpoints.borrow().send(
             dst,
             Msg {
                 tag,
@@ -162,6 +212,13 @@ impl ProcCtx {
     pub fn recv_expect(&self, src: Rank, tag: Tag) -> Payload {
         self.recv(src, tag)
             .unwrap_or_else(|e| panic!("rank {}: {e}", self.rank))
+    }
+
+    /// Receive an `F32` payload, surfacing dead peers and payload
+    /// mismatches as [`CommError`] — the recoverable counterpart of
+    /// `recv_expect(..).into_f32()` used by the executors' exchanges.
+    pub fn try_recv_f32(&self, src: Rank, tag: Tag) -> Result<Vec<f32>, CommError> {
+        Ok(self.recv(src, tag)?.try_into_f32()?)
     }
 
     /// Snapshot of this processor's counters.

@@ -29,9 +29,13 @@ pub struct ProcStats {
     cache_hit_bytes: Cell<u64>,
     write_back_requests: Cell<u64>,
     write_back_bytes: Cell<u64>,
+    faults_injected: Cell<u64>,
+    io_retries: Cell<u64>,
+    msg_retries: Cell<u64>,
     time_compute: Cell<f64>,
     time_comm: Cell<f64>,
     time_io: Cell<f64>,
+    time_faults: Cell<f64>,
 }
 
 impl ProcStats {
@@ -94,6 +98,31 @@ impl ProcStats {
             .set(self.write_back_bytes.get() + bytes);
     }
 
+    /// Record injected disk faults and their recovery: `faults` injected
+    /// events, `retries` re-issued requests, `secs` of backoff + retry time.
+    /// Recovery requests are *not* added to the logical I/O counters — those
+    /// keep meaning "requests the translation scheme asked for".
+    pub fn record_io_faults(&self, faults: u64, retries: u64, secs: f64) {
+        self.faults_injected
+            .set(self.faults_injected.get() + faults);
+        self.io_retries.set(self.io_retries.get() + retries);
+        self.time_faults.set(self.time_faults.get() + secs);
+    }
+
+    /// Record one dropped message re-transmission taking `secs` (transfer
+    /// plus backoff). The logical `msgs_sent` counter is untouched.
+    pub fn record_msg_retry(&self, secs: f64) {
+        self.faults_injected.set(self.faults_injected.get() + 1);
+        self.msg_retries.set(self.msg_retries.get() + 1);
+        self.time_faults.set(self.time_faults.get() + secs);
+    }
+
+    /// Record one delayed message (extra in-flight latency; charged to the
+    /// receiver's wait when it syncs to the later arrival).
+    pub fn record_msg_delay(&self) {
+        self.faults_injected.set(self.faults_injected.get() + 1);
+    }
+
     /// Immutable copy of the current counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -110,9 +139,13 @@ impl ProcStats {
             cache_hit_bytes: self.cache_hit_bytes.get(),
             write_back_requests: self.write_back_requests.get(),
             write_back_bytes: self.write_back_bytes.get(),
+            faults_injected: self.faults_injected.get(),
+            io_retries: self.io_retries.get(),
+            msg_retries: self.msg_retries.get(),
             time_compute: self.time_compute.get(),
             time_comm: self.time_comm.get(),
             time_io: self.time_io.get(),
+            time_faults: self.time_faults.get(),
         }
     }
 }
@@ -146,12 +179,21 @@ pub struct StatsSnapshot {
     pub write_back_requests: u64,
     /// Bytes written back from dirty slabs; also in `io_bytes_written`.
     pub write_back_bytes: u64,
+    /// Faults injected by the deterministic chaos harness (all kinds).
+    pub faults_injected: u64,
+    /// Disk requests re-issued by the retry policy; not in `io_requests()`.
+    pub io_retries: u64,
+    /// Message re-transmissions after injected drops; not in `msgs_sent`.
+    pub msg_retries: u64,
     /// Modeled seconds spent computing.
     pub time_compute: f64,
     /// Modeled seconds spent in communication (send + blocked receive).
     pub time_comm: f64,
     /// Modeled seconds spent in disk I/O.
     pub time_io: f64,
+    /// Modeled seconds spent recovering from injected faults (retries,
+    /// backoff, latency spikes, re-transmissions).
+    pub time_faults: f64,
 }
 
 impl StatsSnapshot {
@@ -189,9 +231,13 @@ impl StatsSnapshot {
             cache_hit_bytes: self.cache_hit_bytes + other.cache_hit_bytes,
             write_back_requests: self.write_back_requests + other.write_back_requests,
             write_back_bytes: self.write_back_bytes + other.write_back_bytes,
+            faults_injected: self.faults_injected + other.faults_injected,
+            io_retries: self.io_retries + other.io_retries,
+            msg_retries: self.msg_retries + other.msg_retries,
             time_compute: self.time_compute + other.time_compute,
             time_comm: self.time_comm + other.time_comm,
             time_io: self.time_io + other.time_io,
+            time_faults: self.time_faults + other.time_faults,
         }
     }
 }
@@ -238,6 +284,28 @@ mod tests {
         let merged = snap.merge(&snap);
         assert_eq!(merged.cache_hits, 6);
         assert_eq!(merged.write_back_bytes, 400);
+    }
+
+    #[test]
+    fn fault_counters_stay_out_of_logical_metrics() {
+        let s = ProcStats::new();
+        s.record_io_read(1, 100, 0.1);
+        s.record_io_faults(2, 2, 0.3);
+        s.record_msg_retry(0.05);
+        s.record_msg_delay();
+        let snap = s.snapshot();
+        assert_eq!(snap.faults_injected, 4);
+        assert_eq!(snap.io_retries, 2);
+        assert_eq!(snap.msg_retries, 1);
+        // Logical metrics unchanged by recovery work.
+        assert_eq!(snap.io_requests(), 1);
+        assert_eq!(snap.io_bytes(), 100);
+        assert_eq!(snap.msgs_sent, 0);
+        assert!((snap.time_faults - 0.35).abs() < 1e-12);
+        assert!((snap.time_io - 0.1).abs() < 1e-12);
+        let m = snap.merge(&snap);
+        assert_eq!(m.faults_injected, 8);
+        assert_eq!(m.io_retries, 4);
     }
 
     #[test]

@@ -429,7 +429,13 @@ fn parse_subscript(cur: &mut Cursor<'_>) -> FrontResult<Subscript> {
         };
         Ok(Subscript::Triplet { lo, hi, step })
     } else {
-        Ok(Subscript::Index(lo.expect("index expression")))
+        // `lo` is only None when the subscript started with `:`, and that
+        // path always takes the triplet branch above; guard anyway so a
+        // malformed token stream surfaces as a diagnostic, not a panic.
+        match lo {
+            Some(e) => Ok(Subscript::Index(e)),
+            None => Err(cur.err("expected index expression".into())),
+        }
     }
 }
 

@@ -340,6 +340,12 @@ fn dist_from_specs(
                 }
             }
             DistSpec::CyclicBlock(b) => {
+                if *b <= 0 {
+                    return Err(FrontError::new(
+                        0,
+                        format!("array `{name}` has non-positive cyclic block size {b}"),
+                    ));
+                }
                 let axis = next_axis;
                 next_axis += 1;
                 DimDist::Distributed {

@@ -10,11 +10,10 @@
 use std::collections::HashMap;
 
 use dmsim::{Payload, ProcCtx, Tag};
-use ooc_array::{DimDist, DimRange, OocEnv, Section, Shape};
+use ooc_array::{DimDist, DimRange, OocEnv, OocError, Section, Shape};
 use ooc_core::hir::ElwExpr;
 use ooc_core::partition::local_iteration_space;
 use ooc_core::plan::ElwPlan;
-use pario::IoError;
 
 const GHOST_TAG: Tag = Tag(0x6057);
 
@@ -77,7 +76,7 @@ fn compile_expr(e: &ElwExpr, plan: &ElwPlan) -> CExpr {
 /// With `prefetch`, each stage's slab reads overlap the previous stage's
 /// deferred computation (stencil stages have no intervening collective, so
 /// the overlap is effective — unlike the GAXPY row version).
-pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &ElwPlan) -> Result<usize, IoError> {
+pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &ElwPlan) -> Result<usize, OocError> {
     execute_prefetched(ctx, env, plan, false)
 }
 
@@ -87,7 +86,7 @@ pub fn execute_prefetched(
     env: &mut OocEnv,
     plan: &ElwPlan,
     prefetch: bool,
-) -> Result<usize, IoError> {
+) -> Result<usize, OocError> {
     let rank = ctx.rank();
     let local_shape = plan.lhs.local_shape(rank);
     let ndims = local_shape.ndims();
@@ -138,7 +137,7 @@ pub fn execute_prefetched(
                     g.dim,
                     DimRange::new(nb_ext.saturating_sub(g.lo_width), nb_ext),
                 );
-                let data = ctx.recv_expect(rank - 1, GHOST_TAG).into_f32();
+                let data = ctx.try_recv_f32(rank - 1, GHOST_TAG)?;
                 debug_assert_eq!(data.len(), sec.len());
                 ghost.lo = Some((sec, data));
             }
@@ -146,7 +145,7 @@ pub fn execute_prefetched(
                 let nb = plan.lhs.local_shape(rank + 1);
                 let sec = Section::full(&nb)
                     .with_range(g.dim, DimRange::new(0, g.hi_width.min(nb.extent(g.dim))));
-                let data = ctx.recv_expect(rank + 1, GHOST_TAG).into_f32();
+                let data = ctx.try_recv_f32(rank + 1, GHOST_TAG)?;
                 debug_assert_eq!(data.len(), sec.len());
                 ghost.hi = Some((sec, data));
             }

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use dmsim::{Machine, MachineConfig, ProcCtx, RunReport};
-use ooc_array::{OocEnv, Section, Shape};
+use dmsim::{FaultConfig, Machine, MachineConfig, ProcCtx, RunReport};
+use ooc_array::{OocEnv, OocError, Section, Shape};
 use ooc_core::{CompiledProgram, ExecPlan};
 
 /// Per-element initializer: global index → value.
@@ -59,13 +59,31 @@ pub struct RunConfig {
     /// flushed — charged — after every plan, so dirty slabs always reach
     /// disk inside the timed region.
     pub cache_budget: Option<usize>,
+    /// Deterministic fault injection (`None` = off, bit-identical to a
+    /// build without the fault subsystem). The same config seeds both the
+    /// per-rank disk injectors and the message-fabric injectors; transient
+    /// faults are absorbed by the retry policy, permanent faults trigger a
+    /// bounded checkpoint/restart recovery of the whole program with hard
+    /// faults quiesced.
+    pub fault: Option<FaultConfig>,
+    /// Directory for slab-granular recovery checkpoints. With faults on,
+    /// executors that support it (GAXPY) checkpoint their output here at
+    /// slab boundaries, and a recovery re-run resumes from the agreed
+    /// watermark instead of from scratch.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
+
+/// Bound on whole-program recovery re-runs after a permanent fault.
+const MAX_RECOVERIES: usize = 2;
 
 /// Execution failure.
 #[derive(Debug)]
 pub enum RunError {
     /// An I/O layer operation failed.
     Io(pario::IoError),
+    /// A communication operation failed (typically a peer rank lost to a
+    /// permanent fault) and recovery was exhausted or disabled.
+    Comm(dmsim::CommError),
     /// The configuration is inconsistent with the compiled program.
     Config(String),
 }
@@ -74,6 +92,7 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Io(e) => write!(f, "I/O error: {e}"),
+            RunError::Comm(e) => write!(f, "communication error: {e}"),
             RunError::Config(m) => write!(f, "configuration error: {m}"),
         }
     }
@@ -84,6 +103,15 @@ impl std::error::Error for RunError {}
 impl From<pario::IoError> for RunError {
     fn from(e: pario::IoError) -> Self {
         RunError::Io(e)
+    }
+}
+
+impl From<OocError> for RunError {
+    fn from(e: OocError) -> Self {
+        match e {
+            OocError::Io(e) => RunError::Io(e),
+            OocError::Comm(e) => RunError::Comm(e),
+        }
     }
 }
 
@@ -133,14 +161,48 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, Ru
         }
     }
 
-    let machine = Machine::new(machine_cfg);
-    let (report, results) = machine.run_with(|ctx| execute_rank(ctx, compiled, cfg));
+    // Fault-recovery loop: a permanent fault (or the resulting loss of a
+    // peer mid-collective) triggers a bounded re-run with hard faults
+    // quiesced; checkpointed executors resume from their last slab
+    // watermark. Everything is deterministic — the re-run is as much a
+    // pure function of the seed as the first attempt.
+    let mut fault = cfg.fault.clone();
+    let mut recoveries = 0usize;
+    let (report, rank_results) = loop {
+        let mut machine = Machine::new(machine_cfg.clone());
+        if let Some(fc) = &fault {
+            machine = machine.with_fault_injection(fc.clone());
+        }
+        let rank_fault = fault.clone();
+        let (report, results) =
+            machine.run_with(|ctx| execute_rank(ctx, compiled, cfg, rank_fault.as_ref()));
 
-    // Surface the first per-rank error, if any.
-    let mut rank_results = Vec::with_capacity(results.len());
-    for r in results {
-        rank_results.push(r.map_err(RunError::Io)?);
-    }
+        let mut ok = Vec::with_capacity(results.len());
+        let mut first_err: Option<OocError> = None;
+        let mut all_recoverable = true;
+        for r in results {
+            match r {
+                Ok(v) => ok.push(v),
+                Err(e) => {
+                    all_recoverable &= e.is_recoverable();
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => break (report, ok),
+            Some(e) => {
+                if !all_recoverable || recoveries >= MAX_RECOVERIES {
+                    return Err(e.into());
+                }
+                recoveries += 1;
+                if let Some(fc) = fault.as_mut() {
+                    fc.hard_read = 0.0;
+                    fc.hard_write = 0.0;
+                }
+            }
+        }
+    };
 
     // Assemble collected arrays outside the timed region.
     let mut collected = HashMap::new();
@@ -180,7 +242,8 @@ fn execute_rank(
     ctx: &ProcCtx,
     compiled: &CompiledProgram,
     cfg: &RunConfig,
-) -> Result<RankResult, pario::IoError> {
+    fault: Option<&FaultConfig>,
+) -> Result<RankResult, OocError> {
     let rank = ctx.rank();
     let mut env = match cfg.backend {
         Backend::Memory => OocEnv::in_memory(rank),
@@ -217,11 +280,24 @@ fn execute_rank(
     if let Some(budget) = cfg.cache_budget {
         env.enable_cache(budget);
     }
+    // Faults arm only after setup: the measured region is where the paper's
+    // I/O happens, and initial distribution is amortized (and assumed
+    // reliable) anyway.
+    if let Some(fc) = fault {
+        env.enable_faults(fc);
+    }
 
     let mut peak = 0usize;
     for plan in &compiled.plans {
         let used = match plan {
-            ExecPlan::Gaxpy(g) => crate::gaxpy::execute(ctx, &mut env, g, cfg.prefetch)?,
+            ExecPlan::Gaxpy(g) => {
+                let opts = crate::gaxpy::RecoveryOpts {
+                    checkpoint_dir: cfg.checkpoint_dir.as_deref(),
+                    model: Some(&compiled.model),
+                    cache_budget: cfg.cache_budget,
+                };
+                crate::gaxpy::execute_recoverable(ctx, &mut env, g, cfg.prefetch, ctx, &opts)?
+            }
             ExecPlan::Elementwise(e) => {
                 crate::elementwise::execute_prefetched(ctx, &mut env, e, cfg.prefetch)?
             }

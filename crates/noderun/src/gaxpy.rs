@@ -10,9 +10,28 @@
 //! check the plan's memory accounting.
 
 use dmsim::{ProcCtx, ReduceOp};
-use ooc_array::{DimRange, OocEnv, Section};
+use ooc_array::{DimRange, OocEnv, OocError, Section};
 use ooc_core::plan::{GaxpyPlan, SlabStrategy};
 use pario::{IoError, PendingIo};
+
+/// Fault-recovery options for a GAXPY statement. All fields default to off,
+/// in which case execution is bit-identical to the pre-fault-subsystem
+/// executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryOpts<'a> {
+    /// Directory for slab-granular checkpoints of C's progress. When set,
+    /// each rank checkpoints its local C after every outer slab, and a
+    /// restarted statement resumes from the *minimum* watermark across
+    /// ranks (agreed by an allreduce) so the collective sequences stay in
+    /// lockstep.
+    pub checkpoint_dir: Option<&'a std::path::Path>,
+    /// Cost model used to re-plan slab sizes when the disk degrades
+    /// mid-run (graceful degradation). `None` disables re-planning.
+    pub model: Option<&'a dmsim::CostModel>,
+    /// Slab-cache budget the re-planner should assume (must match the
+    /// budget the environment actually runs with).
+    pub cache_budget: Option<usize>,
+}
 
 /// Execute the plan on this processor. Returns peak in-core elements.
 ///
@@ -24,7 +43,7 @@ pub fn execute(
     env: &mut OocEnv,
     plan: &GaxpyPlan,
     prefetch: bool,
-) -> Result<usize, IoError> {
+) -> Result<usize, OocError> {
     execute_with_charge(ctx, env, plan, prefetch, ctx)
 }
 
@@ -38,11 +57,72 @@ pub fn execute_with_charge(
     plan: &GaxpyPlan,
     prefetch: bool,
     charge: &dyn pario::IoCharge,
-) -> Result<usize, IoError> {
+) -> Result<usize, OocError> {
+    execute_recoverable(ctx, env, plan, prefetch, charge, &RecoveryOpts::default())
+}
+
+/// Full-featured entry point: like [`execute_with_charge`] plus optional
+/// checkpointing and degraded-disk re-planning per [`RecoveryOpts`].
+pub fn execute_recoverable(
+    ctx: &ProcCtx,
+    env: &mut OocEnv,
+    plan: &GaxpyPlan,
+    prefetch: bool,
+    charge: &dyn pario::IoCharge,
+    opts: &RecoveryOpts<'_>,
+) -> Result<usize, OocError> {
     match plan.strategy {
-        SlabStrategy::ColumnSlab => column_version(ctx, env, plan, prefetch, charge),
-        SlabStrategy::RowSlab => row_version(ctx, env, plan, prefetch, charge),
+        SlabStrategy::ColumnSlab => column_version(ctx, env, plan, prefetch, charge, opts),
+        SlabStrategy::RowSlab => row_version(ctx, env, plan, prefetch, charge, opts),
     }
+}
+
+/// Checkpoint tag for a GAXPY statement writing `c`.
+fn ckpt_tag(plan: &GaxpyPlan) -> String {
+    format!("gaxpy-{}", plan.c.name)
+}
+
+/// Restore this statement's checkpoint (if any) and agree on the restart
+/// watermark: every rank resumes from the minimum progress any rank saved,
+/// so the per-column reduces below stay in lockstep. Ranks ahead of the
+/// minimum recompute the gap idempotently.
+fn agree_restart(
+    ctx: &ProcCtx,
+    env: &mut OocEnv,
+    plan: &GaxpyPlan,
+    dir: &std::path::Path,
+) -> Result<usize, OocError> {
+    let c_local = plan.c.local_shape(ctx.rank());
+    let full = Section::full(&c_local);
+    let saved =
+        ooc_array::restore_checkpoint(env, &plan.c, &full, dir, &ckpt_tag(plan))?.unwrap_or(0);
+    let min = ctx.try_allreduce(&[saved], ReduceOp::Min)?[0];
+    Ok(min as usize)
+}
+
+/// Re-plan slab thicknesses against a degraded disk: once the fault layer
+/// marks the disk degraded, the remaining slabs are re-split with the I/O
+/// bandwidth derated by the injector's factor. Returns `None` while the
+/// disk is healthy.
+fn replan_degraded(
+    env: &OocEnv,
+    plan: &GaxpyPlan,
+    opts: &RecoveryOpts<'_>,
+) -> Option<(usize, usize)> {
+    let model = opts.model?;
+    if !env.disk_degraded() {
+        return None;
+    }
+    let degraded = model.degrade_io(env.degrade_factor());
+    Some(ooc_core::memory::split_gaxpy_budget_with_cache(
+        plan.strategy,
+        plan.n,
+        plan.nprocs,
+        plan.memory_elems(),
+        ooc_core::memory::MemoryPolicy::Search,
+        &degraded,
+        opts.cache_budget,
+    ))
 }
 
 /// Pipelined slab fetch: accumulate the read, then charge it overlapped
@@ -91,7 +171,8 @@ fn column_version(
     plan: &GaxpyPlan,
     prefetch: bool,
     charge: &dyn pario::IoCharge,
-) -> Result<usize, IoError> {
+    opts: &RecoveryOpts<'_>,
+) -> Result<usize, OocError> {
     let rank = ctx.rank();
     let n = plan.n;
     let a_local = plan.a.local_shape(rank);
@@ -101,18 +182,34 @@ fn column_version(
     let lr_b = b_local.extent(0); // local rows of B (== lc_a)
     let lc_c = c_local.extent(1); // owned columns of C
 
+    // Checkpointed restart: resume the outer loop at the agreed watermark
+    // (global column index every rank has completed and persisted).
+    let start_b = match opts.checkpoint_dir {
+        Some(dir) => agree_restart(ctx, env, plan, dir)?,
+        None => 0,
+    };
+
+    // Slab thicknesses may shrink mid-run under graceful degradation; both
+    // are communication-transparent here because the reduce sequence is one
+    // reduce per global column j in ascending order, whatever the slabbing.
+    let mut slab_a = plan.slab_a;
+    let mut slab_b = plan.slab_b;
+    let mut replanned = false;
+
     // C write buffer: up to slab_c columns of n elements.
     let mut cbuf: Vec<f32> = Vec::with_capacity(n * plan.slab_c);
-    let mut cbuf_start_col = 0usize; // first local C column in the buffer
-    let mut next_c_col = 0usize; // next local C column to be produced
+    // Columns with global index below the watermark are already on disk.
+    let done_cols = (0..start_b).filter(|&j| owner_of(plan, j) == rank).count();
+    let mut cbuf_start_col = done_cols; // first local C column in the buffer
+    let mut next_c_col = done_cols; // next local C column to be produced
 
     let mut peak = 0usize;
     let mut pending_flops = 0u64;
 
     // Outer loop: slabs of B (columns of B's OCLA are global columns of C).
-    let mut b_lo = 0usize;
+    let mut b_lo = start_b;
     while b_lo < n {
-        let b_hi = (b_lo + plan.slab_b).min(n);
+        let b_hi = (b_lo + slab_b).min(n);
         let b_sec = Section::new(vec![DimRange::new(0, lr_b), DimRange::new(b_lo, b_hi)]);
         let b_icla = if prefetch {
             read_overlapped(env, &plan.b, &b_sec, ctx, &mut pending_flops)?
@@ -128,7 +225,7 @@ fn column_version(
             // overlaps the previous slab's multiply.
             let mut a_lo = 0usize;
             while a_lo < lc_a {
-                let a_hi = (a_lo + plan.slab_a).min(lc_a);
+                let a_hi = (a_lo + slab_a).min(lc_a);
                 let a_sec = Section::new(vec![DimRange::new(0, n), DimRange::new(a_lo, a_hi)]);
                 let a_icla = if prefetch {
                     read_overlapped(env, &plan.a, &a_sec, ctx, &mut pending_flops)?
@@ -154,7 +251,7 @@ fn column_version(
             // flush any deferred work first).
             flush_pending(ctx, &mut pending_flops);
             let owner = owner_of(plan, j);
-            let summed = ctx.reduce(&temp, ReduceOp::Sum, owner);
+            let summed = ctx.try_reduce(&temp, ReduceOp::Sum, owner)?;
             if rank == owner {
                 let column = summed.expect("root receives the sum");
                 debug_assert_eq!(plan.c.dist.local_index(1, j), next_c_col);
@@ -174,6 +271,38 @@ fn column_version(
                 }
             }
         }
+        if let Some(dir) = opts.checkpoint_dir {
+            // Persist every finished column, then checkpoint the local C
+            // with the new watermark. The cbuf flush here only changes the
+            // flush cadence when checkpointing is on.
+            if next_c_col > cbuf_start_col {
+                flush_c_columns(
+                    env,
+                    plan,
+                    rank,
+                    &mut cbuf,
+                    cbuf_start_col,
+                    next_c_col,
+                    charge,
+                )?;
+                cbuf_start_col = next_c_col;
+            }
+            ooc_array::checkpoint_section(
+                env,
+                &plan.c,
+                &Section::full(&c_local),
+                dir,
+                &ckpt_tag(plan),
+                b_hi as u64,
+            )?;
+        }
+        if !replanned {
+            if let Some((sa, sb)) = replan_degraded(env, plan, opts) {
+                slab_a = sa;
+                slab_b = sb;
+                replanned = true;
+            }
+        }
         b_lo = b_hi;
     }
 
@@ -190,6 +319,9 @@ fn column_version(
         )?;
     }
     debug_assert_eq!(next_c_col, lc_c, "every owned column produced");
+    if let Some(dir) = opts.checkpoint_dir {
+        ooc_array::remove_checkpoint(dir, &ckpt_tag(plan), rank)?;
+    }
     Ok(peak)
 }
 
@@ -220,7 +352,8 @@ fn row_version(
     plan: &GaxpyPlan,
     prefetch: bool,
     charge: &dyn pario::IoCharge,
-) -> Result<usize, IoError> {
+    opts: &RecoveryOpts<'_>,
+) -> Result<usize, OocError> {
     let rank = ctx.rank();
     let n = plan.n;
     let a_local = plan.a.local_shape(rank);
@@ -229,6 +362,21 @@ fn row_version(
     let lr_b = b_local.extent(0);
 
     let mut peak = 0usize;
+
+    // Checkpointed restart at the agreed row watermark. Row-slab height is
+    // part of the collective structure (one reduce per (row slab, column)),
+    // so every saved watermark lies on a shared `slab_a` boundary and so
+    // does their minimum.
+    let start_r = match opts.checkpoint_dir {
+        Some(dir) => agree_restart(ctx, env, plan, dir)?,
+        None => 0,
+    };
+
+    // Graceful degradation can re-plan only B's streaming thickness here:
+    // changing `slab_a` would change the reduce sequence and desynchronize
+    // ranks that degrade at different times.
+    let mut slab_b = plan.slab_b;
+    let mut replanned = false;
 
     // Loop-invariant I/O motion: a B ICLA covering the whole OCLA is read
     // once, before the A-slab loop, and stays resident.
@@ -240,7 +388,7 @@ fn row_version(
     };
 
     let mut pending_flops = 0u64;
-    let mut r_lo = 0usize;
+    let mut r_lo = start_r;
     while r_lo < n {
         let r_hi = (r_lo + plan.slab_a).min(n);
         let h = r_hi - r_lo;
@@ -258,7 +406,7 @@ fn row_version(
 
         let mut b_lo = 0usize;
         while b_lo < n {
-            let b_hi = (b_lo + plan.slab_b).min(n);
+            let b_hi = (b_lo + slab_b).min(n);
             let b_icla_local;
             let b_icla: &[f32] = match &b_resident {
                 Some(whole) => whole,
@@ -285,7 +433,7 @@ fn row_version(
 
                 flush_pending(ctx, &mut pending_flops);
                 let owner = owner_of(plan, j);
-                let summed = ctx.reduce(&temp, ReduceOp::Sum, owner);
+                let summed = ctx.try_reduce(&temp, ReduceOp::Sum, owner)?;
                 if rank == owner {
                     let sub = summed.expect("root receives the sum");
                     let local_j = plan.c.dist.local_index(1, j);
@@ -298,7 +446,26 @@ fn row_version(
         // Write this row slab of C (rows r_lo..r_hi of all owned columns).
         let c_sec = Section::new(vec![DimRange::new(r_lo, r_hi), DimRange::new(0, c_cols)]);
         env.write_section(&plan.c, &c_sec, &cbuf, charge)?;
+        if let Some(dir) = opts.checkpoint_dir {
+            ooc_array::checkpoint_section(
+                env,
+                &plan.c,
+                &Section::full(&plan.c.local_shape(rank)),
+                dir,
+                &ckpt_tag(plan),
+                r_hi as u64,
+            )?;
+        }
+        if !replanned {
+            if let Some((_, sb)) = replan_degraded(env, plan, opts) {
+                slab_b = sb;
+                replanned = true;
+            }
+        }
         r_lo = r_hi;
+    }
+    if let Some(dir) = opts.checkpoint_dir {
+        ooc_array::remove_checkpoint(dir, &ckpt_tag(plan), rank)?;
     }
     Ok(peak)
 }

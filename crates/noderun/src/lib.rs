@@ -32,4 +32,6 @@ pub mod transpose;
 pub mod verify;
 
 pub use exec::{init_fn, run, Backend, InitFn, RunConfig, RunError, RunOutcome};
+pub use gaxpy::RecoveryOpts;
+pub use ooc_array::OocError;
 pub use verify::{assemble_global, max_abs_diff, ref_gaxpy, ref_jacobi, ref_transpose};

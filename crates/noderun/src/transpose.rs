@@ -9,10 +9,9 @@
 
 use dmsim::{Payload, ProcCtx, Tag};
 use ooc_array::{
-    global_section_of_local, local_section_of_global, DimRange, OocEnv, Section, SlabPlan,
+    global_section_of_local, local_section_of_global, DimRange, OocEnv, OocError, Section, SlabPlan,
 };
 use ooc_core::plan::TransposePlan;
-use pario::IoError;
 
 const REMAP_TAG: Tag = Tag(0x7A05);
 
@@ -30,7 +29,7 @@ fn slab_plan_of(plan: &TransposePlan, rank: usize) -> SlabPlan {
 }
 
 /// Execute the plan on this processor. Returns peak in-core elements.
-pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &TransposePlan) -> Result<usize, IoError> {
+pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &TransposePlan) -> Result<usize, OocError> {
     let rank = ctx.rank();
     let p = ctx.nprocs();
     let my_plan = slab_plan_of(plan, rank);
@@ -82,7 +81,7 @@ pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &TransposePlan) -> Result<
             let Some(isect_dst) = sendable.intersect(&my_dst_global) else {
                 continue;
             };
-            let payload = ctx.recv_expect(src_rank, REMAP_TAG).into_f32();
+            let payload = ctx.try_recv_f32(src_rank, REMAP_TAG)?;
             debug_assert_eq!(payload.len(), isect_dst.len());
             peak = peak.max(payload.len());
             write_piece(env, plan, rank, &isect_dst, &payload, ctx)?;
@@ -154,7 +153,7 @@ fn write_piece(
     isect_dst_global: &Section,
     data: &[f32],
     ctx: &ProcCtx,
-) -> Result<(), IoError> {
+) -> Result<(), pario::IoError> {
     let local = local_section_of_global(&plan.dst.dist, rank, isect_dst_global)
         .expect("receiver owns the piece");
     debug_assert_eq!(local.len(), data.len());

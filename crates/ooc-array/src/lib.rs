@@ -17,6 +17,7 @@
 //! the row index; "column-block" distribution distributes dimension 1.
 
 pub mod dist;
+pub mod error;
 pub mod layout;
 pub mod localize;
 pub mod ocla;
@@ -27,13 +28,17 @@ pub mod shape;
 pub mod slab;
 
 pub use dist::{DimDist, DistKind, Distribution, ProcGrid};
+pub use error::OocError;
 pub use layout::FileLayout;
 pub use localize::{
     global_section_of_local, global_to_local, local_part, local_section_of_global, local_to_global,
     owner_of,
 };
 pub use ocla::{ArrayDesc, ArrayId, OocEnv};
-pub use persist::{export_array, import_array};
+pub use persist::{
+    checkpoint_file, checkpoint_section, export_array, import_array, remove_checkpoint,
+    restore_checkpoint,
+};
 pub use redist::{redistribute, relayout_in_place};
 pub use section::{DimRange, Section};
 pub use shape::Shape;

@@ -134,6 +134,39 @@ impl OocEnv {
         self.disk.flush_cache(charge)
     }
 
+    /// Enable deterministic fault injection on this processor's logical
+    /// disk. The injector draws from a per-rank stream derived from
+    /// `cfg.seed`, so two runs with the same config see the same fault
+    /// schedule. A quiet config (all probabilities zero) leaves every
+    /// request bit-identical to a fault-free environment.
+    pub fn enable_faults(&mut self, cfg: &dmsim::FaultConfig) {
+        self.disk.enable_faults(cfg, self.rank);
+    }
+
+    /// Clear any armed permanent faults so a checkpoint/restart recovery
+    /// pass can re-issue the failed accesses. Transient fault probabilities
+    /// stay active. No-op without an injector.
+    pub fn quiesce_faults(&self) {
+        if let Some(fi) = self.disk.fault_injector() {
+            fi.quiesce_hard();
+        }
+    }
+
+    /// True once the fault layer has injected enough disk faults to mark
+    /// this disk degraded; executors should re-plan slab sizes against
+    /// reduced I/O bandwidth.
+    pub fn disk_degraded(&self) -> bool {
+        self.disk.is_degraded()
+    }
+
+    /// Bandwidth derating factor the cost model should apply once
+    /// [`OocEnv::disk_degraded`] reports true (1.0 without an injector).
+    pub fn degrade_factor(&self) -> f64 {
+        self.disk
+            .fault_injector()
+            .map_or(1.0, |fi| fi.degrade_factor())
+    }
+
     /// This environment's processor rank.
     pub fn rank(&self) -> usize {
         self.rank

@@ -95,6 +95,121 @@ pub fn import_array(env: &mut OocEnv, desc: &ArrayDesc, dir: &Path) -> Result<()
     env.write_section(desc, &Section::full(&local_shape), &data, &pario::NoCharge)
 }
 
+const CKPT_MAGIC: &str = "oochpf-ckpt 1";
+
+/// File path for one rank's checkpoint of stage `tag` under `dir`.
+pub fn checkpoint_file(dir: &Path, tag: &str, rank: usize) -> PathBuf {
+    dir.join(format!("{tag}.r{rank}.ckpt"))
+}
+
+fn ckpt_header(tag: &str, rank: usize, progress: u64, elems: usize) -> String {
+    format!("{CKPT_MAGIC}\ntag={tag} rank={rank} progress={progress} elems={elems}\n")
+}
+
+/// Checkpoint one section of `desc` (slab granularity) together with a
+/// `progress` marker saying how far the computation has advanced. The file
+/// is written to a temporary name and renamed into place, so a crash midway
+/// never leaves a half-valid checkpoint — restore sees either the previous
+/// complete checkpoint or none.
+pub fn checkpoint_section(
+    env: &mut OocEnv,
+    desc: &ArrayDesc,
+    section: &Section,
+    dir: &Path,
+    tag: &str,
+    progress: u64,
+) -> Result<(), IoError> {
+    fs::create_dir_all(dir)?;
+    let rank = env.rank();
+    let data = env.read_section_uncharged(desc, section)?;
+    let path = checkpoint_file(dir, tag, rank);
+    let tmp = path.with_extension("ckpt.tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(ckpt_header(tag, rank, progress, data.len()).as_bytes())?;
+    f.write_all(&f32_to_bytes(&data))?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Restore a checkpoint written by [`checkpoint_section`], writing the
+/// payload back into `section` of `desc`. Returns the saved `progress`
+/// marker, or `Ok(None)` when no usable checkpoint exists (missing file or
+/// header mismatch) — the caller then restarts the stage from scratch, which
+/// is always safe.
+pub fn restore_checkpoint(
+    env: &mut OocEnv,
+    desc: &ArrayDesc,
+    section: &Section,
+    dir: &Path,
+    tag: &str,
+) -> Result<Option<u64>, IoError> {
+    let rank = env.rank();
+    let path = checkpoint_file(dir, tag, rank);
+    let mut bytes = Vec::new();
+    match fs::File::open(&path) {
+        Ok(mut f) => f.read_to_end(&mut bytes).map(|_| ())?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    // Parse "magic\ntag=... rank=... progress=P elems=N\n".
+    let Some(head_end) = bytes.iter().position(|&b| b == b'\n').and_then(|first| {
+        bytes[first + 1..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|s| first + 1 + s + 1)
+    }) else {
+        return Ok(None);
+    };
+    let head = match std::str::from_utf8(&bytes[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Ok(None),
+    };
+    let mut lines = head.lines();
+    if lines.next() != Some(CKPT_MAGIC) {
+        return Ok(None);
+    }
+    let fields = lines.next().unwrap_or("");
+    let mut progress = None;
+    let mut elems = None;
+    let mut tag_ok = false;
+    let mut rank_ok = false;
+    for field in fields.split_whitespace() {
+        match field.split_once('=') {
+            Some(("tag", v)) => tag_ok = v == tag,
+            Some(("rank", v)) => rank_ok = v.parse::<usize>() == Ok(rank),
+            Some(("progress", v)) => progress = v.parse::<u64>().ok(),
+            Some(("elems", v)) => elems = v.parse::<usize>().ok(),
+            _ => {}
+        }
+    }
+    let (Some(progress), Some(elems)) = (progress, elems) else {
+        return Ok(None);
+    };
+    if !tag_ok || !rank_ok || elems != section.len() {
+        return Ok(None);
+    }
+    let Ok(data) = bytes_to_f32(&bytes[head_end..]) else {
+        return Ok(None);
+    };
+    if data.len() != elems {
+        return Ok(None);
+    }
+    env.write_section(desc, section, &data, &pario::NoCharge)?;
+    Ok(Some(progress))
+}
+
+/// Delete one rank's checkpoint of stage `tag`, if present (call once the
+/// stage has committed).
+pub fn remove_checkpoint(dir: &Path, tag: &str, rank: usize) -> Result<(), IoError> {
+    match fs::remove_file(checkpoint_file(dir, tag, rank)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +282,61 @@ mod tests {
         env2.alloc(&other).unwrap();
         let err = import_array(&mut env2, &other, &dir).unwrap_err();
         assert!(err.to_string().contains("does not match"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_payload_and_progress() {
+        let dir = scratch();
+        let d = desc(FileLayout::column_major(2));
+        let mut env = OocEnv::in_memory(1);
+        env.alloc(&d).unwrap();
+        env.load_global(&d, &|g| (g[0] * 10 + g[1]) as f32).unwrap();
+        let local = d.local_shape(1);
+        let sec = Section::full(&local);
+        checkpoint_section(&mut env, &d, &sec, &dir, "gaxpy-y", 3).unwrap();
+        let saved = env.read_local_all(&d).unwrap();
+
+        // Clobber the array, then restore: payload and progress come back.
+        let zeros = vec![0.0f32; local.len()];
+        env.write_section(&d, &sec, &zeros, &pario::NoCharge)
+            .unwrap();
+        let progress = restore_checkpoint(&mut env, &d, &sec, &dir, "gaxpy-y").unwrap();
+        assert_eq!(progress, Some(3));
+        assert_eq!(env.read_local_all(&d).unwrap(), saved);
+
+        // After removal the stage restarts from scratch.
+        remove_checkpoint(&dir, "gaxpy-y", 1).unwrap();
+        assert_eq!(
+            restore_checkpoint(&mut env, &d, &sec, &dir, "gaxpy-y").unwrap(),
+            None
+        );
+        remove_checkpoint(&dir, "gaxpy-y", 1).unwrap(); // idempotent
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored_not_fatal() {
+        let dir = scratch();
+        let d = desc(FileLayout::column_major(2));
+        let mut env = OocEnv::in_memory(0);
+        env.alloc(&d).unwrap();
+        let local = d.local_shape(0);
+        let sec = Section::full(&local);
+        checkpoint_section(&mut env, &d, &sec, &dir, "stage", 1).unwrap();
+        // Wrong tag -> treated as no checkpoint.
+        assert_eq!(
+            restore_checkpoint(&mut env, &d, &sec, &dir, "other").unwrap(),
+            None
+        );
+        // Truncated file -> treated as no checkpoint, not a parse panic.
+        let path = checkpoint_file(&dir, "stage", 0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(
+            restore_checkpoint(&mut env, &d, &sec, &dir, "stage").unwrap(),
+            None
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

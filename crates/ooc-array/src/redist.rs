@@ -11,6 +11,8 @@
 use dmsim::{Payload, ProcCtx, Tag};
 use pario::{IoCharge, IoError};
 
+use crate::error::OocError;
+
 use crate::layout::FileLayout;
 use crate::localize::{global_section_of_local, local_section_of_global};
 use crate::ocla::{ArrayDesc, OocEnv};
@@ -70,14 +72,16 @@ pub fn relayout_in_place(
 /// Each pair of processors exchanges exactly the intersection of the
 /// sender's and receiver's owned global sections; payloads travel through
 /// the message fabric and both file accesses go through the charged I/O
-/// path.
+/// path. Failures in either substrate surface as [`OocError`] instead of
+/// panicking, so a rank lost to a permanent fault unwinds its peers
+/// cleanly.
 pub fn redistribute(
     ctx: &ProcCtx,
     env: &mut OocEnv,
     src: &ArrayDesc,
     dst: &ArrayDesc,
     charge: &dyn IoCharge,
-) -> Result<(), IoError> {
+) -> Result<(), OocError> {
     assert_eq!(
         src.dist.global(),
         dst.dist.global(),
@@ -125,7 +129,7 @@ pub fn redistribute(
         let Some(isect) = my_dst_global.intersect(&their_src_global) else {
             continue;
         };
-        let data = ctx.recv_expect(src_rank, REDIST_TAG).into_f32();
+        let data = ctx.try_recv_f32(src_rank, REDIST_TAG)?;
         let local_dst =
             local_section_of_global(&dst.dist, me, &isect).expect("receiver owns intersection");
         assert_eq!(data.len(), local_dst.len(), "redistribute payload size");

@@ -31,7 +31,10 @@
 
 use std::collections::BTreeMap;
 
+use dmsim::FaultInjector;
+
 use crate::backend::StorageBackend;
+use crate::disk::{backend_read, backend_write};
 use crate::error::Result;
 use crate::request::ByteRun;
 use crate::stats::DiskStats;
@@ -162,12 +165,14 @@ impl SlabCache {
     /// Read `run` of `file`. Fully covered runs are hits; otherwise one
     /// spanning request fetches the uncovered gap. `out` (length
     /// `run.len`) receives the assembled bytes in materialized mode.
+    #[allow(clippy::too_many_arguments)] // mirrors the backend I/O plumbing
     pub fn read(
         &mut self,
         file: u64,
         run: ByteRun,
         mut out: Option<&mut [u8]>,
         mut backend: Option<&mut dyn StorageBackend>,
+        faults: Option<&FaultInjector>,
         charge: &dyn IoCharge,
         stats: &mut DiskStats,
     ) -> Result<()> {
@@ -228,7 +233,13 @@ impl SlabCache {
                         .as_deref_mut()
                         .expect("materialized read needs backend");
                     let s = (span.offset - run.offset) as usize;
-                    b.read_at(file, span.offset, &mut buf[s..s + span.len as usize])?;
+                    backend_read(
+                        b,
+                        faults,
+                        file,
+                        span.offset,
+                        &mut buf[s..s + span.len as usize],
+                    )?;
                 }
                 charge.io_read(1, span.len);
                 stats.add_read(1, span.len);
@@ -294,7 +305,7 @@ impl SlabCache {
                         pos = pos.max(de);
                     }
                 }
-                self.evict_to_budget(&mut backend, charge, stats)?;
+                self.evict_to_budget(&mut backend, faults, charge, stats)?;
             }
         }
         Ok(())
@@ -305,12 +316,14 @@ impl SlabCache {
     /// the backing store on eviction or [`SlabCache::flush`]. Touching
     /// dirty segments merge, so streams of adjacent writes collapse into
     /// one write-back.
+    #[allow(clippy::too_many_arguments)] // mirrors the backend I/O plumbing
     pub fn write(
         &mut self,
         file: u64,
         run: ByteRun,
         data: Option<&[u8]>,
         mut backend: Option<&mut dyn StorageBackend>,
+        faults: Option<&FaultInjector>,
         charge: &dyn IoCharge,
         stats: &mut DiskStats,
     ) -> Result<()> {
@@ -375,7 +388,7 @@ impl SlabCache {
             );
             self.used += run.len;
         }
-        self.evict_to_budget(&mut backend, charge, stats)
+        self.evict_to_budget(&mut backend, faults, charge, stats)
     }
 
     /// Write back every dirty segment (in `(file, offset)` order, one
@@ -384,6 +397,7 @@ impl SlabCache {
     pub fn flush(
         &mut self,
         mut backend: Option<&mut dyn StorageBackend>,
+        faults: Option<&FaultInjector>,
         charge: &dyn IoCharge,
         stats: &mut DiskStats,
     ) -> Result<()> {
@@ -402,7 +416,9 @@ impl SlabCache {
                     let b = backend
                         .as_deref_mut()
                         .expect("materialized flush needs backend");
-                    b.write_at(file, off, &seg.data)?;
+                    // A failed write-back surfaces with the segment still
+                    // dirty and cached, so nothing is lost.
+                    backend_write(b, faults, file, off, &seg.data)?;
                 }
                 charge.io_write_back(1, seg.len);
                 stats.add_write(1, seg.len);
@@ -427,6 +443,7 @@ impl SlabCache {
     fn evict_to_budget(
         &mut self,
         backend: &mut Option<&mut dyn StorageBackend>,
+        faults: Option<&FaultInjector>,
         charge: &dyn IoCharge,
         stats: &mut DiskStats,
     ) -> Result<()> {
@@ -437,6 +454,28 @@ impl SlabCache {
                 .flat_map(|(&f, segs)| segs.iter().map(move |(&o, s)| (s.tick, f, o)))
                 .min();
             let Some((_, file, off)) = victim else { break };
+            // Write a dirty victim back *before* dropping it from the cache:
+            // if the write-back fails, the error surfaces and the segment —
+            // with its unwritten bytes — stays cached and dirty, so a later
+            // flush can still persist it. (Removing first would silently
+            // lose the bytes on failure.)
+            let dirty = self.files[&file][&off].dirty;
+            if dirty {
+                let seg = &self.files[&file][&off];
+                let len = seg.len;
+                if self.materialized {
+                    let b = backend
+                        .as_deref_mut()
+                        .expect("materialized evict needs backend");
+                    backend_write(b, faults, file, off, &seg.data)?;
+                }
+                charge.io_write_back(1, len);
+                stats.add_write(1, len);
+                stats.add_write_back(1, len);
+                let counts = self.per_file.entry(file).or_default();
+                counts.write_back_requests += 1;
+                counts.write_back_bytes += len;
+            }
             let segs = self.files.get_mut(&file).expect("victim file");
             let seg = segs.remove(&off).expect("victim seg");
             if segs.is_empty() {
@@ -444,20 +483,6 @@ impl SlabCache {
             }
             self.used -= seg.len;
             stats.add_evicted(seg.len);
-            if seg.dirty {
-                if self.materialized {
-                    let b = backend
-                        .as_deref_mut()
-                        .expect("materialized evict needs backend");
-                    b.write_at(file, off, &seg.data)?;
-                }
-                charge.io_write_back(1, seg.len);
-                stats.add_write(1, seg.len);
-                stats.add_write_back(1, seg.len);
-                let counts = self.per_file.entry(file).or_default();
-                counts.write_back_requests += 1;
-                counts.write_back_bytes += seg.len;
-            }
         }
         Ok(())
     }
@@ -569,7 +594,15 @@ mod tests {
     ) -> Vec<u8> {
         let mut out = vec![0u8; run.len as usize];
         cache
-            .read(0, run, Some(&mut out), Some(backend), &NoCharge, stats)
+            .read(
+                0,
+                run,
+                Some(&mut out),
+                Some(backend),
+                None,
+                &NoCharge,
+                stats,
+            )
             .unwrap();
         out
     }
@@ -614,6 +647,7 @@ mod tests {
                 ByteRun::new(16, 8),
                 Some(&data),
                 Some(&mut backend),
+                None,
                 &NoCharge,
                 &mut stats,
             )
@@ -629,7 +663,7 @@ mod tests {
         assert_eq!(stats.read_requests, 0);
 
         cache
-            .flush(Some(&mut backend), &NoCharge, &mut stats)
+            .flush(Some(&mut backend), None, &NoCharge, &mut stats)
             .unwrap();
         assert_eq!(stats.write_requests, 1);
         assert_eq!(stats.write_back_requests, 1);
@@ -654,13 +688,14 @@ mod tests {
                     ByteRun::new(i * 4, 4),
                     Some(&data),
                     Some(&mut backend),
+                    None,
                     &NoCharge,
                     &mut stats,
                 )
                 .unwrap();
         }
         cache
-            .flush(Some(&mut backend), &NoCharge, &mut stats)
+            .flush(Some(&mut backend), None, &NoCharge, &mut stats)
             .unwrap();
         assert_eq!(
             stats.write_requests, 1,
@@ -685,6 +720,7 @@ mod tests {
                 ByteRun::new(0, 8),
                 Some(&data),
                 Some(&mut backend),
+                None,
                 &NoCharge,
                 &mut stats,
             )
@@ -713,6 +749,7 @@ mod tests {
                 ByteRun::new(4, 4),
                 Some(&data),
                 Some(&mut backend),
+                None,
                 &NoCharge,
                 &mut stats,
             )
@@ -724,7 +761,7 @@ mod tests {
         // One spanning request; dirty bytes must not be lost afterwards.
         assert_eq!(stats.read_requests, 1);
         cache
-            .flush(Some(&mut backend), &NoCharge, &mut stats)
+            .flush(Some(&mut backend), None, &NoCharge, &mut stats)
             .unwrap();
         let mut probe = [0u8; 4];
         backend.read_at(0, 4, &mut probe).unwrap();
@@ -748,6 +785,7 @@ mod tests {
                 ByteRun::new(0, 16),
                 Some(&data),
                 Some(&mut backend),
+                None,
                 &NoCharge,
                 &mut stats,
             )
@@ -782,11 +820,12 @@ mod tests {
                     run,
                     Some(&data),
                     Some(&mut backend),
+                    None,
                     &NoCharge,
                     &mut mat_stats,
                 )
                 .unwrap();
-                pred.write(0, run, None, None, &NoCharge, &mut pred_stats)
+                pred.write(0, run, None, None, None, &NoCharge, &mut pred_stats)
                     .unwrap();
             } else {
                 let mut out = vec![0u8; len as usize];
@@ -795,17 +834,18 @@ mod tests {
                     run,
                     Some(&mut out),
                     Some(&mut backend),
+                    None,
                     &NoCharge,
                     &mut mat_stats,
                 )
                 .unwrap();
-                pred.read(0, run, None, None, &NoCharge, &mut pred_stats)
+                pred.read(0, run, None, None, None, &NoCharge, &mut pred_stats)
                     .unwrap();
             }
         }
-        mat.flush(Some(&mut backend), &NoCharge, &mut mat_stats)
+        mat.flush(Some(&mut backend), None, &NoCharge, &mut mat_stats)
             .unwrap();
-        pred.flush(None, &NoCharge, &mut pred_stats).unwrap();
+        pred.flush(None, None, &NoCharge, &mut pred_stats).unwrap();
         assert_eq!(mat_stats, pred_stats);
         assert_eq!(mat.file_counts(0), pred.file_counts(0));
     }
@@ -820,6 +860,116 @@ mod tests {
         assert_eq!(cache.used(), 0);
         read(&mut cache, &mut backend, &mut stats, ByteRun::new(0, 16));
         assert_eq!(stats.cache_misses, 2);
+    }
+
+    /// A backend whose writes can be switched off, for write-back failure
+    /// injection.
+    struct FlakyBackend {
+        inner: MemBackend,
+        writes_fail: bool,
+    }
+
+    impl StorageBackend for FlakyBackend {
+        fn create(&mut self, id: u64, len: u64) -> Result<()> {
+            self.inner.create(id, len)
+        }
+        fn len(&self, id: u64) -> Result<u64> {
+            self.inner.len(id)
+        }
+        fn read_at(&mut self, id: u64, offset: u64, buf: &mut [u8]) -> Result<()> {
+            self.inner.read_at(id, offset, buf)
+        }
+        fn write_at(&mut self, id: u64, offset: u64, data: &[u8]) -> Result<()> {
+            if self.writes_fail {
+                return Err(crate::error::IoError::Backend(std::io::Error::other(
+                    "injected write failure",
+                )));
+            }
+            self.inner.write_at(id, offset, data)
+        }
+        fn remove(&mut self, id: u64) -> Result<()> {
+            self.inner.remove(id)
+        }
+    }
+
+    #[test]
+    fn failed_eviction_write_back_surfaces_and_keeps_dirty_bytes() {
+        let mut backend = FlakyBackend {
+            inner: filled_backend(64),
+            writes_fail: false,
+        };
+        let mut cache = SlabCache::new(8);
+        let mut stats = DiskStats::default();
+        let data = [42u8; 8];
+        cache
+            .write(
+                0,
+                ByteRun::new(0, 8),
+                Some(&data),
+                Some(&mut backend),
+                None,
+                &NoCharge,
+                &mut stats,
+            )
+            .unwrap();
+        // Break the backend, then force an eviction by writing elsewhere.
+        backend.writes_fail = true;
+        let err = cache.write(
+            0,
+            ByteRun::new(32, 8),
+            Some(&[7u8; 8]),
+            Some(&mut backend),
+            None,
+            &NoCharge,
+            &mut stats,
+        );
+        assert!(err.is_err(), "failed write-back must surface, not vanish");
+        assert_eq!(
+            stats.write_back_requests, 0,
+            "a failed write-back is not counted as completed"
+        );
+        // The dirty bytes survived the failure: heal the backend, flush, and
+        // they reach the store.
+        backend.writes_fail = false;
+        cache
+            .flush(Some(&mut backend), None, &NoCharge, &mut stats)
+            .unwrap();
+        let mut probe = [0u8; 8];
+        backend.read_at(0, 0, &mut probe).unwrap();
+        assert_eq!(probe, data, "dirty bytes persisted after recovery");
+    }
+
+    #[test]
+    fn failed_flush_write_back_keeps_segment_dirty() {
+        let mut backend = FlakyBackend {
+            inner: filled_backend(64),
+            writes_fail: true,
+        };
+        let mut cache = SlabCache::new(64);
+        let mut stats = DiskStats::default();
+        let data = [9u8; 4];
+        cache
+            .write(
+                0,
+                ByteRun::new(4, 4),
+                Some(&data),
+                Some(&mut backend),
+                None,
+                &NoCharge,
+                &mut stats,
+            )
+            .unwrap();
+        assert!(cache
+            .flush(Some(&mut backend), None, &NoCharge, &mut stats)
+            .is_err());
+        // Retry after the backend heals: the segment is still dirty.
+        backend.writes_fail = false;
+        cache
+            .flush(Some(&mut backend), None, &NoCharge, &mut stats)
+            .unwrap();
+        let mut probe = [0u8; 4];
+        backend.read_at(0, 4, &mut probe).unwrap();
+        assert_eq!(probe, data);
     }
 
     #[test]

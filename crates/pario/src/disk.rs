@@ -8,9 +8,11 @@
 //! `shared_disks`/aggregate-bandwidth parameters, while each logical disk
 //! stores its own bytes.
 
+use dmsim::{FaultConfig, FaultDomain, FaultInjector, IoFate};
+
 use crate::backend::{MemBackend, StorageBackend};
 use crate::cache::{BufferPool, SlabCache};
-use crate::error::Result;
+use crate::error::{FaultOp, IoError, Result};
 use crate::request::{coalesce_runs, total_bytes, ByteRun};
 use crate::stats::DiskStats;
 use crate::IoCharge;
@@ -26,6 +28,106 @@ pub struct LogicalDisk {
     stats: DiskStats,
     cache: Option<SlabCache>,
     pool: BufferPool,
+    faults: Option<FaultInjector>,
+}
+
+/// One backend read, routed through the fault layer when present.
+///
+/// Transient faults re-issue the read after an exponential backoff, bounded
+/// by the retry policy; the final attempt always succeeds, so only *hard*
+/// faults (drawn separately) surface — as [`IoError::PermanentFault`].
+/// Recovery work accumulates in the injector and is drained into the clock
+/// by [`LogicalDisk`] after each public operation.
+pub(crate) fn backend_read(
+    backend: &mut dyn StorageBackend,
+    faults: Option<&FaultInjector>,
+    file: u64,
+    offset: u64,
+    buf: &mut [u8],
+) -> Result<()> {
+    let Some(fi) = faults else {
+        return backend.read_at(file, offset, buf);
+    };
+    if fi.hard_read() {
+        fi.note_fault();
+        return Err(IoError::PermanentFault {
+            file,
+            offset,
+            op: FaultOp::Read,
+        });
+    }
+    let max = fi.retry().max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        match fi.read_attempt() {
+            IoFate::Ok | IoFate::Torn => break,
+            IoFate::Delayed(secs) => {
+                fi.note_fault();
+                fi.note_wait(secs);
+                break;
+            }
+            IoFate::Transient => {
+                if attempt >= max {
+                    break; // bounded: the last attempt always succeeds
+                }
+                fi.note_fault();
+                fi.note_read_retry(buf.len() as u64, fi.retry().backoff(attempt));
+                attempt += 1;
+            }
+        }
+    }
+    backend.read_at(file, offset, buf)
+}
+
+/// One backend write, routed through the fault layer when present.
+///
+/// A torn write deposits a prefix of the payload before failing; the retry
+/// re-writes the full extent, so the positional write stays idempotent and
+/// the final contents are always the intended bytes.
+pub(crate) fn backend_write(
+    backend: &mut dyn StorageBackend,
+    faults: Option<&FaultInjector>,
+    file: u64,
+    offset: u64,
+    data: &[u8],
+) -> Result<()> {
+    let Some(fi) = faults else {
+        return backend.write_at(file, offset, data);
+    };
+    if fi.hard_write() {
+        fi.note_fault();
+        return Err(IoError::PermanentFault {
+            file,
+            offset,
+            op: FaultOp::Write,
+        });
+    }
+    let max = fi.retry().max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        let fate = fi.write_attempt();
+        match fate {
+            IoFate::Ok => break,
+            IoFate::Delayed(secs) => {
+                fi.note_fault();
+                fi.note_wait(secs);
+                break;
+            }
+            IoFate::Transient | IoFate::Torn => {
+                if attempt >= max {
+                    break;
+                }
+                if fate == IoFate::Torn && !data.is_empty() {
+                    // Half the payload reaches the platter before the fault.
+                    backend.write_at(file, offset, &data[..data.len() / 2])?;
+                }
+                fi.note_fault();
+                fi.note_write_retry(data.len() as u64, fi.retry().backoff(attempt));
+                attempt += 1;
+            }
+        }
+    }
+    backend.write_at(file, offset, data)
 }
 
 impl std::fmt::Debug for LogicalDisk {
@@ -60,6 +162,36 @@ impl LogicalDisk {
             stats: DiskStats::default(),
             cache: None,
             pool: BufferPool::new(),
+            faults: None,
+        }
+    }
+
+    /// Enable deterministic fault injection on this disk: requests draw
+    /// their fate from a per-`rank` stream derived from `cfg.seed`. With a
+    /// quiet config (or no injector at all) the request path is bit-identical
+    /// to the fault-free build.
+    pub fn enable_faults(&mut self, cfg: &FaultConfig, rank: usize) {
+        self.faults = Some(FaultInjector::new(cfg, rank, FaultDomain::Disk));
+    }
+
+    /// The active fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// True when enough faults accumulated to mark this disk degraded;
+    /// planners should re-plan slab sizes against reduced bandwidth.
+    pub fn is_degraded(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.degraded())
+    }
+
+    /// Drain recovery charges accumulated by the fault layer into `charge`.
+    fn settle_faults(&self, charge: &dyn IoCharge) {
+        if let Some(fi) = &self.faults {
+            let c = fi.take_charges();
+            if !c.is_zero() {
+                charge.io_faults(&c);
+            }
         }
     }
 
@@ -84,11 +216,13 @@ impl LogicalDisk {
             backend,
             cache,
             stats,
+            faults,
             ..
         } = self;
         if let Some(c) = cache.as_mut() {
-            c.flush(Some(&mut **backend), charge, stats)?;
+            c.flush(Some(&mut **backend), faults.as_ref(), charge, stats)?;
         }
+        self.settle_faults(charge);
         Ok(())
     }
 
@@ -169,6 +303,7 @@ impl LogicalDisk {
                 backend,
                 cache,
                 stats,
+                faults,
                 ..
             } = self;
             let cache = cache.as_mut().expect("cache checked above");
@@ -176,9 +311,18 @@ impl LogicalDisk {
             let mut cursor = start;
             for run in &coalesced {
                 let buf = &mut out[cursor..cursor + run.len as usize];
-                cache.read(file.0, *run, Some(buf), Some(&mut **backend), charge, stats)?;
+                cache.read(
+                    file.0,
+                    *run,
+                    Some(buf),
+                    Some(&mut **backend),
+                    faults.as_ref(),
+                    charge,
+                    stats,
+                )?;
                 cursor += run.len as usize;
             }
+            self.settle_faults(charge);
             return Ok(self.stats.read_requests - before);
         }
         match plan_access(runs, policy) {
@@ -189,22 +333,36 @@ impl LogicalDisk {
                 let mut cursor = start;
                 for run in &coalesced {
                     let buf = &mut out[cursor..cursor + run.len as usize];
-                    self.backend.read_at(file.0, run.offset, buf)?;
+                    backend_read(
+                        &mut *self.backend,
+                        self.faults.as_ref(),
+                        file.0,
+                        run.offset,
+                        buf,
+                    )?;
                     cursor += run.len as usize;
                 }
                 let requests = coalesced.len() as u64;
                 self.stats.add_read(requests, bytes);
                 charge.io_read(requests, bytes);
+                self.settle_faults(charge);
                 Ok(requests)
             }
             AccessPlan::Sieved { span, useful } => {
                 let mut span_buf = self.pool.take();
                 span_buf.resize(span.len as usize, 0);
-                self.backend.read_at(file.0, span.offset, &mut span_buf)?;
+                backend_read(
+                    &mut *self.backend,
+                    self.faults.as_ref(),
+                    file.0,
+                    span.offset,
+                    &mut span_buf,
+                )?;
                 out.extend(sieve_extract(&span, &useful, &span_buf));
                 self.pool.put(span_buf);
                 self.stats.add_read(1, span.len);
                 charge.io_read(1, span.len);
+                self.settle_faults(charge);
                 Ok(1)
             }
         }
@@ -234,14 +392,27 @@ impl LogicalDisk {
                 let sorted = sort_write_data(runs, data);
                 let mut span_buf = self.pool.take();
                 span_buf.resize(span.len as usize, 0);
-                self.backend.read_at(file.0, span.offset, &mut span_buf)?;
+                backend_read(
+                    &mut *self.backend,
+                    self.faults.as_ref(),
+                    file.0,
+                    span.offset,
+                    &mut span_buf,
+                )?;
                 let updated = sieve_scatter(&span, &useful, span_buf, &sorted);
-                self.backend.write_at(file.0, span.offset, &updated)?;
+                backend_write(
+                    &mut *self.backend,
+                    self.faults.as_ref(),
+                    file.0,
+                    span.offset,
+                    &updated,
+                )?;
                 self.pool.put(updated);
                 self.stats.add_read(1, span.len);
                 self.stats.add_write(1, span.len);
                 charge.io_read(1, span.len);
                 charge.io_write(1, span.len);
+                self.settle_faults(charge);
                 Ok(2)
             }
         }
@@ -282,6 +453,7 @@ impl LogicalDisk {
                 backend,
                 cache,
                 stats,
+                faults,
                 ..
             } = self;
             let cache = cache.as_mut().expect("cache checked above");
@@ -289,9 +461,18 @@ impl LogicalDisk {
             let mut cursor = 0usize;
             for run in &coalesced {
                 let src = &sorted[cursor..cursor + run.len as usize];
-                cache.write(file.0, *run, Some(src), Some(&mut **backend), charge, stats)?;
+                cache.write(
+                    file.0,
+                    *run,
+                    Some(src),
+                    Some(&mut **backend),
+                    faults.as_ref(),
+                    charge,
+                    stats,
+                )?;
                 cursor += run.len as usize;
             }
+            self.settle_faults(charge);
             return Ok(self.stats.write_requests - before);
         }
         // The coalesced runs are sorted by offset, but `data` is laid out in
@@ -307,11 +488,18 @@ impl LogicalDisk {
         for &i in &sorted_idx {
             let run = runs[i];
             let src = &data[data_offsets[i]..data_offsets[i] + run.len as usize];
-            self.backend.write_at(file.0, run.offset, src)?;
+            backend_write(
+                &mut *self.backend,
+                self.faults.as_ref(),
+                file.0,
+                run.offset,
+                src,
+            )?;
         }
         let requests = coalesced.len() as u64;
         self.stats.add_write(requests, bytes);
         charge.io_write(requests, bytes);
+        self.settle_faults(charge);
         Ok(requests)
     }
 
@@ -452,5 +640,138 @@ mod tests {
         let _ = d.read_extent(f, 0, 20, &sink).unwrap();
         assert_eq!(sink.writes.get(), (1, 10));
         assert_eq!(sink.reads.get(), (1, 20));
+    }
+
+    /// Sink that records fault charges alongside logical charges.
+    #[derive(Default)]
+    struct FaultSink {
+        logical: std::cell::Cell<(u64, u64)>,
+        faults: std::cell::Cell<dmsim::FaultCharges>,
+    }
+    impl IoCharge for FaultSink {
+        fn io_read(&self, r: u64, b: u64) {
+            let (cr, cb) = self.logical.get();
+            self.logical.set((cr + r, cb + b));
+        }
+        fn io_write(&self, r: u64, b: u64) {
+            let (cr, cb) = self.logical.get();
+            self.logical.set((cr + r, cb + b));
+        }
+        fn io_faults(&self, charges: &dmsim::FaultCharges) {
+            let mut c = self.faults.get();
+            c.faults += charges.faults;
+            c.read_retries += charges.read_retries;
+            c.read_retry_bytes += charges.read_retry_bytes;
+            c.write_retries += charges.write_retries;
+            c.write_retry_bytes += charges.write_retry_bytes;
+            c.wait_secs += charges.wait_secs;
+            self.faults.set(c);
+        }
+    }
+
+    #[test]
+    fn transient_faults_leave_data_and_logical_counts_intact() {
+        let chaos = FaultConfig::chaos(7);
+        let sink = FaultSink::default();
+        let mut d = LogicalDisk::in_memory();
+        d.enable_faults(&chaos, 0);
+        let f = d.create_file(4096).unwrap();
+        let pattern: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        for chunk in 0..16u64 {
+            d.write_extent(
+                f,
+                chunk * 256,
+                &pattern[(chunk * 256) as usize..][..256],
+                &sink,
+            )
+            .unwrap();
+        }
+        let got = d.read_extent(f, 0, 4096, &sink).unwrap();
+        assert_eq!(got, pattern, "faults never change the stored bytes");
+        // Logical counts match a fault-free disk doing the same accesses.
+        let clean_sink = FaultSink::default();
+        let mut clean = LogicalDisk::in_memory();
+        let cf = clean.create_file(4096).unwrap();
+        for chunk in 0..16u64 {
+            clean
+                .write_extent(
+                    cf,
+                    chunk * 256,
+                    &pattern[(chunk * 256) as usize..][..256],
+                    &clean_sink,
+                )
+                .unwrap();
+        }
+        let _ = clean.read_extent(cf, 0, 4096, &clean_sink).unwrap();
+        assert_eq!(
+            d.stats(),
+            clean.stats(),
+            "logical I/O metrics are fault-blind"
+        );
+        assert_eq!(sink.logical.get(), clean_sink.logical.get());
+        // With a 5% read / 4% write error rate over 17 accesses, this seed
+        // injects at least one fault; the recovery cost lands in io_faults.
+        let fc = sink.faults.get();
+        assert!(
+            fc.faults > 0,
+            "chaos(7) should inject at least one fault here"
+        );
+        assert!(clean_sink.faults.get().is_zero());
+    }
+
+    #[test]
+    fn quiet_faults_draw_nothing_and_charge_nothing() {
+        let quiet = FaultConfig::quiet(99);
+        let sink = FaultSink::default();
+        let mut d = LogicalDisk::in_memory();
+        d.enable_faults(&quiet, 3);
+        let f = d.create_file(128).unwrap();
+        d.write_extent(f, 0, &[5u8; 128], &sink).unwrap();
+        let _ = d.read_extent(f, 0, 128, &sink).unwrap();
+        assert!(sink.faults.get().is_zero());
+        assert_eq!(d.fault_injector().unwrap().faults_seen(), 0);
+    }
+
+    #[test]
+    fn hard_faults_surface_as_permanent_errors() {
+        let cfg = FaultConfig {
+            hard_read: 1.0,
+            ..FaultConfig::quiet(1)
+        };
+        let mut d = LogicalDisk::in_memory();
+        d.enable_faults(&cfg, 0);
+        let f = d.create_file(64).unwrap();
+        let err = d.read_extent(f, 0, 8, &NoCharge).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::PermanentFault {
+                    op: FaultOp::Read,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Quiescing hard faults (checkpoint/restart recovery) lets the same
+        // request succeed.
+        d.fault_injector().unwrap().quiesce_hard();
+        assert!(d.read_extent(f, 0, 8, &NoCharge).is_ok());
+    }
+
+    #[test]
+    fn torn_writes_end_with_the_full_payload_on_disk() {
+        let cfg = FaultConfig {
+            seed: 11,
+            torn_write: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut d = LogicalDisk::in_memory();
+        d.enable_faults(&cfg, 0);
+        let f = d.create_file(64).unwrap();
+        let sink = FaultSink::default();
+        d.write_extent(f, 0, &[0xAB; 32], &sink).unwrap();
+        let got = d.read_extent(f, 0, 32, &sink).unwrap();
+        assert_eq!(got, vec![0xAB; 32], "torn write is repaired by the retry");
+        assert!(sink.faults.get().write_retries > 0);
     }
 }

@@ -29,6 +29,34 @@ pub enum IoError {
         /// Element size in bytes.
         elem: usize,
     },
+    /// The fault layer injected a permanent fault that no retry can clear;
+    /// recovery requires checkpoint/restart, not re-issuing the request.
+    PermanentFault {
+        /// File being accessed.
+        file: u64,
+        /// Byte offset of the faulted access.
+        offset: u64,
+        /// Whether the faulted access was a read or a write.
+        op: FaultOp,
+    },
+}
+
+/// The direction of a permanently faulted disk access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A read hit the permanent fault.
+    Read,
+    /// A write hit the permanent fault.
+    Write,
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::Read => write!(f, "read"),
+            FaultOp::Write => write!(f, "write"),
+        }
+    }
 }
 
 impl fmt::Display for IoError {
@@ -43,6 +71,10 @@ impl fmt::Display for IoError {
             IoError::BadElementSize { bytes, elem } => write!(
                 f,
                 "buffer of {bytes} bytes is not a whole number of {elem}-byte elements"
+            ),
+            IoError::PermanentFault { file, offset, op } => write!(
+                f,
+                "permanent {op} fault on file {file} at byte {offset} (retries exhausted)"
             ),
         }
     }
@@ -80,6 +112,18 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("file 3") && s.contains("100") && s.contains("64"));
         assert!(IoError::NoSuchFile { file: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn permanent_fault_display_names_the_site() {
+        let e = IoError::PermanentFault {
+            file: 4,
+            offset: 128,
+            op: FaultOp::Write,
+        };
+        let s = e.to_string();
+        assert!(s.contains("permanent write fault"), "{s}");
+        assert!(s.contains("file 4") && s.contains("128"), "{s}");
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod stats;
 pub use backend::{DiskBackend, MemBackend, StorageBackend};
 pub use cache::{BufferPool, FileIoCounts, SlabCache};
 pub use disk::{FileId, LogicalDisk};
-pub use error::IoError;
+pub use error::{FaultOp, IoError};
 pub use laf::{bytes_to_f32, f32_to_bytes, ElemKind, ElemRun, LocalArrayFile};
 pub use request::{coalesce_runs, ByteRun};
 pub use sieve::{plan_access, AccessPlan, SievePolicy};
@@ -59,6 +59,11 @@ pub trait IoCharge {
     fn io_write_back(&self, requests: u64, bytes: u64) {
         self.io_write(requests, bytes);
     }
+    /// Charge recovery work accumulated by the fault-injection layer
+    /// (re-issued requests, backoff waits, latency spikes). The default
+    /// ignores it, so plain sinks and the logical request/byte metrics are
+    /// untouched by injected faults.
+    fn io_faults(&self, _charges: &dmsim::FaultCharges) {}
 }
 
 impl IoCharge for ProcCtx {
@@ -73,6 +78,9 @@ impl IoCharge for ProcCtx {
     }
     fn io_write_back(&self, requests: u64, bytes: u64) {
         self.charge_io_write_back(requests, bytes);
+    }
+    fn io_faults(&self, charges: &dmsim::FaultCharges) {
+        self.charge_io_faults(charges);
     }
 }
 
