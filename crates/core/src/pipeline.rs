@@ -75,6 +75,10 @@ pub struct CompilerOptions {
     /// sequence through a predictor-mode cache so estimate == measurement
     /// still holds under caching.
     pub cache_budget: Option<usize>,
+    /// Simulated-clock tracing configuration for the compiled program's
+    /// runs. Off by default; carried into `CompiledProgram` so the executor
+    /// builds its machine with tracing already configured.
+    pub trace: ooc_trace::TraceConfig,
 }
 
 impl Default for CompilerOptions {
@@ -86,6 +90,7 @@ impl Default for CompilerOptions {
             reorganize_storage: true,
             elw_slab_elems: 1 << 20,
             cache_budget: None,
+            trace: ooc_trace::TraceConfig::default(),
         }
     }
 }
@@ -138,6 +143,9 @@ pub struct CompiledProgram {
     pub alternatives: Vec<Option<Vec<(SlabStrategy, CostEstimate)>>>,
     /// The cost model used.
     pub model: CostModel,
+    /// Tracing configuration requested at compile time (threaded from
+    /// [`CompilerOptions::trace`] to the executor's machine).
+    pub trace: ooc_trace::TraceConfig,
 }
 
 impl CompiledProgram {
@@ -567,6 +575,7 @@ pub fn compile_hir(
         estimates,
         alternatives,
         model,
+        trace: options.trace,
     })
 }
 

@@ -177,6 +177,7 @@ impl ProcCtx {
         root: Rank,
     ) -> Result<Option<Vec<T>>, CommError> {
         assert!(root < self.nprocs(), "reduce root out of range");
+        let _span = self.trace_span(ooc_trace::Category::Collective, "reduce");
         // Run the tree rooted at 0 in a rotated rank space so any root works.
         let p = self.nprocs();
         let vrank = (self.rank() + p - root) % p;
@@ -216,6 +217,7 @@ impl ProcCtx {
         root: Rank,
     ) -> Result<Vec<T>, CommError> {
         assert!(root < self.nprocs(), "broadcast root out of range");
+        let _span = self.trace_span(ooc_trace::Category::Collective, "broadcast");
         let p = self.nprocs();
         let vrank = (self.rank() + p - root) % p;
         let unrotate = |v: Rank| (v + root) % p;
@@ -244,6 +246,7 @@ impl ProcCtx {
         data: &[T],
         op: ReduceOp,
     ) -> Result<Vec<T>, CommError> {
+        let _span = self.trace_span(ooc_trace::Category::Collective, "allreduce");
         match self.try_reduce(data, op, 0)? {
             Some(total) => self.try_broadcast(total, 0),
             None => self.try_broadcast(Vec::new(), 0),
@@ -270,6 +273,7 @@ impl ProcCtx {
 
     /// Barrier with surfaced errors: a zero-payload reduce + broadcast.
     pub fn try_barrier(&self) -> Result<(), CommError> {
+        let _span = self.trace_span(ooc_trace::Category::Collective, "barrier");
         let token = [0u64; 0];
         self.try_allreduce(&token, ReduceOp::Sum).map(|_| ())
     }
@@ -288,6 +292,7 @@ impl ProcCtx {
         data: &[T],
         root: Rank,
     ) -> Result<Option<Vec<T>>, CommError> {
+        let _span = self.trace_span(ooc_trace::Category::Collective, "gather");
         if self.rank() == root {
             let mut out = Vec::new();
             for r in 0..self.nprocs() {
@@ -317,6 +322,7 @@ impl ProcCtx {
 
     /// Scatter with surfaced errors; returns this rank's chunk.
     pub fn try_scatter<T: CommElem>(&self, data: Vec<T>, root: Rank) -> Result<Vec<T>, CommError> {
+        let _span = self.trace_span(ooc_trace::Category::Collective, "scatter");
         if self.rank() == root {
             let p = self.nprocs();
             assert!(

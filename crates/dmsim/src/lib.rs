@@ -47,6 +47,7 @@ pub use comm::{Payload, ProtocolError, RecvError, Tag};
 pub use costmodel::{CostModel, IoCost};
 pub use fault::{FaultCharges, FaultConfig, FaultDomain, FaultInjector, IoFate, RetryPolicy};
 pub use machine::{Machine, MachineConfig};
-pub use proc::{ProcCtx, Rank, RunReport};
+pub use ooc_trace::{Trace, TraceConfig};
+pub use proc::{ProcCtx, Rank, RunReport, TraceSpanGuard};
 pub use stats::{ProcStats, StatsSnapshot};
 pub use time::SimTime;

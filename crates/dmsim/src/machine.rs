@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use ooc_trace::{Trace, TraceConfig, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::comm::build_fabric;
@@ -16,13 +17,26 @@ pub struct MachineConfig {
     pub nprocs: usize,
     /// Cost model converting counted operations into simulated seconds.
     pub cost: CostModel,
+    /// Simulated-clock event tracing; off by default, and when off the
+    /// machine runs the exact untraced path.
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
     /// A machine with `nprocs` nodes and an explicit cost model.
     pub fn new(nprocs: usize, cost: CostModel) -> Self {
         assert!(nprocs > 0, "machine needs at least one processor");
-        MachineConfig { nprocs, cost }
+        MachineConfig {
+            nprocs,
+            cost,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// Enable simulated-clock tracing on every processor.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Intel Touchstone Delta calibration (see [`CostModel::delta`]).
@@ -97,7 +111,13 @@ impl Machine {
         let fabric = build_fabric(n);
         let started = Instant::now();
 
-        let mut joined: Vec<(usize, crate::proc::ProcReport, T)> = Vec::with_capacity(n);
+        let tracing = self.config.trace.enabled;
+        let mut joined: Vec<(
+            usize,
+            crate::proc::ProcReport,
+            Option<ooc_trace::RankTrace>,
+            T,
+        )> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, endpoints) in fabric.into_iter().enumerate() {
@@ -106,11 +126,13 @@ impl Machine {
                     .fault
                     .as_ref()
                     .map(|fc| FaultInjector::new(fc, rank, FaultDomain::Msg));
+                let tracer = tracing.then(|| Tracer::new(rank, self.config.trace));
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let ctx = ProcCtx::new(rank, n, cost, endpoints, faults);
+                    let ctx = ProcCtx::new(rank, n, cost, endpoints, faults, tracer);
                     let value = body(&ctx);
-                    (rank, ctx.finish(), value)
+                    let (report, trace) = ctx.finish();
+                    (rank, report, trace, value)
                 }));
             }
             for h in handles {
@@ -122,14 +144,17 @@ impl Machine {
         });
 
         let wall = started.elapsed().as_secs_f64();
-        joined.sort_by_key(|(r, _, _)| *r);
+        joined.sort_by_key(|(r, _, _, _)| *r);
         let mut reports = Vec::with_capacity(n);
+        let mut rank_traces = Vec::with_capacity(n);
         let mut values = Vec::with_capacity(n);
-        for (_, rep, val) in joined {
+        for (_, rep, rt, val) in joined {
             reports.push(rep);
+            rank_traces.extend(rt);
             values.push(val);
         }
-        (RunReport::new(reports, wall), values)
+        let trace = tracing.then_some(Trace { ranks: rank_traces });
+        (RunReport::new(reports, wall, trace), values)
     }
 }
 

@@ -8,6 +8,7 @@
 
 use std::cell::RefCell;
 
+use ooc_trace::{Args, Category, RankTrace, SpanId, Tracer, Track};
 use serde::{Deserialize, Serialize};
 
 use crate::collectives::CommError;
@@ -30,6 +31,12 @@ pub struct ProcCtx {
     endpoints: RefCell<Endpoints>,
     /// Message-domain fault injector; `None` runs the exact fault-free path.
     faults: Option<FaultInjector>,
+    /// Simulated-clock event recorder; `None` (the default) keeps every
+    /// instrumented path a single branch.
+    tracer: Option<Tracer>,
+    /// Array identity of the I/O operation currently charging, set by the
+    /// runtime layers via `set_io_hint` so disk spans carry array names.
+    io_hint: RefCell<Option<(String, u64)>>,
 }
 
 impl ProcCtx {
@@ -39,6 +46,7 @@ impl ProcCtx {
         cost: CostModel,
         endpoints: Endpoints,
         faults: Option<FaultInjector>,
+        tracer: Option<Tracer>,
     ) -> Self {
         ProcCtx {
             rank,
@@ -48,6 +56,8 @@ impl ProcCtx {
             stats: ProcStats::new(),
             endpoints: RefCell::new(endpoints),
             faults,
+            tracer,
+            io_hint: RefCell::new(None),
         }
     }
 
@@ -75,27 +85,142 @@ impl ProcCtx {
         self.clock.now()
     }
 
+    /// Whether event tracing is active on this processor.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The event recorder, when tracing is enabled.
+    #[inline]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Tag subsequent disk charges with the array identity they serve.
+    /// No-op when tracing is off. Called by the I/O runtime layers, which
+    /// know the array; the disk substrate below them only sees offsets.
+    pub fn set_io_hint(&self, array: &str, file: u64) {
+        if self.tracer.is_some() {
+            *self.io_hint.borrow_mut() = Some((array.to_string(), file));
+        }
+    }
+
+    fn hinted_args(&self, requests: u64, bytes: u64) -> Args {
+        let mut args = Args::io(requests, bytes);
+        if let Some((array, file)) = self.io_hint.borrow().as_ref() {
+            args = args.with_array(array, Some(*file));
+        }
+        args
+    }
+
+    /// Record a completed charge span `[t0, now]` if tracing.
+    fn trace_charge(&self, cat: Category, name: &str, t0: SimTime, track: Track, args: Args) {
+        if let Some(tr) = &self.tracer {
+            tr.span(
+                cat,
+                name,
+                t0.seconds(),
+                self.clock.now().seconds(),
+                track,
+                args,
+            );
+        }
+    }
+
+    /// Open a structural span closed when the returned guard drops. With
+    /// tracing off this is free of allocation and recording.
+    pub fn trace_span(&self, cat: Category, name: &str) -> TraceSpanGuard<'_> {
+        self.open_guard(cat, name, Args::default(), None)
+    }
+
+    /// Open a structural span carrying a slab / stage index.
+    pub fn trace_slab_span(&self, name: &str, slab: u64) -> TraceSpanGuard<'_> {
+        self.open_guard(Category::Slab, name, Args::default().with_slab(slab), None)
+    }
+
+    /// Open a statement-level phase scope: until the guard drops, every
+    /// recorded event is attributed to phase `name`.
+    pub fn trace_phase(&self, name: &str) -> TraceSpanGuard<'_> {
+        self.open_guard(Category::Phase, name, Args::default(), Some(name))
+    }
+
+    fn open_guard(
+        &self,
+        cat: Category,
+        name: &str,
+        args: Args,
+        phase_name: Option<&str>,
+    ) -> TraceSpanGuard<'_> {
+        let id = self
+            .tracer
+            .as_ref()
+            .map(|tr| tr.open_span(cat, name, self.clock.now().seconds(), args, phase_name));
+        TraceSpanGuard { ctx: self, id }
+    }
+
+    /// Record a point annotation at the current simulated time.
+    pub fn trace_instant(&self, cat: Category, name: &str, args: Args) {
+        if let Some(tr) = &self.tracer {
+            tr.instant(cat, name, self.clock.now().seconds(), args);
+        }
+    }
+
+    /// Record a counter sample at the current simulated time.
+    pub fn trace_counter(&self, name: &str, value: f64) {
+        if let Some(tr) = &self.tracer {
+            tr.counter(name, self.clock.now().seconds(), value);
+        }
+    }
+
     /// Charge `n` floating point operations to this processor.
     pub fn charge_flops(&self, n: u64) {
         let dt = self.cost.compute_time(n);
+        let t0 = self.clock.now();
         self.clock.advance(dt);
         self.stats.record_flops(n, dt);
+        self.trace_charge(
+            Category::Compute,
+            "compute",
+            t0,
+            Track::Main,
+            Args {
+                value: Some(n as f64),
+                ..Args::default()
+            },
+        );
     }
 
     /// Charge a disk read of `requests` requests moving `bytes` bytes.
     /// Called by the parallel I/O layer.
     pub fn charge_io_read(&self, requests: u64, bytes: u64) {
         let dt = self.cost.io_time(requests, bytes);
+        let t0 = self.clock.now();
         self.clock.advance(dt);
         self.stats.record_io_read(requests, bytes, dt);
+        self.trace_charge(
+            Category::DiskRead,
+            "read",
+            t0,
+            Track::Main,
+            self.hinted_args(requests, bytes),
+        );
     }
 
     /// Charge a disk write of `requests` requests moving `bytes` bytes
     /// (write-behind: see [`CostModel::io_write_time`]).
     pub fn charge_io_write(&self, requests: u64, bytes: u64) {
         let dt = self.cost.io_write_time(requests, bytes);
+        let t0 = self.clock.now();
         self.clock.advance(dt);
         self.stats.record_io_write(requests, bytes, dt);
+        self.trace_charge(
+            Category::DiskWrite,
+            "write",
+            t0,
+            Track::Main,
+            self.hinted_args(requests, bytes),
+        );
     }
 
     /// Record `runs` read accesses of `bytes` served from the slab cache.
@@ -103,15 +228,29 @@ impl ProcCtx {
     /// counters change.
     pub fn charge_io_cache_hit(&self, runs: u64, bytes: u64) {
         self.stats.record_cache_hit(runs, bytes);
+        if self.tracer.is_some() {
+            let args = self.hinted_args(runs, bytes);
+            self.trace_instant(Category::CacheHit, "hit", args);
+        }
     }
 
     /// Charge a dirty-slab write-back: timed like an ordinary disk write
     /// and additionally tracked in the write-back counters, so
     /// `io_write_requests` keeps meaning "requests that reached the disk".
+    /// Write-backs happen at eviction/flush time, possibly far from the
+    /// access that dirtied the slab, so the span carries no array hint.
     pub fn charge_io_write_back(&self, requests: u64, bytes: u64) {
         let dt = self.cost.io_write_time(requests, bytes);
+        let t0 = self.clock.now();
         self.clock.advance(dt);
         self.stats.record_io_write_back(requests, bytes, dt);
+        self.trace_charge(
+            Category::WriteBack,
+            "write_back",
+            t0,
+            Track::Main,
+            Args::io(requests, bytes),
+        );
     }
 
     /// Charge an arbitrary fixed delay (used by redistribution setup and the
@@ -133,9 +272,20 @@ impl ProcCtx {
                 .cost
                 .io_write_time(c.write_retries, c.write_retry_bytes)
             + c.wait_secs;
+        let t0 = self.clock.now();
         self.clock.advance(dt);
         self.stats
             .record_io_faults(c.faults, c.read_retries + c.write_retries, dt);
+        self.trace_charge(
+            Category::Fault,
+            "io_recovery",
+            t0,
+            Track::Main,
+            Args::io(
+                c.read_retries + c.write_retries,
+                c.read_retry_bytes + c.write_retry_bytes,
+            ),
+        );
     }
 
     /// Charge a disk read that was *prefetched*: it overlapped `flops` of
@@ -145,9 +295,37 @@ impl ProcCtx {
     pub fn charge_prefetched_read(&self, requests: u64, bytes: u64, flops: u64) {
         let io_t = self.cost.io_time(requests, bytes);
         let comp_t = self.cost.compute_time(flops);
+        let t0 = self.clock.now();
         self.stats.record_io_read(requests, bytes, io_t);
         self.stats.record_flops(flops, comp_t);
         self.clock.advance(io_t.max(comp_t));
+        if self.tracer.is_some() {
+            // The read overlaps the compute, so its span lives on the
+            // prefetch track: both tracks individually stay non-overlapping
+            // while the timeline shows the software pipelining.
+            let t = t0.seconds();
+            if let Some(tr) = &self.tracer {
+                tr.span(
+                    Category::DiskRead,
+                    "prefetch_read",
+                    t,
+                    t + io_t,
+                    Track::Overlap,
+                    self.hinted_args(requests, bytes),
+                );
+                tr.span(
+                    Category::Compute,
+                    "compute",
+                    t,
+                    t + comp_t,
+                    Track::Main,
+                    Args {
+                        value: Some(flops as f64),
+                        ..Args::default()
+                    },
+                );
+            }
+        }
     }
 
     /// Blocking send of `payload` to `dst` with matching `tag`.
@@ -167,18 +345,35 @@ impl ProcCtx {
             let plan = fi.msg_plan();
             for attempt in 1..=plan.drops {
                 let lost = self.cost.message_time(bytes) + fi.retry().backoff(attempt);
+                let t0 = self.clock.now();
                 self.clock.advance(lost);
                 self.stats.record_msg_retry(lost);
+                self.trace_charge(
+                    Category::Retry,
+                    "msg_retry",
+                    t0,
+                    Track::Main,
+                    Args::msg(dst, bytes),
+                );
             }
             if plan.delay_secs > 0.0 {
                 extra_delay = plan.delay_secs;
                 self.stats.record_msg_delay();
+                self.trace_instant(Category::Fault, "msg_delay", Args::msg(dst, bytes));
             }
         }
         let dt = self.cost.message_time(bytes);
+        let t0 = self.clock.now();
         let arrival = self.clock.advance(dt);
         let arrival = SimTime(arrival.seconds() + extra_delay);
         self.stats.record_send(bytes, dt);
+        self.trace_charge(
+            Category::Send,
+            "send",
+            t0,
+            Track::Main,
+            Args::msg(dst, bytes),
+        );
         // A `false` return means `dst` already aborted (permanent fault);
         // the charge above stands either way so the sender's clock and
         // counters never depend on peer liveness.
@@ -202,7 +397,15 @@ impl ProcCtx {
         let before = self.clock.now();
         let after = self.clock.sync_to(msg.arrival);
         let wait = (after.seconds() - before.seconds()).max(0.0);
-        self.stats.record_recv(msg.payload.size_bytes(), wait);
+        let bytes = msg.payload.size_bytes();
+        self.stats.record_recv(bytes, wait);
+        self.trace_charge(
+            Category::Recv,
+            "recv",
+            before,
+            Track::Main,
+            Args::msg(src, bytes),
+        );
         Ok(msg.payload)
     }
 
@@ -226,11 +429,28 @@ impl ProcCtx {
         self.stats.snapshot()
     }
 
-    pub(crate) fn finish(self) -> ProcReport {
-        ProcReport {
+    pub(crate) fn finish(self) -> (ProcReport, Option<RankTrace>) {
+        let report = ProcReport {
             rank: self.rank,
             finish_time: self.clock.now().seconds(),
             stats: self.stats.snapshot(),
+        };
+        (report, self.tracer.map(Tracer::finish))
+    }
+}
+
+/// RAII scope for a structural trace span opened through
+/// [`ProcCtx::trace_span`] / [`ProcCtx::trace_phase`]: the span closes at
+/// the simulated time the guard drops. With tracing off the guard is inert.
+pub struct TraceSpanGuard<'a> {
+    ctx: &'a ProcCtx,
+    id: Option<SpanId>,
+}
+
+impl Drop for TraceSpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(tr), Some(id)) = (&self.ctx.tracer, self.id) {
+            tr.close_span(id, self.ctx.clock.now().seconds());
         }
     }
 }
@@ -251,15 +471,32 @@ pub struct ProcReport {
 pub struct RunReport {
     per_proc: Vec<ProcReport>,
     wall_seconds: f64,
+    trace: Option<ooc_trace::Trace>,
 }
 
 impl RunReport {
-    pub(crate) fn new(mut per_proc: Vec<ProcReport>, wall_seconds: f64) -> Self {
+    pub(crate) fn new(
+        mut per_proc: Vec<ProcReport>,
+        wall_seconds: f64,
+        trace: Option<ooc_trace::Trace>,
+    ) -> Self {
         per_proc.sort_by_key(|p| p.rank);
         RunReport {
             per_proc,
             wall_seconds,
+            trace,
         }
+    }
+
+    /// The recorded simulated-clock trace, when tracing was enabled on the
+    /// machine configuration.
+    pub fn trace(&self) -> Option<&ooc_trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Detach the recorded trace from the report.
+    pub fn take_trace(&mut self) -> Option<ooc_trace::Trace> {
+        self.trace.take()
     }
 
     /// Number of processors that ran.

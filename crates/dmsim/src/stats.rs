@@ -215,6 +215,45 @@ impl StatsSnapshot {
         }
     }
 
+    /// Element-wise difference `self - before`: the counters accumulated
+    /// between two snapshots of the same processor, for per-phase
+    /// attribution (`after - before`). Saturates at zero so a stale pair
+    /// can't wrap.
+    pub fn delta(&self, before: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            flops: self.flops.saturating_sub(before.flops),
+            msgs_sent: self.msgs_sent.saturating_sub(before.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(before.bytes_sent),
+            msgs_received: self.msgs_received.saturating_sub(before.msgs_received),
+            bytes_received: self.bytes_received.saturating_sub(before.bytes_received),
+            io_read_requests: self
+                .io_read_requests
+                .saturating_sub(before.io_read_requests),
+            io_bytes_read: self.io_bytes_read.saturating_sub(before.io_bytes_read),
+            io_write_requests: self
+                .io_write_requests
+                .saturating_sub(before.io_write_requests),
+            io_bytes_written: self
+                .io_bytes_written
+                .saturating_sub(before.io_bytes_written),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            cache_hit_bytes: self.cache_hit_bytes.saturating_sub(before.cache_hit_bytes),
+            write_back_requests: self
+                .write_back_requests
+                .saturating_sub(before.write_back_requests),
+            write_back_bytes: self
+                .write_back_bytes
+                .saturating_sub(before.write_back_bytes),
+            faults_injected: self.faults_injected.saturating_sub(before.faults_injected),
+            io_retries: self.io_retries.saturating_sub(before.io_retries),
+            msg_retries: self.msg_retries.saturating_sub(before.msg_retries),
+            time_compute: self.time_compute - before.time_compute,
+            time_comm: self.time_comm - before.time_comm,
+            time_io: self.time_io - before.time_io,
+            time_faults: self.time_faults - before.time_faults,
+        }
+    }
+
     /// Element-wise sum, used to aggregate across processors.
     pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -242,9 +281,38 @@ impl StatsSnapshot {
     }
 }
 
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    /// `after - before`, see [`StatsSnapshot::delta`].
+    fn sub(self, before: StatsSnapshot) -> StatsSnapshot {
+        self.delta(&before)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_is_inverse_of_accumulation() {
+        let s = ProcStats::new();
+        s.record_io_read(2, 4096, 0.1);
+        let before = s.snapshot();
+        s.record_io_read(3, 100, 0.2);
+        s.record_send(64, 0.01);
+        s.record_flops(10, 1.0);
+        let d = s.snapshot() - before;
+        assert_eq!(d.io_read_requests, 3);
+        assert_eq!(d.io_bytes_read, 100);
+        assert_eq!(d.msgs_sent, 1);
+        assert_eq!(d.flops, 10);
+        assert!((d.time_io - 0.2).abs() < 1e-12);
+        assert!((d.time_compute - 1.0).abs() < 1e-12);
+        // delta then merge round-trips.
+        let back = before.merge(&d);
+        assert_eq!(back, s.snapshot());
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -100,6 +100,7 @@ pub fn execute_prefetched(
     }
 
     // ---- Ghost exchange (charged I/O + real messages). -----------------
+    let ghost_span = ctx.trace_span(ooc_trace::Category::Slab, "ghost_exchange");
     let mut ghosts: HashMap<(usize, usize), Ghost> = HashMap::new();
     for g in &plan.ghosts {
         let (p_axis, coord) = match plan.lhs.dist.dims()[g.dim] {
@@ -154,6 +155,7 @@ pub fn execute_prefetched(
             ghosts.insert((ai, g.dim), ghost);
         }
     }
+    drop(ghost_span);
     let ghost_peak = peak;
 
     // ---- Stripmined evaluation. -----------------------------------------
@@ -188,8 +190,10 @@ pub fn execute_prefetched(
     let r = local_region.range(plan.slab_dim);
     let t = plan.slab_thickness.max(1);
     let mut pending_flops = 0u64;
+    let mut slab_idx = 0u64;
     let mut lo = r.lo;
     while lo < r.hi {
+        let _slab = ctx.trace_slab_span("slab", slab_idx);
         let hi = (lo + t).min(r.hi);
         let out_sec = local_region
             .clone()
@@ -239,6 +243,7 @@ pub fn execute_prefetched(
             peak.max(ghost_peak + out.len() + inputs.iter().map(|(_, d)| d.len()).sum::<usize>());
 
         env.write_section(&plan.lhs, &out_sec, &out, ctx)?;
+        slab_idx += 1;
         lo = hi;
     }
     if pending_flops > 0 {

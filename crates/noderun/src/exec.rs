@@ -71,6 +71,12 @@ pub struct RunConfig {
     /// slab boundaries, and a recovery re-run resumes from the agreed
     /// watermark instead of from scratch.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Tracing override. `None` follows the compiled program's
+    /// [`ooc_core::CompilerOptions::trace`]; `Some` replaces it (e.g. to
+    /// trace a program compiled without tracing, or to silence one).
+    /// Ignored when [`RunConfig::machine`] is set — an explicit machine
+    /// carries its own trace configuration.
+    pub trace: Option<dmsim::TraceConfig>,
 }
 
 /// Bound on whole-program recovery re-runs after a permanent fault.
@@ -136,10 +142,10 @@ pub(crate) struct RankResult {
 /// Execute every plan of `compiled` in order on the simulated machine.
 pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
     let p = compiled.nprocs();
-    let machine_cfg = cfg
-        .machine
-        .clone()
-        .unwrap_or_else(|| MachineConfig::new(p, compiled.model.clone()));
+    let machine_cfg = cfg.machine.clone().unwrap_or_else(|| {
+        MachineConfig::new(p, compiled.model.clone())
+            .with_trace(cfg.trace.unwrap_or(compiled.trace))
+    });
     if machine_cfg.nprocs != p {
         return Err(RunError::Config(format!(
             "machine has {} processors but the program was compiled for {p}",
@@ -238,6 +244,17 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, Ru
     })
 }
 
+/// Stable phase name for statement `i`: position plus what it computes, so
+/// trace consumers (and the divergence report) can align phases with the
+/// compiler's per-statement estimates.
+pub(crate) fn phase_label(i: usize, plan: &ExecPlan) -> String {
+    match plan {
+        ExecPlan::Gaxpy(g) => format!("s{i}:gaxpy({})", g.c.name),
+        ExecPlan::Elementwise(e) => format!("s{i}:forall({})", e.lhs.name),
+        ExecPlan::Transpose(t) => format!("s{i}:transpose({})", t.dst.name),
+    }
+}
+
 fn execute_rank(
     ctx: &ProcCtx,
     compiled: &CompiledProgram,
@@ -288,7 +305,11 @@ fn execute_rank(
     }
 
     let mut peak = 0usize;
-    for plan in &compiled.plans {
+    for (i, plan) in compiled.plans.iter().enumerate() {
+        // One phase span per compiled statement, labeled by what it does;
+        // every charge inside (including the cache flush below, which is
+        // part of the statement's I/O) is attributed to this phase.
+        let _phase = ctx.trace_phase(&phase_label(i, plan));
         let used = match plan {
             ExecPlan::Gaxpy(g) => {
                 let opts = crate::gaxpy::RecoveryOpts {

@@ -92,6 +92,7 @@ fn agree_restart(
     plan: &GaxpyPlan,
     dir: &std::path::Path,
 ) -> Result<usize, OocError> {
+    let _span = ctx.trace_span(ooc_trace::Category::Checkpoint, "restore");
     let c_local = plan.c.local_shape(ctx.rank());
     let full = Section::full(&c_local);
     let saved =
@@ -207,8 +208,10 @@ fn column_version(
     let mut pending_flops = 0u64;
 
     // Outer loop: slabs of B (columns of B's OCLA are global columns of C).
+    let mut slab_idx = 0u64;
     let mut b_lo = start_b;
     while b_lo < n {
+        let _slab = ctx.trace_slab_span("b_slab", slab_idx);
         let b_hi = (b_lo + slab_b).min(n);
         let b_sec = Section::new(vec![DimRange::new(0, lr_b), DimRange::new(b_lo, b_hi)]);
         let b_icla = if prefetch {
@@ -272,6 +275,7 @@ fn column_version(
             }
         }
         if let Some(dir) = opts.checkpoint_dir {
+            let _ckpt = ctx.trace_span(ooc_trace::Category::Checkpoint, "checkpoint");
             // Persist every finished column, then checkpoint the local C
             // with the new watermark. The cbuf flush here only changes the
             // flush cadence when checkpointing is on.
@@ -303,6 +307,7 @@ fn column_version(
                 replanned = true;
             }
         }
+        slab_idx += 1;
         b_lo = b_hi;
     }
 
@@ -388,8 +393,10 @@ fn row_version(
     };
 
     let mut pending_flops = 0u64;
+    let mut slab_idx = 0u64;
     let mut r_lo = start_r;
     while r_lo < n {
+        let _slab = ctx.trace_slab_span("a_row_slab", slab_idx);
         let r_hi = (r_lo + plan.slab_a).min(n);
         let h = r_hi - r_lo;
         let a_sec = Section::new(vec![DimRange::new(r_lo, r_hi), DimRange::new(0, lc)]);
@@ -447,6 +454,7 @@ fn row_version(
         let c_sec = Section::new(vec![DimRange::new(r_lo, r_hi), DimRange::new(0, c_cols)]);
         env.write_section(&plan.c, &c_sec, &cbuf, charge)?;
         if let Some(dir) = opts.checkpoint_dir {
+            let _ckpt = ctx.trace_span(ooc_trace::Category::Checkpoint, "checkpoint");
             ooc_array::checkpoint_section(
                 env,
                 &plan.c,
@@ -462,6 +470,7 @@ fn row_version(
                 replanned = true;
             }
         }
+        slab_idx += 1;
         r_lo = r_hi;
     }
     if let Some(dir) = opts.checkpoint_dir {

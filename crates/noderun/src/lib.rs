@@ -23,6 +23,7 @@
 //! assert_eq!(c.len(), 64 * 64);
 //! ```
 
+pub mod divergence;
 pub mod elementwise;
 pub mod exec;
 pub mod gaxpy;
@@ -31,6 +32,7 @@ pub mod trace;
 pub mod transpose;
 pub mod verify;
 
+pub use divergence::{divergence_report, DivergenceReport, DivergenceRow};
 pub use exec::{init_fn, run, Backend, InitFn, RunConfig, RunError, RunOutcome};
 pub use gaxpy::RecoveryOpts;
 pub use ooc_array::OocError;

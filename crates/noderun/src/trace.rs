@@ -13,7 +13,7 @@ use ooc_core::ir::NestNode;
 use pario::IoCharge;
 
 /// One I/O operation as observed at the charge seam.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IoOp {
     /// True for a read.
     pub read: bool,
@@ -21,13 +21,22 @@ pub struct IoOp {
     pub requests: u64,
     /// Bytes moved.
     pub bytes: u64,
+    /// Array the operation serves, when the issuing layer hinted it (the
+    /// OCLA runtime does; raw disk traffic has no array identity).
+    pub array: Option<String>,
 }
 
 /// An [`IoCharge`] that forwards to the processor context *and* records the
 /// operation sequence.
+///
+/// Every charge — including cache hits, write-backs, fault recovery and the
+/// observability hints — reaches the context unchanged, so wrapping an
+/// executor in a `TracingCharge` never perturbs the simulated time, the
+/// stats, or the context's own event trace.
 pub struct TracingCharge<'a> {
     ctx: &'a ProcCtx,
     events: RefCell<Vec<IoOp>>,
+    array: RefCell<Option<String>>,
 }
 
 impl<'a> TracingCharge<'a> {
@@ -36,6 +45,7 @@ impl<'a> TracingCharge<'a> {
         TracingCharge {
             ctx,
             events: RefCell::new(Vec::new()),
+            array: RefCell::new(None),
         }
     }
 
@@ -52,6 +62,7 @@ impl IoCharge for TracingCharge<'_> {
             read: true,
             requests,
             bytes,
+            array: self.array.borrow().clone(),
         });
     }
     fn io_write(&self, requests: u64, bytes: u64) {
@@ -60,7 +71,27 @@ impl IoCharge for TracingCharge<'_> {
             read: false,
             requests,
             bytes,
+            array: self.array.borrow().clone(),
         });
+    }
+    fn io_cache_hit(&self, runs: u64, bytes: u64) {
+        self.ctx.charge_io_cache_hit(runs, bytes);
+    }
+    fn io_write_back(&self, requests: u64, bytes: u64) {
+        self.ctx.charge_io_write_back(requests, bytes);
+    }
+    fn io_faults(&self, charges: &dmsim::FaultCharges) {
+        self.ctx.charge_io_faults(charges);
+    }
+    fn io_array(&self, name: &str, file: u64) {
+        *self.array.borrow_mut() = Some(name.to_string());
+        IoCharge::io_array(self.ctx, name, file);
+    }
+    fn io_cache_level(&self, used_bytes: u64, dirty_bytes: u64) {
+        IoCharge::io_cache_level(self.ctx, used_bytes, dirty_bytes);
+    }
+    fn io_sieve(&self, span_bytes: u64, useful_bytes: u64) {
+        IoCharge::io_sieve(self.ctx, span_bytes, useful_bytes);
     }
 }
 
@@ -99,10 +130,10 @@ fn walk(nodes: &[NestNode], elem_size: usize, limit: usize, out: &mut Vec<IoOp>)
                 }
             }
             NestNode::Io {
+                array,
                 read,
                 requests,
                 elems,
-                ..
             } => {
                 if out.len() >= limit {
                     return false;
@@ -111,6 +142,7 @@ fn walk(nodes: &[NestNode], elem_size: usize, limit: usize, out: &mut Vec<IoOp>)
                     read: *read,
                     requests: *requests,
                     bytes: elems * elem_size as u64,
+                    array: Some(array.clone()),
                 });
             }
             NestNode::Comm { .. } | NestNode::Compute { .. } => {}
@@ -124,6 +156,15 @@ mod tests {
     use super::*;
     use ooc_core::ir::NestNode as N;
 
+    fn op(read: bool, requests: u64, bytes: u64, array: &str) -> IoOp {
+        IoOp {
+            read,
+            requests,
+            bytes,
+            array: Some(array.to_string()),
+        }
+    }
+
     #[test]
     fn flattening_unrolls_loops_in_order() {
         let nest = vec![
@@ -134,31 +175,11 @@ mod tests {
         assert_eq!(
             seq,
             vec![
-                IoOp {
-                    read: true,
-                    requests: 1,
-                    bytes: 40
-                },
-                IoOp {
-                    read: true,
-                    requests: 1,
-                    bytes: 20
-                },
-                IoOp {
-                    read: false,
-                    requests: 2,
-                    bytes: 20
-                },
-                IoOp {
-                    read: true,
-                    requests: 1,
-                    bytes: 20
-                },
-                IoOp {
-                    read: false,
-                    requests: 2,
-                    bytes: 20
-                },
+                op(true, 1, 40, "b"),
+                op(true, 1, 20, "a"),
+                op(false, 2, 20, "c"),
+                op(true, 1, 20, "a"),
+                op(false, 2, 20, "c"),
             ]
         );
     }

@@ -44,6 +44,8 @@ pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &TransposePlan) -> Result<
 
     let mut peak = 0usize;
     for stage in 0..stages {
+        // Stage `s` moves every rank's s-th slab; one structural span each.
+        let _stage = ctx.trace_slab_span("stage", stage as u64);
         // ---- Send my stage-th slab, split by destination owner. ----------
         if stage < my_plan.num_slabs() {
             let slab = my_plan.slab(stage);

@@ -206,6 +206,7 @@ impl OocEnv {
         let local_shape = desc.local_shape(self.rank);
         let runs = desc.layout.section_runs(&local_shape, section);
         let laf = self.laf(desc.id);
+        charge.io_array(&desc.name, laf.file_id().0);
         let raw = laf.read_f32_with(&mut self.disk, &runs, charge, self.sieve)?;
         Ok(reorder_layout_to_cm(&desc.layout, section, raw))
     }
@@ -224,6 +225,7 @@ impl OocEnv {
         let runs = desc.layout.section_runs(&local_shape, section);
         let raw = reorder_cm_to_layout(&desc.layout, section, data);
         let laf = self.laf(desc.id);
+        charge.io_array(&desc.name, laf.file_id().0);
         laf.write_f32_with(&mut self.disk, &runs, &raw, charge, self.sieve)
     }
 

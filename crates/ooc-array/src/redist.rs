@@ -82,6 +82,7 @@ pub fn redistribute(
     dst: &ArrayDesc,
     charge: &dyn IoCharge,
 ) -> Result<(), OocError> {
+    let _span = ctx.trace_span(ooc_trace::Category::Redist, "redistribute");
     assert_eq!(
         src.dist.global(),
         dst.dist.global(),

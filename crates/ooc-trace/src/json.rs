@@ -1,0 +1,448 @@
+//! Minimal JSON parser and Chrome-trace validator.
+//!
+//! The workspace's `serde` is an offline no-op shim (marker traits only), so
+//! trace validation cannot lean on `serde_json`. This module hand-rolls the
+//! small strict subset needed to re-parse [`crate::perfetto`] output and
+//! check it against the repo's checked-in schema
+//! (`crates/bench/schemas/trace_schema.json`): required keys per event,
+//! allowed phase letters, finite timestamps (JSON has no NaN literal, so a
+//! NaN would fail to parse at emission), and monotone per-(pid, tid) clocks.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Objects preserve key order via `BTreeMap` — good
+/// enough for validation, which never re-serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// As array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// As number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a JSON document. Strict: rejects trailing garbage, `NaN`,
+/// `Infinity`, comments and unquoted keys.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            m.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(m));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(v));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|b| b as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // on char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "bad utf8".to_string())?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number {:?} at byte {}", text, start))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number {:?}", text));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+/// Summary of a validated Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCheck {
+    /// Total events (including metadata).
+    pub events: usize,
+    /// Span (`"X"`) events.
+    pub spans: usize,
+    /// Counter (`"C"`) samples.
+    pub counters: usize,
+    /// Distinct pids (ranks).
+    pub ranks: usize,
+}
+
+fn schema_strings(schema: &Json, key: &str) -> Vec<String> {
+    schema
+        .get(key)
+        .and_then(|v| v.as_arr())
+        .map(|a| {
+            a.iter()
+                .filter_map(|s| s.as_str().map(String::from))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Validate a Chrome trace document against a schema object (see
+/// `crates/bench/schemas/trace_schema.json`). Checks required keys, allowed
+/// `ph` letters, finite numeric timestamps/durations, and that `ts` is
+/// monotone non-decreasing per `(pid, tid)` timeline.
+pub fn validate_chrome_trace(trace: &Json, schema: &Json) -> Result<TraceCheck, String> {
+    for key in schema_strings(schema, "top_required") {
+        if trace.get(&key).is_none() {
+            return Err(format!("missing top-level key {:?}", key));
+        }
+    }
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or("traceEvents is not an array")?;
+    let event_required = schema_strings(schema, "event_required");
+    let span_required = schema_strings(schema, "span_required");
+    let ph_allowed = schema_strings(schema, "ph_allowed");
+    let mut check = TraceCheck {
+        events: events.len(),
+        ..TraceCheck::default()
+    };
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut ranks: Vec<i64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if !ph_allowed.is_empty() && !ph_allowed.iter().any(|a| a == ph) {
+            return Err(format!("event {i}: disallowed ph {:?}", ph));
+        }
+        for key in &event_required {
+            // Metadata events carry no timestamp.
+            if ph == "M" && key == "ts" {
+                continue;
+            }
+            if ev.get(key).is_none() {
+                return Err(format!("event {i}: missing key {:?}", key));
+            }
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("event {i}: missing pid"))? as i64;
+        if !ranks.contains(&pid) {
+            ranks.push(pid);
+        }
+        if ph == "M" {
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("event {i}: non-numeric ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: bad ts {ts}"));
+        }
+        let tid = ev.get("tid").and_then(|v| v.as_num()).unwrap_or(0.0) as i64;
+        let key = (pid, tid);
+        if let Some(prev) = last_ts.get(&key) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {i}: ts {ts} goes backwards on pid {pid} tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        match ph {
+            "X" => {
+                check.spans += 1;
+                for key in &span_required {
+                    if ev.get(key).is_none() {
+                        return Err(format!("span event {i}: missing key {:?}", key));
+                    }
+                }
+                let dur = ev
+                    .get("dur")
+                    .and_then(|v| v.as_num())
+                    .ok_or_else(|| format!("span event {i}: non-numeric dur"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("span event {i}: bad dur {dur}"));
+                }
+            }
+            "C" => check.counters += 1,
+            _ => {}
+        }
+    }
+    check.ranks = ranks.len();
+    Ok(check)
+}
+
+/// The schema shipped in-repo, inlined so library tests don't depend on
+/// bench crate paths. `tracerun --check` reads the checked-in file instead.
+pub const DEFAULT_SCHEMA: &str = r#"{
+  "top_required": ["traceEvents", "displayTimeUnit"],
+  "event_required": ["ph", "pid", "ts", "name"],
+  "span_required": ["dur", "cat", "tid", "args"],
+  "ph_allowed": ["X", "i", "C", "M"]
+}"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a": [1, -2.5e3, "x\nу"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_num(),
+            Some(-2500.0)
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_garbage_and_nan() {
+        assert!(parse("{").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{"a": NaN}"#).is_err());
+    }
+
+    #[test]
+    fn validates_sample_export() {
+        use crate::{Args, Category, Trace, TraceConfig, Tracer, Track};
+        let tr = Tracer::new(0, TraceConfig::on());
+        tr.span(
+            Category::Compute,
+            "compute",
+            0.0,
+            1e-3,
+            Track::Main,
+            Args::default(),
+        );
+        tr.counter("cache_used", 1e-3, 7.0);
+        let doc = crate::perfetto::to_chrome_json(&Trace {
+            ranks: vec![tr.finish()],
+        });
+        let parsed = parse(&doc).unwrap();
+        let schema = parse(DEFAULT_SCHEMA).unwrap();
+        let check = validate_chrome_trace(&parsed, &schema).unwrap();
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.counters, 1);
+        assert_eq!(check.ranks, 1);
+    }
+
+    #[test]
+    fn flags_backwards_clock() {
+        let doc = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"name":"a","cat":"compute","ph":"X","ts":5.0,"dur":1.0,"pid":0,"tid":0,"args":{}},
+            {"name":"b","cat":"compute","ph":"X","ts":4.0,"dur":1.0,"pid":0,"tid":0,"args":{}}
+        ]}"#;
+        let parsed = parse(doc).unwrap();
+        let schema = parse(DEFAULT_SCHEMA).unwrap();
+        assert!(validate_chrome_trace(&parsed, &schema).is_err());
+    }
+}

@@ -139,6 +139,18 @@ impl SlabCache {
         self.used
     }
 
+    /// Bytes currently cached that are dirty — buffered writes that have
+    /// not yet reached the disk (the trace layer's "outstanding bytes"
+    /// counter).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.files
+            .values()
+            .flat_map(|segs| segs.values())
+            .filter(|s| s.dirty)
+            .map(|s| s.len)
+            .sum()
+    }
+
     /// Accumulated per-file I/O effects (misses, write-backs, hits).
     pub fn file_counts(&self, file: u64) -> FileIoCounts {
         self.per_file.get(&file).copied().unwrap_or_default()

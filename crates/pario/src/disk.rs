@@ -223,6 +223,9 @@ impl LogicalDisk {
             c.flush(Some(&mut **backend), faults.as_ref(), charge, stats)?;
         }
         self.settle_faults(charge);
+        if let Some(c) = self.cache.as_ref() {
+            charge.io_cache_level(c.used(), c.dirty_bytes());
+        }
         Ok(())
     }
 
@@ -323,6 +326,8 @@ impl LogicalDisk {
                 cursor += run.len as usize;
             }
             self.settle_faults(charge);
+            let c = self.cache.as_ref().expect("cache checked above");
+            charge.io_cache_level(c.used(), c.dirty_bytes());
             return Ok(self.stats.read_requests - before);
         }
         match plan_access(runs, policy) {
@@ -362,6 +367,7 @@ impl LogicalDisk {
                 self.pool.put(span_buf);
                 self.stats.add_read(1, span.len);
                 charge.io_read(1, span.len);
+                charge.io_sieve(span.len, total_bytes(&useful));
                 self.settle_faults(charge);
                 Ok(1)
             }
@@ -412,6 +418,7 @@ impl LogicalDisk {
                 self.stats.add_write(1, span.len);
                 charge.io_read(1, span.len);
                 charge.io_write(1, span.len);
+                charge.io_sieve(span.len, total_bytes(&useful));
                 self.settle_faults(charge);
                 Ok(2)
             }
@@ -473,6 +480,8 @@ impl LogicalDisk {
                 cursor += run.len as usize;
             }
             self.settle_faults(charge);
+            let c = self.cache.as_ref().expect("cache checked above");
+            charge.io_cache_level(c.used(), c.dirty_bytes());
             return Ok(self.stats.write_requests - before);
         }
         // The coalesced runs are sorted by offset, but `data` is laid out in

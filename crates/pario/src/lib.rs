@@ -64,6 +64,17 @@ pub trait IoCharge {
     /// ignores it, so plain sinks and the logical request/byte metrics are
     /// untouched by injected faults.
     fn io_faults(&self, _charges: &dmsim::FaultCharges) {}
+    /// Hint: subsequent charges serve array `name` stored in file `file`.
+    /// Pure observability — the default ignores it; tracing sinks use it to
+    /// tag disk events with array identity.
+    fn io_array(&self, _name: &str, _file: u64) {}
+    /// Observe the slab cache's occupancy after an operation: `used_bytes`
+    /// resident, of which `dirty_bytes` not yet written back. Default
+    /// ignores it.
+    fn io_cache_level(&self, _used_bytes: u64, _dirty_bytes: u64) {}
+    /// Observe one sieved read: a spanning read of `span_bytes` of which
+    /// only `useful_bytes` were wanted. Default ignores it.
+    fn io_sieve(&self, _span_bytes: u64, _useful_bytes: u64) {}
 }
 
 impl IoCharge for ProcCtx {
@@ -81,6 +92,22 @@ impl IoCharge for ProcCtx {
     }
     fn io_faults(&self, charges: &dmsim::FaultCharges) {
         self.charge_io_faults(charges);
+    }
+    fn io_array(&self, name: &str, file: u64) {
+        self.set_io_hint(name, file);
+    }
+    fn io_cache_level(&self, used_bytes: u64, dirty_bytes: u64) {
+        self.trace_counter("cache_used", used_bytes as f64);
+        self.trace_counter("cache_dirty", dirty_bytes as f64);
+    }
+    fn io_sieve(&self, span_bytes: u64, useful_bytes: u64) {
+        if self.tracing() {
+            self.trace_instant(
+                ooc_trace::Category::Sieve,
+                "sieve",
+                ooc_trace::Args::io(1, span_bytes - useful_bytes),
+            );
+        }
     }
 }
 

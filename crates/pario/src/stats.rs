@@ -77,6 +77,37 @@ impl DiskStats {
     pub(crate) fn add_evicted(&mut self, bytes: u64) {
         self.evicted_bytes += bytes;
     }
+
+    /// Element-wise difference `self - before`: the traffic between two
+    /// snapshots of the same disk, for per-phase attribution
+    /// (`after - before`). Saturates at zero so a stale pair can't wrap.
+    pub fn delta(&self, before: &DiskStats) -> DiskStats {
+        DiskStats {
+            read_requests: self.read_requests.saturating_sub(before.read_requests),
+            bytes_read: self.bytes_read.saturating_sub(before.bytes_read),
+            write_requests: self.write_requests.saturating_sub(before.write_requests),
+            bytes_written: self.bytes_written.saturating_sub(before.bytes_written),
+            cache_hits: self.cache_hits.saturating_sub(before.cache_hits),
+            cache_hit_bytes: self.cache_hit_bytes.saturating_sub(before.cache_hit_bytes),
+            cache_misses: self.cache_misses.saturating_sub(before.cache_misses),
+            write_back_requests: self
+                .write_back_requests
+                .saturating_sub(before.write_back_requests),
+            write_back_bytes: self
+                .write_back_bytes
+                .saturating_sub(before.write_back_bytes),
+            evicted_bytes: self.evicted_bytes.saturating_sub(before.evicted_bytes),
+        }
+    }
+}
+
+impl std::ops::Sub for DiskStats {
+    type Output = DiskStats;
+
+    /// `after - before`, see [`DiskStats::delta`].
+    fn sub(self, before: DiskStats) -> DiskStats {
+        self.delta(&before)
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +123,23 @@ mod tests {
         assert_eq!(s.bytes(), 150);
         assert_eq!(s.read_requests, 2);
         assert_eq!(s.write_requests, 3);
+    }
+
+    #[test]
+    fn delta_isolates_a_phase() {
+        let mut s = DiskStats::default();
+        s.add_read(2, 100);
+        let before = s;
+        s.add_read(1, 10);
+        s.add_write(4, 400);
+        s.add_write_back(1, 64);
+        let d = s - before;
+        assert_eq!(d.read_requests, 1);
+        assert_eq!(d.bytes_read, 10);
+        assert_eq!(d.write_requests, 4);
+        assert_eq!(d.write_back_bytes, 64);
+        // Counters untouched in the phase stay zero.
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(d.evicted_bytes, 0);
     }
 }
