@@ -201,6 +201,7 @@ fn main() {
             src: src.clone(),
             dst: dst.clone(),
             slab_thickness: (n / p / 4).max(1),
+            method: pario::IoMethod::Direct,
         };
         let value = |g: &[usize]| (g[0] * 100 + g[1]) as f32;
         let mut t = TextTable::new(&[

@@ -12,7 +12,7 @@ use ooc_array::{ArrayDesc, DimRange, Section};
 use crate::hir::ElwStmt;
 use crate::ir::NestNode;
 use crate::partition::local_iteration_space;
-use crate::plan::{ElwPlan, ExecPlan, GaxpyPlan, SlabStrategy, TransposePlan};
+use crate::plan::{ElwPlan, ExecPlan, GaxpyPlan, RemapSpec, SlabStrategy, TransposePlan};
 
 /// ceil(log2(p)): stages of a binomial-tree collective.
 pub fn ceil_log2(p: usize) -> u64 {
@@ -275,18 +275,11 @@ pub fn elw_nest(plan: &ElwPlan, rank: usize) -> Vec<NestNode> {
     let local_shape = plan.lhs.local_shape(rank);
     let mut nest = Vec::new();
 
-    // Pre-statement remaps (estimate: the redistribution's piece structure
-    // depends on the source/target overlap; the executor measures honestly).
+    // Pre-statement remaps: an exact replay of the redistribution's request
+    // arithmetic under the chosen access method (same section machinery,
+    // same coalescing, same sieve planner as the executor).
     for r in &plan.pre_remaps {
-        let elems = r.src.local_shape(rank).len() as u64;
-        let p = r.src.dist.nprocs() as u64;
-        nest.push(NestNode::read(&r.src.name, p.min(elems.max(1)), elems));
-        nest.push(NestNode::Comm {
-            label: format!("remap `{}` to the lhs distribution", r.src.name),
-            messages: p.saturating_sub(1),
-            bytes: elems * 4 * p.saturating_sub(1) / p.max(1),
-        });
-        nest.push(NestNode::write(&r.tmp.name, p.min(elems.max(1)), elems));
+        nest.extend(remap_nodes(r, rank));
     }
 
     // Ghost exchanges: per spec, per rhs array, one strip read + one
@@ -402,11 +395,53 @@ pub fn elw_nest(plan: &ElwPlan, rank: usize) -> Vec<NestNode> {
     nest
 }
 
-/// Node program for a transpose plan. The *read* side is exact (full and
-/// ragged slabs accounted separately, matching the executor request for
-/// request); the communication and write sides are estimates — the remap's
-/// write-side request count depends on arrival interleaving, which the
-/// executor measures honestly.
+/// The three estimate nodes of one pre-statement remap, exact for `rank`:
+/// [`ooc_array::redist_counts`] replays the executor's request schedule for
+/// the spec's access method. Sieved read-modify-write writes surface as an
+/// extra read node on the destination array, matching how the tracing layer
+/// attributes them.
+pub fn remap_nodes(r: &RemapSpec, rank: usize) -> Vec<NestNode> {
+    let es = r.src.elem.size() as u64;
+    let cnt = ooc_array::redist_counts(&r.src, &r.tmp, rank, r.method);
+    let mut v = vec![NestNode::read(
+        &r.src.name,
+        cnt.read_requests,
+        cnt.read_bytes / es,
+    )];
+    if cnt.dst_read_requests > 0 {
+        v.push(NestNode::read(
+            &r.tmp.name,
+            cnt.dst_read_requests,
+            cnt.dst_read_bytes / es,
+        ));
+    }
+    v.push(NestNode::Comm {
+        label: format!(
+            "remap `{}` to the lhs distribution ({})",
+            r.src.name,
+            r.method.label()
+        ),
+        messages: cnt.messages,
+        bytes: cnt.msg_bytes,
+    });
+    v.push(NestNode::write(
+        &r.tmp.name,
+        cnt.write_requests,
+        cnt.write_bytes / es,
+    ));
+    v
+}
+
+/// Node program for a transpose plan.
+///
+/// Under `Direct`/`Sieved` the *read* side is exact (full and ragged slabs
+/// accounted separately, matching the executor request for request); the
+/// communication and write sides are estimates — the remap's write-side
+/// request count depends on arrival interleaving, which the executor
+/// measures honestly. Under `TwoPhase` every side is exact: each stage is
+/// one contiguous slab read plus the all-to-all exchange, and the whole
+/// local destination is assembled in memory and written with a single
+/// request after the stage loop.
 pub fn transpose_nest(plan: &TransposePlan) -> Vec<NestNode> {
     let local = plan.src.local_shape(0);
     let slab_dim = plan.src.layout.slowest_dim();
@@ -417,17 +452,21 @@ pub fn transpose_nest(plan: &TransposePlan) -> Vec<NestNode> {
         .product();
     let t = plan.slab_thickness.max(1);
     let p = plan.src.dist.nprocs() as u64;
+    let two_phase = plan.method == pario::IoMethod::TwoPhase;
     let stage = |h: usize| -> Vec<NestNode> {
         let elems = h as u64 * others;
-        vec![
+        let mut v = vec![
             NestNode::read(&plan.src.name, 1, elems),
             NestNode::Comm {
                 label: "remap exchange".into(),
                 messages: p.saturating_sub(1),
                 bytes: elems * 4 * (p.saturating_sub(1)) / p.max(1),
             },
-            NestNode::write(&plan.dst.name, p, elems),
-        ]
+        ];
+        if !two_phase {
+            v.push(NestNode::write(&plan.dst.name, p, elems));
+        }
+        v
     };
     let full = extent / t;
     let rag = extent % t;
@@ -441,6 +480,12 @@ pub fn transpose_nest(plan: &TransposePlan) -> Vec<NestNode> {
     }
     if rag > 0 {
         nest.extend(stage(rag));
+    }
+    if two_phase {
+        let dst_elems = plan.dst.local_shape(0).len() as u64;
+        if dst_elems > 0 {
+            nest.push(NestNode::write(&plan.dst.name, 1, dst_elems));
+        }
     }
     nest
 }

@@ -79,6 +79,10 @@ pub struct CompilerOptions {
     /// runs. Off by default; carried into `CompiledProgram` so the executor
     /// builds its machine with tracing already configured.
     pub trace: ooc_trace::TraceConfig,
+    /// Force one I/O access method for every remap-style access (pre-
+    /// statement redistributions and transposes) instead of per-access
+    /// cost-based selection (`None`, the default).
+    pub io_method: Option<pario::IoMethod>,
 }
 
 impl Default for CompilerOptions {
@@ -91,6 +95,7 @@ impl Default for CompilerOptions {
             elw_slab_elems: 1 << 20,
             cache_budget: None,
             trace: ooc_trace::TraceConfig::default(),
+            io_method: None,
         }
     }
 }
@@ -141,6 +146,10 @@ pub struct CompiledProgram {
     /// For GAXPY statements, the per-strategy estimates that drove
     /// selection.
     pub alternatives: Vec<Option<Vec<(SlabStrategy, CostEstimate)>>>,
+    /// Per statement, the I/O access-method selections made for its
+    /// remap-style accesses (pre-statement redistributions, transposes);
+    /// empty for statements without any.
+    pub io_choices: Vec<Vec<crate::reorg::IoMethodChoice>>,
     /// The cost model used.
     pub model: CostModel,
     /// Tracing configuration requested at compile time (threaded from
@@ -252,11 +261,32 @@ impl CompiledProgram {
                 ExecPlan::Transpose(t) => {
                     let _ = writeln!(
                         out,
-                        "statement {}: transpose {} = {}^T (slab thickness {})",
+                        "statement {}: transpose {} = {}^T (slab thickness {}, {} I/O)",
                         i + 1,
                         t.dst.name,
                         t.src.name,
-                        t.slab_thickness
+                        t.slab_thickness,
+                        t.method.label()
+                    );
+                }
+            }
+            for ch in &self.io_choices[i] {
+                let forced = if ch.forced { " (forced)" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "  {}: {} I/O selected{}",
+                    ch.access,
+                    ch.chosen.label(),
+                    forced
+                );
+                for (m, e) in &ch.estimates {
+                    let _ = writeln!(
+                        out,
+                        "    {:10}: {:>10} requests, {:>12} bytes, est {:>10.4} s",
+                        m.label(),
+                        e.io_requests(),
+                        e.io_bytes(),
+                        e.time()
                     );
                 }
             }
@@ -400,6 +430,7 @@ pub fn compile_hir(
     let mut nests = Vec::with_capacity(hir.stmts.len());
     let mut estimates = Vec::with_capacity(hir.stmts.len());
     let mut alternatives = Vec::with_capacity(hir.stmts.len());
+    let mut io_choices = Vec::with_capacity(hir.stmts.len());
     for (si, stmt) in hir.stmts.iter().enumerate() {
         match stmt {
             HirStmt::Gaxpy { .. } => {
@@ -424,6 +455,7 @@ pub fn compile_hir(
                 nests.push(nest);
                 estimates.push(est);
                 alternatives.push(Some(choice.estimates));
+                io_choices.push(Vec::new());
             }
             HirStmt::Elementwise(e) => {
                 let lhs_id = id_of(&e.lhs)?;
@@ -496,9 +528,31 @@ pub fn compile_hir(
                         pre_remaps.push(crate::plan::RemapSpec {
                             src: d,
                             tmp: tmp.clone(),
+                            method: pario::IoMethod::Direct,
                         });
                         rhs_descs.push(tmp);
                     }
+                }
+                // Per-remap access-method selection: price the exact
+                // request replay of each method, keep the cheapest.
+                let mut stmt_choices = Vec::new();
+                for r in &mut pre_remaps {
+                    let choice = crate::reorg::choose_io_method(
+                        format!("remap {}", r.src.name),
+                        &model,
+                        options.io_method,
+                        |m| {
+                            crate::nodegen::remap_nodes(
+                                &crate::plan::RemapSpec {
+                                    method: m,
+                                    ..r.clone()
+                                },
+                                0,
+                            )
+                        },
+                    );
+                    r.method = choice.chosen;
+                    stmt_choices.push(choice);
                 }
                 // Ghost analysis runs against the post-remap distributions.
                 let hir_view = {
@@ -543,6 +597,7 @@ pub fn compile_hir(
                 nests.push(nest);
                 estimates.push(est);
                 alternatives.push(None);
+                io_choices.push(stmt_choices);
             }
             HirStmt::Transpose { src, dst } => {
                 let src_desc = descs[id_of(src)?.0 as usize].clone();
@@ -552,17 +607,31 @@ pub fn compile_hir(
                 let local = src_desc.local_shape(0);
                 let slab_dim = src_desc.layout.slowest_dim();
                 let sp = SlabPlan::from_memory(local, slab_dim, options.elw_slab_elems.max(1));
-                let plan = TransposePlan {
+                let mut plan = TransposePlan {
                     src: src_desc,
                     dst: dst_desc,
                     slab_thickness: sp.thickness(),
+                    method: pario::IoMethod::Direct,
                 };
+                let choice = crate::reorg::choose_io_method(
+                    format!("transpose {}", plan.dst.name),
+                    &model,
+                    options.io_method,
+                    |m| {
+                        crate::nodegen::transpose_nest(&TransposePlan {
+                            method: m,
+                            ..plan.clone()
+                        })
+                    },
+                );
+                plan.method = choice.chosen;
                 let nest = nest_of(&ExecPlan::Transpose(plan.clone()));
                 let est = CostEstimate::from_nest(&nest, &model, 4);
                 plans.push(ExecPlan::Transpose(plan));
                 nests.push(nest);
                 estimates.push(est);
                 alternatives.push(None);
+                io_choices.push(vec![choice]);
             }
         }
     }
@@ -574,6 +643,7 @@ pub fn compile_hir(
         nests,
         estimates,
         alternatives,
+        io_choices,
         model,
         trace: options.trace,
     })

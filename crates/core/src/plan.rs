@@ -139,6 +139,9 @@ pub struct RemapSpec {
     pub src: ArrayDesc,
     /// The temporary, distributed like the statement's lhs.
     pub tmp: ArrayDesc,
+    /// Access method servicing the redistribution (cost-selected by the
+    /// compiler, overridable at run time).
+    pub method: pario::IoMethod,
 }
 
 /// Stripmined elementwise forall.
@@ -176,6 +179,9 @@ pub struct TransposePlan {
     /// Slab thickness along the source's stripmined dimension (its slowest
     /// layout dimension, so reads are contiguous).
     pub slab_thickness: usize,
+    /// Access method servicing the remap's file traffic (cost-selected by
+    /// the compiler, overridable at run time).
+    pub method: pario::IoMethod,
 }
 
 /// One compiled statement.

@@ -154,6 +154,69 @@ pub fn choose_gaxpy(sel: &GaxpySelection<'_>, model: &CostModel) -> GaxpyChoice 
     }
 }
 
+/// Outcome of access-method selection for one remap-style access (a
+/// pre-statement redistribution or a transpose): every candidate method
+/// priced under the machine model, cheapest wins unless forced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoMethodChoice {
+    /// What the access is, e.g. `remap b` or `transpose d`.
+    pub access: String,
+    /// The selected method.
+    pub chosen: pario::IoMethod,
+    /// Cost estimates of every candidate, in [`pario::IoMethod::ALL`]
+    /// order.
+    pub estimates: Vec<(pario::IoMethod, CostEstimate)>,
+    /// True when [`crate::CompilerOptions::io_method`] forced the choice.
+    pub forced: bool,
+}
+
+impl IoMethodChoice {
+    /// The estimate behind the chosen method.
+    pub fn chosen_estimate(&self) -> &CostEstimate {
+        &self
+            .estimates
+            .iter()
+            .find(|(m, _)| *m == self.chosen)
+            .expect("chosen method was scored")
+            .1
+    }
+}
+
+/// Select the access method for one remap-style access: build the candidate
+/// nest for each [`pario::IoMethod`] via `nest_for`, price it under
+/// `model`, and pick the cheapest — or `force`, when set. All estimates are
+/// kept for the report.
+pub fn choose_io_method<F>(
+    access: impl Into<String>,
+    model: &CostModel,
+    force: Option<pario::IoMethod>,
+    nest_for: F,
+) -> IoMethodChoice
+where
+    F: Fn(pario::IoMethod) -> Vec<NestNode>,
+{
+    let estimates: Vec<(pario::IoMethod, CostEstimate)> = pario::IoMethod::ALL
+        .into_iter()
+        .map(|m| (m, CostEstimate::from_nest(&nest_for(m), model, 4)))
+        .collect();
+    let chosen = match force {
+        Some(f) => f,
+        None => {
+            estimates
+                .iter()
+                .min_by(|(_, a), (_, b)| a.time().partial_cmp(&b.time()).expect("finite times"))
+                .expect("three candidates")
+                .0
+        }
+    };
+    IoMethodChoice {
+        access: access.into(),
+        chosen,
+        estimates,
+        forced: force.is_some(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

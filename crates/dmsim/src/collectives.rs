@@ -353,6 +353,48 @@ impl ProcCtx {
         let r = self.try_scatter(data, root);
         self.comm_panic(r)
     }
+
+    /// Variable all-to-all with surfaced errors: rank `i` delivers
+    /// `sends[j]` to rank `j` and returns the vector of received buffers
+    /// indexed by source rank (`out[i]` is this rank's own `sends[rank]`,
+    /// moved, not copied through the fabric).
+    ///
+    /// `sends.len()` must equal the processor count on every rank. The
+    /// pairwise algorithm is deterministic: every rank first posts its sends
+    /// in increasing peer order (sends never block), then receives in
+    /// increasing peer order. Empty buffers are still exchanged so the
+    /// operation synchronizes all ranks like the era's `crystal_router`.
+    pub fn try_alltoallv<T: CommElem>(
+        &self,
+        mut sends: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        let p = self.nprocs();
+        assert_eq!(sends.len(), p, "alltoallv needs one send buffer per rank");
+        let _span = self.trace_span(ooc_trace::Category::Collective, "alltoallv");
+        let me = self.rank();
+        let mut mine = Some(std::mem::take(&mut sends[me]));
+        for (peer, buf) in sends.into_iter().enumerate() {
+            if peer != me {
+                self.send(peer, Tag::COLLECTIVE, T::wrap(buf));
+            }
+        }
+        let mut out = Vec::with_capacity(p);
+        for peer in 0..p {
+            if peer == me {
+                out.push(mine.take().expect("own buffer taken once"));
+            } else {
+                out.push(T::try_unwrap(self.recv(peer, Tag::COLLECTIVE)?)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Variable all-to-all; panics on a dead peer or protocol mismatch —
+    /// use [`ProcCtx::try_alltoallv`] on recoverable paths.
+    pub fn alltoallv<T: CommElem>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let r = self.try_alltoallv(sends);
+        self.comm_panic(r)
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,17 @@ impl ProcCtx {
         self.open_guard(Category::Phase, name, Args::default(), Some(name))
     }
 
+    /// Enter an I/O access-method scope: until the returned guard drops,
+    /// disk-transfer events carry `label` (`direct`, `sieved`, `two-phase`)
+    /// so metrics can histogram request sizes per method. No-op with
+    /// tracing off.
+    pub fn trace_io_method(&self, label: &str) -> IoMethodGuard<'_> {
+        if let Some(tr) = &self.tracer {
+            tr.push_io_method(label);
+        }
+        IoMethodGuard { ctx: self }
+    }
+
     fn open_guard(
         &self,
         cat: Category,
@@ -238,7 +249,9 @@ impl ProcCtx {
     /// and additionally tracked in the write-back counters, so
     /// `io_write_requests` keeps meaning "requests that reached the disk".
     /// Write-backs happen at eviction/flush time, possibly far from the
-    /// access that dirtied the slab, so the span carries no array hint.
+    /// access that dirtied the slab; the cache re-establishes the owning
+    /// array via `set_io_hint` just before charging, so the span carries
+    /// the array identity like any other disk span.
     pub fn charge_io_write_back(&self, requests: u64, bytes: u64) {
         let dt = self.cost.io_write_time(requests, bytes);
         let t0 = self.clock.now();
@@ -249,7 +262,7 @@ impl ProcCtx {
             "write_back",
             t0,
             Track::Main,
-            Args::io(requests, bytes),
+            self.hinted_args(requests, bytes),
         );
     }
 
@@ -451,6 +464,20 @@ impl Drop for TraceSpanGuard<'_> {
     fn drop(&mut self) {
         if let (Some(tr), Some(id)) = (&self.ctx.tracer, self.id) {
             tr.close_span(id, self.ctx.clock.now().seconds());
+        }
+    }
+}
+
+/// RAII scope for an I/O access-method label opened through
+/// [`ProcCtx::trace_io_method`]; pops the method on drop.
+pub struct IoMethodGuard<'a> {
+    ctx: &'a ProcCtx,
+}
+
+impl Drop for IoMethodGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(tr) = &self.ctx.tracer {
+            tr.pop_io_method();
         }
     }
 }

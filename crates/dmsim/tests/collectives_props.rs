@@ -79,6 +79,31 @@ proptest! {
     }
 
     #[test]
+    fn alltoallv_transposes_the_send_matrix(p in 1usize..9, base in 0usize..6) {
+        let machine = Machine::new(MachineConfig::free(p));
+        machine.run(move |ctx| {
+            let me = ctx.rank();
+            // Variable lengths (including empty) so the exchange cannot rely
+            // on uniform chunking; contents encode (source, destination).
+            let sends: Vec<Vec<u64>> = (0..p)
+                .map(|j| {
+                    (0..base + (me + j) % 3)
+                        .map(|k| (me * 1000 + j * 10 + k) as u64)
+                        .collect()
+                })
+                .collect();
+            let got = ctx.alltoallv(sends);
+            assert_eq!(got.len(), p);
+            for (i, buf) in got.iter().enumerate() {
+                let expect: Vec<u64> = (0..base + (i + me) % 3)
+                    .map(|k| (i * 1000 + me * 10 + k) as u64)
+                    .collect();
+                assert_eq!(buf, &expect, "rank {me}: wrong buffer from {i}");
+            }
+        });
+    }
+
+    #[test]
     fn simulated_time_is_schedule_independent(p in 2usize..9, work_seed in 0u64..50) {
         let run_once = || {
             let machine = Machine::new(MachineConfig::delta(p));

@@ -24,8 +24,9 @@ use ooc_trace::{Category, EventKind};
 pub struct DivergenceRow {
     /// Phase (statement) label, e.g. `s0:gaxpy(c)`.
     pub phase: String,
-    /// Array the counter belongs to; `*` for a phase-aggregate row (write
-    /// traffic under a cache loses per-array identity at the write-back).
+    /// Array the counter belongs to. Cache write-backs carry the owning
+    /// array too (the cache's file→array registry re-tags them), so write
+    /// rows stay per-array in every configuration.
     pub array: String,
     /// Which counter: `read_requests`, `read_bytes`, `write_requests` or
     /// `write_bytes`.
@@ -100,9 +101,10 @@ struct Measured {
     reads: BTreeMap<String, (u64, u64)>,
     /// array -> (requests, bytes) from tagged `DiskWrite` spans.
     writes: BTreeMap<String, (u64, u64)>,
-    /// (requests, bytes) from `WriteBack` spans, which carry no array
-    /// identity (the dirtying access happened long before the flush).
-    write_backs: (u64, u64),
+    /// array -> (requests, bytes) from `WriteBack` spans; the cache's
+    /// file→array registry restores the identity the deferred flush would
+    /// otherwise have lost.
+    write_backs: BTreeMap<String, (u64, u64)>,
 }
 
 /// Compare the compiled estimates with a measured trace.
@@ -142,8 +144,9 @@ pub fn divergence_report(compiled: &CompiledProgram, trace: &Trace) -> Divergenc
                 e.1 += ev.args.bytes;
             }
             Category::WriteBack => {
-                m.write_backs.0 += ev.args.requests;
-                m.write_backs.1 += ev.args.bytes;
+                let e = m.write_backs.entry(key).or_default();
+                e.0 += ev.args.requests;
+                e.1 += ev.args.bytes;
             }
             _ => {}
         }
@@ -184,57 +187,36 @@ pub fn divergence_report(compiled: &CompiledProgram, trace: &Trace) -> Divergenc
             );
         }
 
-        // Writes: per-array while every write reaches the disk directly;
-        // once a cache defers them, write-backs carry no array identity, so
-        // the comparison falls back to the phase aggregate.
-        if m.write_backs.0 == 0 && m.write_backs.1 == 0 {
-            let mut write_arrays: Vec<&str> = est
-                .totals
-                .per_array
-                .iter()
-                .filter(|(_, t)| t.write_requests > 0)
-                .map(|(n, _)| n.as_str())
-                .collect();
-            for name in m.writes.keys() {
-                if !write_arrays.contains(&name.as_str()) {
-                    write_arrays.push(name);
-                }
+        // Writes: direct writes and deferred cache write-backs both carry
+        // array identity, so write traffic compares per-array in every
+        // configuration (an untagged write-back would surface as a `?` row,
+        // not vanish into an aggregate).
+        let mut write_arrays: Vec<&str> = est
+            .totals
+            .per_array
+            .iter()
+            .filter(|(_, t)| t.write_requests > 0)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        for name in m.writes.keys().chain(m.write_backs.keys()) {
+            if !write_arrays.contains(&name.as_str()) {
+                write_arrays.push(name);
             }
-            for name in write_arrays {
-                let t = est.totals.per_array.get(name);
-                let (mr, mb) = m.writes.get(name).copied().unwrap_or((0, 0));
-                push_pair(
-                    &mut report,
-                    &phase,
-                    name,
-                    "write_requests",
-                    t.map_or(0, |t| t.write_requests),
-                    mr,
-                    "write_bytes",
-                    t.map_or(0, |t| t.write_elems * es),
-                    mb,
-                );
-            }
-        } else {
-            let (est_req, est_el) = est
-                .totals
-                .per_array
-                .values()
-                .fold((0u64, 0u64), |(r, e), t| {
-                    (r + t.write_requests, e + t.write_elems)
-                });
-            let meas_req: u64 = m.writes.values().map(|v| v.0).sum::<u64>() + m.write_backs.0;
-            let meas_b: u64 = m.writes.values().map(|v| v.1).sum::<u64>() + m.write_backs.1;
+        }
+        for name in write_arrays {
+            let t = est.totals.per_array.get(name);
+            let (dr, db) = m.writes.get(name).copied().unwrap_or((0, 0));
+            let (wr, wb) = m.write_backs.get(name).copied().unwrap_or((0, 0));
             push_pair(
                 &mut report,
                 &phase,
-                "*",
+                name,
                 "write_requests",
-                est_req,
-                meas_req,
+                t.map_or(0, |t| t.write_requests),
+                dr + wr,
                 "write_bytes",
-                est_el * es,
-                meas_b,
+                t.map_or(0, |t| t.write_elems * es),
+                db + wb,
             );
         }
     }

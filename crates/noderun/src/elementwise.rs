@@ -95,7 +95,7 @@ pub fn execute_prefetched(
     // Mixed-distribution right-hand sides were remapped by the compiler:
     // redistribute each into its statement-local temporary first.
     for remap in &plan.pre_remaps {
-        ooc_array::redistribute(ctx, env, &remap.src, &remap.tmp, ctx)?;
+        ooc_array::redistribute_with(ctx, env, &remap.src, &remap.tmp, remap.method, ctx)?;
         peak = peak.max(remap.src.local_shape(rank).len());
     }
 

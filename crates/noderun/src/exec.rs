@@ -77,6 +77,12 @@ pub struct RunConfig {
     /// Ignored when [`RunConfig::machine`] is set — an explicit machine
     /// carries its own trace configuration.
     pub trace: Option<dmsim::TraceConfig>,
+    /// Override the compiler's per-access I/O method selection for every
+    /// remap-style access (pre-statement redistributions, transposes).
+    /// `Sieved` additionally sets the environment's sieve policy to
+    /// `Always`, so strided section reads sieve everywhere. `None` (the
+    /// default) runs what the compiler chose.
+    pub io_method: Option<pario::IoMethod>,
 }
 
 /// Bound on whole-program recovery re-runs after a permanent fault.
@@ -269,6 +275,9 @@ fn execute_rank(
     if let Some(policy) = cfg.sieve {
         env.set_sieve_policy(policy);
     }
+    if cfg.io_method == Some(pario::IoMethod::Sieved) {
+        env.set_sieve_policy(pario::SievePolicy::Always);
+    }
     for desc in &compiled.descs {
         env.alloc(desc)?;
         if let Some(init) = cfg.init.get(&desc.name) {
@@ -320,9 +329,40 @@ fn execute_rank(
                 crate::gaxpy::execute_recoverable(ctx, &mut env, g, cfg.prefetch, ctx, &opts)?
             }
             ExecPlan::Elementwise(e) => {
+                let plan;
+                let e = match cfg.io_method {
+                    Some(m) => {
+                        plan = ooc_core::plan::ElwPlan {
+                            pre_remaps: e
+                                .pre_remaps
+                                .iter()
+                                .map(|r| ooc_core::plan::RemapSpec {
+                                    method: m,
+                                    ..r.clone()
+                                })
+                                .collect(),
+                            ..e.clone()
+                        };
+                        &plan
+                    }
+                    None => e,
+                };
                 crate::elementwise::execute_prefetched(ctx, &mut env, e, cfg.prefetch)?
             }
-            ExecPlan::Transpose(t) => crate::transpose::execute(ctx, &mut env, t)?,
+            ExecPlan::Transpose(t) => {
+                let plan;
+                let t = match cfg.io_method {
+                    Some(m) => {
+                        plan = ooc_core::plan::TransposePlan {
+                            method: m,
+                            ..t.clone()
+                        };
+                        &plan
+                    }
+                    None => t,
+                };
+                crate::transpose::execute(ctx, &mut env, t)?
+            }
         };
         peak = peak.max(used);
         // Dirty slabs are part of the statement's I/O: write them back,

@@ -29,7 +29,32 @@ fn slab_plan_of(plan: &TransposePlan, rank: usize) -> SlabPlan {
 }
 
 /// Execute the plan on this processor. Returns peak in-core elements.
+///
+/// Dispatches on [`TransposePlan::method`]: `Direct` issues per-piece
+/// destination writes as they arrive; `Sieved` runs the same schedule with
+/// the sieve forced on (per-piece writes become span read-modify-writes);
+/// `TwoPhase` exchanges every stage's pieces collectively and assembles the
+/// whole destination in memory for a single contiguous write.
 pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &TransposePlan) -> Result<usize, OocError> {
+    let _m = ctx.trace_io_method(plan.method.label());
+    match plan.method {
+        pario::IoMethod::Direct => execute_direct(ctx, env, plan),
+        pario::IoMethod::Sieved => {
+            let saved = env.sieve_policy();
+            env.set_sieve_policy(pario::SievePolicy::Always);
+            let r = execute_direct(ctx, env, plan);
+            env.set_sieve_policy(saved);
+            r
+        }
+        pario::IoMethod::TwoPhase => execute_two_phase(ctx, env, plan),
+    }
+}
+
+fn execute_direct(
+    ctx: &ProcCtx,
+    env: &mut OocEnv,
+    plan: &TransposePlan,
+) -> Result<usize, OocError> {
     let rank = ctx.rank();
     let p = ctx.nprocs();
     let my_plan = slab_plan_of(plan, rank);
@@ -88,6 +113,87 @@ pub fn execute(ctx: &ProcCtx, env: &mut OocEnv, plan: &TransposePlan) -> Result<
             peak = peak.max(payload.len());
             write_piece(env, plan, rank, &isect_dst, &payload, ctx)?;
         }
+    }
+    Ok(peak)
+}
+
+/// Two-phase transpose: the same stage structure, but each stage's pieces
+/// travel in one collective exchange instead of point-to-point sends, and
+/// destination pieces accumulate in a full-local buffer that is written with
+/// a single contiguous request after the last stage — the file only ever
+/// sees conforming accesses.
+fn execute_two_phase(
+    ctx: &ProcCtx,
+    env: &mut OocEnv,
+    plan: &TransposePlan,
+) -> Result<usize, OocError> {
+    let rank = ctx.rank();
+    let p = ctx.nprocs();
+    let my_plan = slab_plan_of(plan, rank);
+    let peer_plans: Vec<SlabPlan> = (0..p).map(|r| slab_plan_of(plan, r)).collect();
+    let stages = peer_plans
+        .iter()
+        .map(|sp| sp.num_slabs())
+        .max()
+        .unwrap_or(0);
+    let my_dst_global =
+        global_section_of_local(&plan.dst.dist, rank).expect("regular destination distribution");
+
+    let dst_local_shape = plan.dst.local_shape(rank);
+    let strides = dst_local_shape.strides();
+    let mut assembled = vec![0.0f32; dst_local_shape.len()];
+    let mut peak = assembled.len();
+
+    for stage in 0..stages {
+        let _stage = ctx.trace_slab_span("stage", stage as u64);
+        // ---- Split my stage-th slab by destination owner. ----------------
+        let mut sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+        if stage < my_plan.num_slabs() {
+            let slab = my_plan.slab(stage);
+            let data = env.read_section(&plan.src, &slab, ctx)?;
+            peak = peak.max(assembled.len() + data.len());
+            let slab_global = global_of_local_section(plan, rank, &slab);
+            let sendable = transposed(&slab_global);
+            for (dst_rank, send) in sends.iter_mut().enumerate() {
+                let their_dst = global_section_of_local(&plan.dst.dist, dst_rank)
+                    .expect("regular destination distribution");
+                if let Some(isect_dst) = sendable.intersect(&their_dst) {
+                    *send = gather_transposed(&isect_dst, &slab, &data, plan, rank);
+                }
+            }
+        }
+
+        // ---- Exchange: every rank runs all `stages`, so the collective is
+        // symmetric even when slab counts differ across ranks. -------------
+        let received = {
+            let _x = ctx.trace_span(ooc_trace::Category::Exchange, "exchange");
+            ctx.try_alltoallv::<f32>(sends)?
+        };
+
+        // ---- Scatter the received pieces into the local assembly. --------
+        for (src_rank, piece) in received.iter().enumerate() {
+            if piece.is_empty() {
+                continue;
+            }
+            let peer = &peer_plans[src_rank];
+            debug_assert!(stage < peer.num_slabs());
+            let slab = peer.slab(stage);
+            let slab_global = global_of_local_section(plan, src_rank, &slab);
+            let isect_dst = transposed(&slab_global)
+                .intersect(&my_dst_global)
+                .expect("non-empty payload implies intersection");
+            let local = local_section_of_global(&plan.dst.dist, rank, &isect_dst)
+                .expect("receiver owns the piece");
+            debug_assert_eq!(local.len(), piece.len());
+            for (v, idx) in piece.iter().zip(local.indices()) {
+                let off: usize = idx.iter().zip(strides.iter()).map(|(i, s)| i * s).sum();
+                assembled[off] = *v;
+            }
+        }
+    }
+
+    if !dst_local_shape.is_empty() {
+        env.write_section(&plan.dst, &Section::full(&dst_local_shape), &assembled, ctx)?;
     }
     Ok(peak)
 }
@@ -174,7 +280,13 @@ mod tests {
         (g[0] * 100 + g[1]) as f32
     }
 
-    fn run_transpose(n: usize, p: usize, t: usize, src_row_block: bool) -> Vec<f32> {
+    fn run_transpose(
+        n: usize,
+        p: usize,
+        t: usize,
+        src_row_block: bool,
+        method: pario::IoMethod,
+    ) -> Vec<f32> {
         let shape = Shape::matrix(n, n);
         let src_dist = if src_row_block {
             Distribution::row_block(shape.clone(), p)
@@ -189,6 +301,7 @@ mod tests {
             src: src.clone(),
             dst: dst.clone(),
             slab_thickness: t,
+            method,
         };
         let machine = Machine::new(MachineConfig::free(p));
         let (_, results) = machine.run_with(|ctx| {
@@ -229,6 +342,7 @@ mod tests {
             src: src.clone(),
             dst: dst.clone(),
             slab_thickness: 2,
+            method: pario::IoMethod::Direct,
         };
         let run = |budget: Option<usize>| {
             let machine = Machine::new(MachineConfig::delta(p));
@@ -274,11 +388,13 @@ mod tests {
         for p in [1, 2, 3, 4] {
             for t in [1, 2, 5, 16] {
                 for src_row_block in [false, true] {
-                    let got = run_transpose(n, p, t, src_row_block);
-                    assert!(
-                        max_abs_diff(&got, &expect) == 0.0,
-                        "p={p} t={t} rb={src_row_block}"
-                    );
+                    for method in pario::IoMethod::ALL {
+                        let got = run_transpose(n, p, t, src_row_block, method);
+                        assert!(
+                            max_abs_diff(&got, &expect) == 0.0,
+                            "p={p} t={t} rb={src_row_block} m={method:?}"
+                        );
+                    }
                 }
             }
         }

@@ -268,11 +268,32 @@ fn divergence_report_is_zero_gap_where_estimates_are_exact() {
         );
     }
 
-    // Transpose: the estimator prices each remap piece as one write request,
-    // but the executor's section writes fragment pieces into column runs.
-    // The report must surface exactly that — write_requests diverges, every
-    // byte count and the read side stay exact — and sort it first.
+    // Transpose, default compile: the access-method selector picks the
+    // two-phase path (one coalesced write beats the fragmented per-piece
+    // writes), whose request arithmetic is exact — a zero-gap report.
     let (compiled, cfg) = transpose(&options);
+    let choice = &compiled.io_choices[0][0];
+    assert_eq!(choice.chosen, pario::IoMethod::TwoPhase);
+    assert!(!choice.forced);
+    let trace = run_trace(&compiled, &cfg);
+    let report = divergence_report(&compiled, &trace);
+    assert!(
+        report.is_zero_gap(),
+        "two-phase transpose is exact, but:\n{}",
+        report.render()
+    );
+
+    // Transpose forced onto the direct path: the estimator prices each
+    // remap piece as one write request, but the executor's section writes
+    // fragment pieces into column runs. The report must surface exactly
+    // that — write_requests diverges, every byte count and the read side
+    // stay exact — and sort it first.
+    let direct_options = CompilerOptions {
+        io_method: Some(pario::IoMethod::Direct),
+        ..traced_options()
+    };
+    let (compiled, cfg) = transpose(&direct_options);
+    assert!(compiled.io_choices[0][0].forced);
     let trace = run_trace(&compiled, &cfg);
     let report = divergence_report(&compiled, &trace);
     let divergent: Vec<_> = report.divergent().collect();

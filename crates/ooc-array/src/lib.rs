@@ -39,7 +39,7 @@ pub use persist::{
     checkpoint_file, checkpoint_section, export_array, import_array, remove_checkpoint,
     restore_checkpoint,
 };
-pub use redist::{redistribute, relayout_in_place};
+pub use redist::{redist_counts, redistribute, redistribute_with, relayout_in_place, RedistCounts};
 pub use section::{DimRange, Section};
 pub use shape::Shape;
 pub use slab::SlabPlan;

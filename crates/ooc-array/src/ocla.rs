@@ -112,6 +112,12 @@ impl OocEnv {
         self.sieve = policy;
     }
 
+    /// The sieve policy currently in force (so callers can save/restore it
+    /// around a method-forced access).
+    pub fn sieve_policy(&self) -> pario::SievePolicy {
+        self.sieve
+    }
+
     /// Put a slab reuse cache of `budget` bytes in front of this
     /// processor's logical disk. Section reads covered by cached slabs are
     /// free; section writes are buffered until eviction or
@@ -207,6 +213,7 @@ impl OocEnv {
         let runs = desc.layout.section_runs(&local_shape, section);
         let laf = self.laf(desc.id);
         charge.io_array(&desc.name, laf.file_id().0);
+        self.disk.note_array(laf.file_id(), &desc.name);
         let raw = laf.read_f32_with(&mut self.disk, &runs, charge, self.sieve)?;
         Ok(reorder_layout_to_cm(&desc.layout, section, raw))
     }
@@ -226,7 +233,27 @@ impl OocEnv {
         let raw = reorder_cm_to_layout(&desc.layout, section, data);
         let laf = self.laf(desc.id);
         charge.io_array(&desc.name, laf.file_id().0);
+        self.disk.note_array(laf.file_id(), &desc.name);
         laf.write_f32_with(&mut self.disk, &runs, &raw, charge, self.sieve)
+    }
+
+    /// Read raw byte runs of `desc`'s LAF, one request per coalesced run,
+    /// bypassing the section/reorder machinery. This is the service read of
+    /// the two-phase collective path: the runs are the *file-conforming
+    /// union* of several pieces, already coalesced by the union planner, so
+    /// sieving never applies. Bytes come back concatenated in run order.
+    pub fn read_byte_runs(
+        &mut self,
+        desc: &ArrayDesc,
+        runs: &[pario::ByteRun],
+        charge: &dyn IoCharge,
+    ) -> Result<Vec<u8>, IoError> {
+        let laf = self.laf(desc.id);
+        charge.io_array(&desc.name, laf.file_id().0);
+        self.disk.note_array(laf.file_id(), &desc.name);
+        let mut out = Vec::with_capacity(runs.iter().map(|r| r.len as usize).sum());
+        self.disk.read_runs(laf.file_id(), runs, &mut out, charge)?;
+        Ok(out)
     }
 
     /// Populate the whole OCLA from a global-index generator function —

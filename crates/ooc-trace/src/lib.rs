@@ -78,6 +78,10 @@ pub enum Category {
     /// Collective operation scope (reduce, broadcast, …); inner sends and
     /// receives nest inside it.
     Collective,
+    /// Two-phase I/O exchange scope: the all-to-all that moves data from
+    /// the file-conforming to the computation-conforming decomposition.
+    /// Inner sends and receives nest inside it.
+    Exchange,
     /// Disk read transfer.
     DiskRead,
     /// Disk write transfer.
@@ -113,13 +117,14 @@ pub enum TimeGroup {
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 15] = [
+    pub const ALL: [Category; 16] = [
         Category::Phase,
         Category::Slab,
         Category::Compute,
         Category::Send,
         Category::Recv,
         Category::Collective,
+        Category::Exchange,
         Category::DiskRead,
         Category::DiskWrite,
         Category::WriteBack,
@@ -140,6 +145,7 @@ impl Category {
             Category::Send => "send",
             Category::Recv => "recv",
             Category::Collective => "collective",
+            Category::Exchange => "exchange",
             Category::DiskRead => "disk_read",
             Category::DiskWrite => "disk_write",
             Category::WriteBack => "write_back",
@@ -154,7 +160,8 @@ impl Category {
 
     /// Reconciliation group: charged leaf categories sum into exactly one
     /// `ProcStats` time counter; structural scopes (phase, slab, collective,
-    /// checkpoint, redist) and zero-duration annotations return `None`.
+    /// exchange, checkpoint, redist) and zero-duration annotations return
+    /// `None`.
     pub fn time_group(&self) -> Option<TimeGroup> {
         match self {
             Category::Compute => Some(TimeGroup::Compute),
@@ -206,6 +213,11 @@ pub struct Args {
     pub peer: Option<usize>,
     /// Free-form scalar (flops for compute spans, counter values).
     pub value: Option<f64>,
+    /// I/O access method in effect (`direct`, `sieved`, `two-phase`) —
+    /// stamped on disk-transfer events inside a method scope, see
+    /// [`Tracer::push_io_method`].
+    #[serde(default)]
+    pub method: Option<String>,
 }
 
 impl Args {
@@ -237,6 +249,12 @@ impl Args {
     /// Attach a slab index.
     pub fn with_slab(mut self, slab: u64) -> Args {
         self.slab = Some(slab);
+        self
+    }
+
+    /// Attach an I/O access-method label.
+    pub fn with_method(mut self, method: &str) -> Args {
+        self.method = Some(method.to_string());
         self
     }
 }
@@ -330,6 +348,7 @@ struct TracerInner {
     events: Vec<Event>,
     phases: Vec<String>,
     phase_stack: Vec<u32>,
+    method_stack: Vec<String>,
 }
 
 /// Per-rank event recorder. Interior-mutable so instrumented code can emit
@@ -351,6 +370,7 @@ impl Tracer {
                 events: Vec::new(),
                 phases: Vec::new(),
                 phase_stack: Vec::new(),
+                method_stack: Vec::new(),
             }),
         }
     }
@@ -369,11 +389,39 @@ impl Tracer {
         inner.phase_stack.last().copied()
     }
 
+    /// Whether `cat` is a disk-transfer event that should carry the active
+    /// I/O access-method label.
+    fn carries_method(cat: Category) -> bool {
+        matches!(
+            cat,
+            Category::DiskRead | Category::DiskWrite | Category::WriteBack | Category::CacheHit
+        )
+    }
+
+    fn stamp_method(inner: &TracerInner, cat: Category, args: &mut Args) {
+        if args.method.is_none() && Self::carries_method(cat) {
+            args.method = inner.method_stack.last().cloned();
+        }
+    }
+
+    /// Enter an I/O access-method scope: disk-transfer events recorded
+    /// before the matching [`Tracer::pop_io_method`] are stamped with
+    /// `label` so metrics can histogram requests per method.
+    pub fn push_io_method(&self, label: &str) {
+        self.inner.borrow_mut().method_stack.push(label.to_string());
+    }
+
+    /// Leave the innermost I/O access-method scope.
+    pub fn pop_io_method(&self) {
+        self.inner.borrow_mut().method_stack.pop();
+    }
+
     /// Record a completed `[t0, t1]` span (charge-style instrumentation:
     /// the caller knows the duration only after charging the clock).
-    pub fn span(&self, cat: Category, name: &str, t0: f64, t1: f64, track: Track, args: Args) {
+    pub fn span(&self, cat: Category, name: &str, t0: f64, t1: f64, track: Track, mut args: Args) {
         let mut inner = self.inner.borrow_mut();
         let phase = Self::current_phase(&inner);
+        Self::stamp_method(&inner, cat, &mut args);
         inner.events.push(Event {
             cat,
             name: name.to_string(),
@@ -432,9 +480,10 @@ impl Tracer {
     }
 
     /// Record a point annotation at `t`.
-    pub fn instant(&self, cat: Category, name: &str, t: f64, args: Args) {
+    pub fn instant(&self, cat: Category, name: &str, t: f64, mut args: Args) {
         let mut inner = self.inner.borrow_mut();
         let phase = Self::current_phase(&inner);
+        Self::stamp_method(&inner, cat, &mut args);
         inner.events.push(Event {
             cat,
             name: name.to_string(),

@@ -197,6 +197,9 @@ impl TimeBreakdown {
 pub struct MetricsRegistry {
     /// I/O request size in bytes (one sample per coalesced request).
     pub io_request_bytes: Histogram,
+    /// I/O request sizes split by access method (`direct`, `sieved`,
+    /// `two-phase`), for disk transfers stamped with a method scope.
+    pub io_request_bytes_by_method: BTreeMap<String, Histogram>,
     /// Point-to-point message payload sizes.
     pub msg_bytes: Histogram,
     /// Retry / fault-recovery span durations in nanoseconds.
@@ -235,8 +238,14 @@ fn record_event(
     stats.bytes += ev.args.bytes;
 
     if is_io_transfer(ev.cat) && ev.args.requests > 0 {
-        reg.io_request_bytes
-            .record_n(ev.args.bytes / ev.args.requests, ev.args.requests);
+        let per_request = ev.args.bytes / ev.args.requests;
+        reg.io_request_bytes.record_n(per_request, ev.args.requests);
+        if let Some(method) = &ev.args.method {
+            reg.io_request_bytes_by_method
+                .entry(method.clone())
+                .or_default()
+                .record_n(per_request, ev.args.requests);
+        }
     }
     if ev.cat == Category::Send {
         reg.msg_bytes.record(ev.args.bytes);
@@ -321,6 +330,50 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.nonzero_buckets(), vec![(1, 2), (1024, 3)]);
         assert!(h.render("io", 20).contains("n=5"));
+    }
+
+    #[test]
+    fn method_scope_buckets_io_requests_per_method() {
+        let tr = Tracer::new(0, TraceConfig::on());
+        tr.push_io_method("direct");
+        tr.span(
+            Category::DiskRead,
+            "read",
+            0.0,
+            1.0,
+            Track::Main,
+            Args::io(8, 8 * 64),
+        );
+        tr.pop_io_method();
+        tr.push_io_method("two-phase");
+        tr.span(
+            Category::DiskRead,
+            "read",
+            1.0,
+            2.0,
+            Track::Main,
+            Args::io(1, 4096),
+        );
+        tr.pop_io_method();
+        // Outside any scope: counted globally but not per-method.
+        tr.span(
+            Category::DiskWrite,
+            "write",
+            2.0,
+            3.0,
+            Track::Main,
+            Args::io(2, 256),
+        );
+        let trace = Trace {
+            ranks: vec![tr.finish()],
+        };
+        let reg = from_trace(&trace);
+        assert_eq!(reg.io_request_bytes.count(), 11);
+        let direct = &reg.io_request_bytes_by_method["direct"];
+        assert_eq!((direct.count(), direct.mean()), (8, 64.0));
+        let tp = &reg.io_request_bytes_by_method["two-phase"];
+        assert_eq!((tp.count(), tp.max()), (1, 4096));
+        assert_eq!(reg.io_request_bytes_by_method.len(), 2);
     }
 
     #[test]

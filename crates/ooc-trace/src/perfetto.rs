@@ -62,6 +62,9 @@ fn event_args(ev: &Event) -> String {
     if let Some(p) = ev.args.peer {
         parts.push(format!("\"peer\":{}", p));
     }
+    if let Some(m) = &ev.args.method {
+        parts.push(format!("\"method\":\"{}\"", escape_json(m)));
+    }
     if let Some(v) = ev.args.value {
         // Counter/flops values are integral by construction; keep them
         // byte-stable by printing as integers.

@@ -93,6 +93,9 @@ pub struct SlabCache {
     used: u64,
     files: BTreeMap<u64, BTreeMap<u64, Seg>>,
     per_file: BTreeMap<u64, FileIoCounts>,
+    /// file -> owning array name, so deferred write-backs (eviction/flush,
+    /// possibly far from the dirtying access) keep array identity.
+    array_names: BTreeMap<u64, String>,
 }
 
 impl std::fmt::Debug for SlabCache {
@@ -116,6 +119,7 @@ impl SlabCache {
             used: 0,
             files: BTreeMap::new(),
             per_file: BTreeMap::new(),
+            array_names: BTreeMap::new(),
         }
     }
 
@@ -154,6 +158,19 @@ impl SlabCache {
     /// Accumulated per-file I/O effects (misses, write-backs, hits).
     pub fn file_counts(&self, file: u64) -> FileIoCounts {
         self.per_file.get(&file).copied().unwrap_or_default()
+    }
+
+    /// Remember that `file` stores array `name`, so a later dirty-segment
+    /// write-back can re-establish the array identity the charge sink lost
+    /// between the dirtying access and the eviction/flush.
+    pub fn note_array(&mut self, file: u64, name: &str) {
+        match self.array_names.get_mut(&file) {
+            Some(n) if n == name => {}
+            Some(n) => *n = name.to_string(),
+            None => {
+                self.array_names.insert(file, name.to_string());
+            }
+        }
     }
 
     /// Offsets of segments overlapping `run` in ascending order.
@@ -417,6 +434,7 @@ impl SlabCache {
             files,
             per_file,
             materialized,
+            array_names,
             ..
         } = self;
         for (&file, segs) in files.iter_mut() {
@@ -431,6 +449,9 @@ impl SlabCache {
                     // A failed write-back surfaces with the segment still
                     // dirty and cached, so nothing is lost.
                     backend_write(b, faults, file, off, &seg.data)?;
+                }
+                if let Some(name) = array_names.get(&file) {
+                    charge.io_array(name, file);
                 }
                 charge.io_write_back(1, seg.len);
                 stats.add_write(1, seg.len);
@@ -480,6 +501,9 @@ impl SlabCache {
                         .as_deref_mut()
                         .expect("materialized evict needs backend");
                     backend_write(b, faults, file, off, &seg.data)?;
+                }
+                if let Some(name) = self.array_names.get(&file) {
+                    charge.io_array(name, file);
                 }
                 charge.io_write_back(1, len);
                 stats.add_write(1, len);

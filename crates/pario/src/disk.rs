@@ -209,6 +209,14 @@ impl LogicalDisk {
         self.cache.is_some()
     }
 
+    /// Remember that `file` stores array `name`, so deferred cache
+    /// write-backs keep array identity. No-op without a cache.
+    pub fn note_array(&mut self, file: FileId, name: &str) {
+        if let Some(c) = self.cache.as_mut() {
+            c.note_array(file.0, name);
+        }
+    }
+
     /// Write back all dirty cached segments, charging each write-back to
     /// `charge`. No-op without a cache.
     pub fn flush_cache(&mut self, charge: &dyn IoCharge) -> Result<()> {

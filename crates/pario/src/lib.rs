@@ -23,6 +23,7 @@ pub mod cache;
 pub mod disk;
 pub mod error;
 pub mod laf;
+pub mod method;
 pub mod request;
 pub mod sieve;
 pub mod stats;
@@ -32,7 +33,8 @@ pub use cache::{BufferPool, FileIoCounts, SlabCache};
 pub use disk::{FileId, LogicalDisk};
 pub use error::{FaultOp, IoError};
 pub use laf::{bytes_to_f32, f32_to_bytes, ElemKind, ElemRun, LocalArrayFile};
-pub use request::{coalesce_runs, ByteRun};
+pub use method::{plan_union, IoMethod, UnionPlan};
+pub use request::{coalesce_runs, total_bytes, ByteRun};
 pub use sieve::{plan_access, AccessPlan, SievePolicy};
 pub use stats::DiskStats;
 

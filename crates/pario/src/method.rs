@@ -1,0 +1,183 @@
+//! I/O access methods and the file-conforming union planner behind the
+//! two-phase collective path.
+//!
+//! The paper's reorganizations shrink each processor's *own* request count;
+//! two-phase collective I/O (PASSION / del Rosario-Bordawekar-Choudhary)
+//! shrinks the *cooperative* count: every rank services the file-conforming
+//! union of all outgoing pieces with a few coalesced requests, then ships
+//! each piece to its computation-conforming owner over the interconnect.
+//! [`UnionPlan`] is the in-memory half of that: where each piece's bytes
+//! live inside the union buffer, so carving is pure memory movement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::request::{coalesce_runs, ByteRun};
+
+/// How an array-section access is serviced against the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum IoMethod {
+    /// One request per contiguous run of the section (the baseline).
+    #[default]
+    Direct,
+    /// Data sieving: one spanning request per access, discarding the
+    /// unwanted bytes in memory (trades bandwidth for request count).
+    Sieved,
+    /// Two-phase collective: coalesced file-conforming reads/writes plus an
+    /// all-to-all exchange to the computation-conforming decomposition.
+    TwoPhase,
+}
+
+impl IoMethod {
+    /// Human-readable name used in reports, traces and bench tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            IoMethod::Direct => "direct",
+            IoMethod::Sieved => "sieved",
+            IoMethod::TwoPhase => "two-phase",
+        }
+    }
+
+    /// All methods, in comparison-table order.
+    pub const ALL: [IoMethod; 3] = [IoMethod::Direct, IoMethod::Sieved, IoMethod::TwoPhase];
+}
+
+/// The file-conforming service plan for a set of piece accesses: the
+/// coalesced union of every piece's byte runs, plus each piece's location
+/// inside the union buffer (union runs concatenated in offset order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionPlan {
+    /// Coalesced runs covering every piece — what the disk services.
+    pub union: Vec<ByteRun>,
+    /// Per input piece, `(buffer_position, len)` segments in the piece's
+    /// own run order; concatenating the segments reproduces the piece.
+    pub carves: Vec<Vec<(usize, usize)>>,
+}
+
+impl UnionPlan {
+    /// Requests the union read/write issues.
+    pub fn requests(&self) -> u64 {
+        self.union.len() as u64
+    }
+
+    /// Bytes the union read/write moves.
+    pub fn bytes(&self) -> u64 {
+        self.union.iter().map(|r| r.len).sum()
+    }
+
+    /// Size of the union buffer (same as [`Self::bytes`], as usize).
+    pub fn buffer_len(&self) -> usize {
+        self.bytes() as usize
+    }
+
+    /// Copy piece `i`'s bytes out of a union buffer.
+    pub fn carve(&self, i: usize, union_buf: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.carves[i].iter().map(|&(_, l)| l).sum());
+        for &(pos, len) in &self.carves[i] {
+            out.extend_from_slice(&union_buf[pos..pos + len]);
+        }
+        out
+    }
+
+    /// Scatter piece `i`'s bytes into a union buffer (the write-side dual
+    /// of [`Self::carve`]).
+    pub fn scatter(&self, i: usize, piece: &[u8], union_buf: &mut [u8]) {
+        let mut cursor = 0usize;
+        for &(pos, len) in &self.carves[i] {
+            union_buf[pos..pos + len].copy_from_slice(&piece[cursor..cursor + len]);
+            cursor += len;
+        }
+        debug_assert_eq!(cursor, piece.len(), "piece length mismatches its carve");
+    }
+}
+
+/// Build the union plan for a set of pieces, each a list of byte runs.
+///
+/// Every piece run must be a real file extent (no `u64` overflow) — the
+/// planner asserts rather than clamping, since these runs come from layout
+/// arithmetic, not user input.
+pub fn plan_union(pieces: &[Vec<ByteRun>]) -> UnionPlan {
+    let all: Vec<ByteRun> = pieces.iter().flatten().copied().collect();
+    let union = coalesce_runs(&all);
+    // Prefix positions of each union run inside the concatenated buffer.
+    let mut prefix = Vec::with_capacity(union.len());
+    let mut acc = 0usize;
+    for r in &union {
+        prefix.push(acc);
+        acc += r.len as usize;
+    }
+    let position = |offset: u64| -> usize {
+        // The union covers every input byte, so the containing run exists.
+        let i = union.partition_point(|r| r.end() <= offset);
+        debug_assert!(i < union.len() && union[i].offset <= offset);
+        prefix[i] + (offset - union[i].offset) as usize
+    };
+    let carves = pieces
+        .iter()
+        .map(|runs| {
+            runs.iter()
+                .filter(|r| r.len > 0)
+                .map(|r| {
+                    assert!(r.offset.checked_add(r.len).is_some(), "overflowing run");
+                    (position(r.offset), r.len as usize)
+                })
+                .collect()
+        })
+        .collect();
+    UnionPlan { union, carves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_labels_are_stable() {
+        assert_eq!(
+            IoMethod::ALL.map(IoMethod::label),
+            ["direct", "sieved", "two-phase"]
+        );
+        assert_eq!(IoMethod::default(), IoMethod::Direct);
+    }
+
+    #[test]
+    fn union_of_strided_pieces_is_contiguous() {
+        // Two interleaved strided pieces whose union is one extent — the
+        // row-block/row-major redistribution picture.
+        let a = vec![ByteRun::new(0, 4), ByteRun::new(8, 4)];
+        let b = vec![ByteRun::new(4, 4), ByteRun::new(12, 4)];
+        let plan = plan_union(&[a, b]);
+        assert_eq!(plan.union, vec![ByteRun::new(0, 16)]);
+        assert_eq!(plan.requests(), 1);
+        assert_eq!(plan.bytes(), 16);
+        let buf: Vec<u8> = (0u8..16).collect();
+        assert_eq!(plan.carve(0, &buf), vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        assert_eq!(plan.carve(1, &buf), vec![4, 5, 6, 7, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn scatter_is_the_inverse_of_carve() {
+        let pieces = vec![
+            vec![ByteRun::new(0, 3), ByteRun::new(10, 2)],
+            vec![ByteRun::new(3, 4)],
+        ];
+        let plan = plan_union(&pieces);
+        assert_eq!(plan.union, vec![ByteRun::new(0, 7), ByteRun::new(10, 2)]);
+        let src: Vec<u8> = (50u8..59).collect();
+        let mut rebuilt = vec![0u8; plan.buffer_len()];
+        for i in 0..pieces.len() {
+            let piece = plan.carve(i, &src);
+            plan.scatter(i, &piece, &mut rebuilt);
+        }
+        // Every byte covered by some piece round-trips.
+        assert_eq!(rebuilt[0..3], src[0..3]);
+        assert_eq!(rebuilt[3..7], src[3..7]);
+        assert_eq!(rebuilt[7..9], src[7..9]);
+    }
+
+    #[test]
+    fn disjoint_pieces_keep_separate_requests() {
+        let plan = plan_union(&[vec![ByteRun::new(0, 4)], vec![ByteRun::new(100, 4)]]);
+        assert_eq!(plan.requests(), 2);
+        assert_eq!(plan.carves[1], vec![(4, 4)]);
+    }
+}

@@ -18,14 +18,26 @@ pub struct ByteRun {
 }
 
 impl ByteRun {
-    /// Construct a run.
+    /// Construct a run. Panics when `offset + len` would overflow `u64` —
+    /// no file has bytes past `u64::MAX`, so such a run is a caller bug
+    /// caught at construction rather than a silent wraparound later.
     pub fn new(offset: u64, len: u64) -> Self {
-        ByteRun { offset, len }
+        Self::try_new(offset, len)
+            .unwrap_or_else(|| panic!("ByteRun overflows u64: offset {offset} + len {len}"))
+    }
+
+    /// Construct a run, returning `None` when `offset + len` overflows.
+    pub fn try_new(offset: u64, len: u64) -> Option<Self> {
+        offset.checked_add(len).map(|_| ByteRun { offset, len })
     }
 
     /// One past the last byte of the run.
+    ///
+    /// The fields are public, so a struct-literal run can still claim bytes
+    /// past `u64::MAX`; `end` saturates there instead of wrapping, which
+    /// keeps every comparison in [`coalesce_runs`] ordered correctly.
     pub fn end(&self) -> u64 {
-        self.offset + self.len
+        self.offset.saturating_add(self.len)
     }
 }
 
@@ -36,8 +48,19 @@ impl ByteRun {
 /// runs are merged (reads may legitimately overlap; writers of overlapping
 /// runs get last-writer-wins semantics *before* coalescing, so callers must
 /// not pass overlapping write runs — debug builds assert this).
+/// Never panics: runs whose `offset + len` would overflow (only possible via
+/// struct-literal construction — [`ByteRun::new`] rejects them) are clamped
+/// to the representable extent `[offset, u64::MAX)` before merging.
 pub fn coalesce_runs(runs: &[ByteRun]) -> Vec<ByteRun> {
-    let mut sorted: Vec<ByteRun> = runs.iter().copied().filter(|r| r.len > 0).collect();
+    let mut sorted: Vec<ByteRun> = runs
+        .iter()
+        .copied()
+        .filter(|r| r.len > 0)
+        .map(|r| ByteRun {
+            offset: r.offset,
+            len: r.len.min(u64::MAX - r.offset),
+        })
+        .collect();
     sorted.sort_by_key(|r| r.offset);
     let mut out: Vec<ByteRun> = Vec::with_capacity(sorted.len());
     for run in sorted {
@@ -54,8 +77,9 @@ pub fn coalesce_runs(runs: &[ByteRun]) -> Vec<ByteRun> {
 
 /// Total bytes covered by a set of runs (before coalescing; duplicates count
 /// once per run, matching the "data moved" metric for repeated fetches).
+/// Saturates at `u64::MAX` rather than wrapping on adversarial inputs.
 pub fn total_bytes(runs: &[ByteRun]) -> u64 {
-    runs.iter().map(|r| r.len).sum()
+    runs.iter().fold(0u64, |acc, r| acc.saturating_add(r.len))
 }
 
 #[cfg(test)]
@@ -103,5 +127,45 @@ mod tests {
     #[test]
     fn end_is_exclusive() {
         assert_eq!(ByteRun::new(4, 6).end(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ByteRun overflows u64")]
+    fn construction_rejects_offset_len_overflow() {
+        let _ = ByteRun::new(u64::MAX - 5, 100);
+    }
+
+    #[test]
+    fn try_new_reports_overflow() {
+        assert!(ByteRun::try_new(u64::MAX, 1).is_none());
+        assert_eq!(
+            ByteRun::try_new(u64::MAX - 1, 1),
+            Some(ByteRun::new(u64::MAX - 1, 1))
+        );
+    }
+
+    #[test]
+    fn adversarial_literal_runs_never_panic() {
+        // Regression: `offset + len` used to wrap, making `end()` tiny and
+        // the merge loop underflow. Struct literals bypass `new`'s check,
+        // so coalescing must clamp instead of trusting the fields.
+        let evil = ByteRun {
+            offset: u64::MAX - 5,
+            len: 100,
+        };
+        assert_eq!(evil.end(), u64::MAX);
+        let out = coalesce_runs(&[evil, ByteRun::new(0, 8), evil]);
+        assert_eq!(out, vec![ByteRun::new(0, 8), ByteRun::new(u64::MAX - 5, 5)]);
+        assert_eq!(
+            total_bytes(&[
+                evil,
+                evil,
+                ByteRun {
+                    offset: 0,
+                    len: u64::MAX
+                }
+            ]),
+            u64::MAX
+        );
     }
 }

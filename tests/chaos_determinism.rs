@@ -9,8 +9,10 @@
 //! seed replays the entire schedule — stats, retries and simulated times
 //! included — bit for bit.
 
-use dmsim::{FaultConfig, RunReport, StatsSnapshot};
-use noderun::{init_fn, max_abs_diff, ref_transpose, run, RunConfig, RunOutcome};
+use dmsim::{FaultConfig, RunReport, StatsSnapshot, TraceConfig};
+use noderun::{
+    divergence_report, init_fn, max_abs_diff, ref_transpose, run, RunConfig, RunOutcome,
+};
 use ooc_bench::gaxpy_hir;
 use ooc_core::{compile_hir, compile_source, CompiledProgram, CompilerOptions};
 use proptest::prelude::*;
@@ -101,6 +103,76 @@ proptest! {
         for (x, y) in again.report.per_proc().iter().zip(chaos.report.per_proc()) {
             prop_assert_eq!(x.stats, y.stats, "rank {} replay diverged", x.rank);
         }
+    }
+}
+
+fn transpose_compiled(n: usize, method: pario::IoMethod) -> CompiledProgram {
+    let src = format!(
+        "
+      parameter (n={n})
+      real a(n, n), b(n, n)
+!hpf$ processors pr(4)
+!hpf$ distribute a(*, block) on pr
+!hpf$ distribute b(*, block) on pr
+      forall (i = 1:n, j = 1:n)
+        b(i, j) = a(j, i)
+      end forall
+      end
+"
+    );
+    let options = CompilerOptions {
+        io_method: Some(method),
+        trace: TraceConfig::on(),
+        ..CompilerOptions::default()
+    };
+    compile_source(&src, &options).unwrap()
+}
+
+fn transpose_outcome(compiled: &CompiledProgram, fault: Option<FaultConfig>) -> RunOutcome {
+    let mut cfg = RunConfig::default();
+    cfg.init.insert("a".into(), init_fn(fa));
+    cfg.collect.push("b".into());
+    cfg.fault = fault;
+    run(compiled, &cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The two-phase collective access method is transparent: it produces
+    /// byte-identical array contents to the direct method, with and without
+    /// chaos-grade fault injection, and its cost model stays exact — the
+    /// divergence report reconciles estimated against measured request
+    /// counts with zero gap even on a chaos run.
+    #[test]
+    fn two_phase_matches_direct_under_chaos_and_reconciles(seed in 0u64..1 << 20) {
+        let n = 16;
+        let direct = transpose_compiled(n, pario::IoMethod::Direct);
+        let two = transpose_compiled(n, pario::IoMethod::TwoPhase);
+
+        let d_clean = transpose_outcome(&direct, None);
+        let t_clean = transpose_outcome(&two, None);
+        let d_chaos = transpose_outcome(&direct, Some(FaultConfig::chaos(seed)));
+        let mut t_chaos = transpose_outcome(&two, Some(FaultConfig::chaos(seed)));
+
+        // Byte-identical contents across methods, clean and under chaos.
+        prop_assert_eq!(&t_clean.collected["b"], &d_clean.collected["b"]);
+        prop_assert_eq!(&d_chaos.collected["b"], &d_clean.collected["b"]);
+        prop_assert_eq!(&t_chaos.collected["b"], &d_clean.collected["b"]);
+
+        // Chaos never changes the two-phase logical request/message counts.
+        assert_logical_counts_equal(&t_chaos.report, &t_clean.report);
+
+        // Estimate == measured for the two-phase cost path, even on the
+        // chaos schedule: the report has rows and every gap is zero.
+        let trace = t_chaos.report.take_trace().expect("compiled with tracing");
+        let report = divergence_report(&two, &trace);
+        prop_assert!(!report.rows.is_empty());
+        prop_assert!(
+            report.is_zero_gap(),
+            "two-phase estimates must reconcile exactly:\n{}",
+            report.render()
+        );
     }
 }
 
@@ -242,7 +314,7 @@ fn transpose_under_chaos_matches_reference() {
     let mut cfg = RunConfig::default();
     cfg.init.insert("a".into(), init_fn(init));
     cfg.collect.push("b".into());
-    cfg.fault = Some(FaultConfig::chaos(13));
+    cfg.fault = Some(FaultConfig::chaos(12));
     let outcome = run(&compiled, &cfg).unwrap();
 
     let (_, b) = &outcome.collected["b"];
