@@ -83,6 +83,13 @@ pub struct CompilerOptions {
     /// statement redistributions and transposes) instead of per-access
     /// cost-based selection (`None`, the default).
     pub io_method: Option<pario::IoMethod>,
+    /// Background disk-farm load the compiled program will run against
+    /// (concurrent workload jobs sharing the physical disks). `Some` prices
+    /// every estimate — and therefore every strategy and access-method
+    /// selection — under this job's fair bandwidth share via
+    /// [`dmsim::CostModel::contended`]; `None` (the default, and any load
+    /// with zero competitors) is bit-identical to the uncontended compiler.
+    pub background: Option<dmsim::BackgroundLoad>,
 }
 
 impl Default for CompilerOptions {
@@ -96,6 +103,7 @@ impl Default for CompilerOptions {
             cache_budget: None,
             trace: ooc_trace::TraceConfig::default(),
             io_method: None,
+            background: None,
         }
     }
 }
@@ -355,7 +363,16 @@ pub fn compile_hir(
     options: &CompilerOptions,
 ) -> Result<CompiledProgram, CompileError> {
     let p = hir.nprocs;
-    let model = options.profile.model(p);
+    // Under background load the whole compilation — strategy selection,
+    // access-method selection, estimates, and the model the executor's
+    // machine charges — is priced at this job's static bandwidth share.
+    // This is the legacy `shared_disks`-style static divide; the `ooc-sched`
+    // farm instead models contention dynamically from queues and should be
+    // fed programs compiled *without* a background load.
+    let model = match &options.background {
+        Some(load) => options.profile.model(p).contended(load),
+        None => options.profile.model(p),
+    };
 
     let id_of = |name: &str| -> Result<ArrayId, CompileError> {
         hir.arrays
@@ -763,6 +780,34 @@ mod tests {
         // Unshifted in-place update stays legal.
         let ok_src = src.replace("u(i-1, j)", "2.0 * u(i, j)");
         assert!(compile_source(&ok_src, &CompilerOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn background_load_degrades_estimates_without_changing_metrics() {
+        let base = compile_source(hpf::GAXPY_SOURCE, &CompilerOptions::default()).unwrap();
+        let idle = compile_source(
+            hpf::GAXPY_SOURCE,
+            &CompilerOptions {
+                background: Some(dmsim::BackgroundLoad::jobs(0)),
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(idle, base, "zero competitors is bit-identical");
+        let busy = compile_source(
+            hpf::GAXPY_SOURCE,
+            &CompilerOptions {
+                background: Some(dmsim::BackgroundLoad::jobs(3)),
+                ..CompilerOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(busy.estimates[0].io_time > base.estimates[0].io_time);
+        assert_eq!(
+            busy.estimates[0].io_requests(),
+            base.estimates[0].io_requests(),
+            "the paper's metrics are load-blind"
+        );
     }
 
     #[test]

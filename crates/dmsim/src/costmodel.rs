@@ -139,6 +139,24 @@ impl CostModel {
         requests as f64 * self.io_write_startup + bytes as f64 / self.io_write_bandwidth
     }
 
+    /// The same machine as seen by one job competing for the disk farm
+    /// against `load`. The job's fair share of the farm is
+    /// `weight / (weight + competitors * competitor_weight)`; read bandwidth
+    /// scales down by that share and the per-request startup scales up by
+    /// its inverse (a queued request waits, on average, for the competing
+    /// jobs' share of service between its own turns). With no competitors
+    /// the share is exactly 1 and the returned model is bit-identical to
+    /// `self`, so an uncontended estimate never drifts from the legacy one.
+    /// Write hand-off is buffered by the I/O nodes and stays uncontended.
+    pub fn contended(&self, load: &BackgroundLoad) -> Self {
+        let share = load.share();
+        CostModel {
+            io_aggregate_bandwidth: self.io_aggregate_bandwidth * share,
+            io_startup: self.io_startup / share,
+            ..self.clone()
+        }
+    }
+
     /// The same machine with its disk subsystem degraded by `factor`: read
     /// and write bandwidth are divided, request startup costs are unchanged
     /// (seeks do not get slower, transfers do). Planners use this to re-plan
@@ -150,6 +168,47 @@ impl CostModel {
             io_write_bandwidth: self.io_write_bandwidth / factor,
             ..self.clone()
         }
+    }
+}
+
+/// Background load a job competes against on the shared disk farm: the
+/// compile-time summary of a multi-job workload (`ooc-sched`), used by
+/// [`CostModel::contended`] for contention-aware estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundLoad {
+    /// Number of competing jobs expected to share the farm.
+    pub competitors: u32,
+    /// This job's fair-share weight.
+    pub weight: f64,
+    /// Weight of each competing job.
+    pub competitor_weight: f64,
+}
+
+impl BackgroundLoad {
+    /// `competitors` equal-weight competing jobs.
+    pub fn jobs(competitors: u32) -> Self {
+        BackgroundLoad {
+            competitors,
+            weight: 1.0,
+            competitor_weight: 1.0,
+        }
+    }
+
+    /// The fraction of farm service this job can expect,
+    /// `weight / (weight + competitors * competitor_weight)`, exactly 1.0
+    /// when there are no competitors.
+    pub fn share(&self) -> f64 {
+        if self.competitors == 0 {
+            return 1.0;
+        }
+        let w = self.weight.max(f64::MIN_POSITIVE);
+        w / (w + self.competitors as f64 * self.competitor_weight.max(0.0))
+    }
+}
+
+impl Default for BackgroundLoad {
+    fn default() -> Self {
+        BackgroundLoad::jobs(0)
     }
 }
 
@@ -257,6 +316,40 @@ mod tests {
         assert!(d.io_time(10, 1 << 20) > m.io_time(10, 1 << 20));
         // Pure request cost is unchanged.
         assert_eq!(d.io_time(10, 0), m.io_time(10, 0));
+    }
+
+    #[test]
+    fn uncontended_model_is_bit_identical() {
+        let m = CostModel::delta(4);
+        let c = m.contended(&BackgroundLoad::default());
+        assert_eq!(c, m);
+        assert_eq!(
+            c.io_time(17, 123_456).to_bits(),
+            m.io_time(17, 123_456).to_bits()
+        );
+    }
+
+    #[test]
+    fn contention_slows_reads_not_write_handoff() {
+        let m = CostModel::delta(4);
+        let c = m.contended(&BackgroundLoad::jobs(3));
+        // Equal weights, 3 competitors: a quarter share.
+        assert!((c.io_aggregate_bandwidth - m.io_aggregate_bandwidth / 4.0).abs() < 1e-9);
+        assert!((c.io_startup - m.io_startup * 4.0).abs() < 1e-9);
+        assert!(c.io_time(10, 1 << 20) > m.io_time(10, 1 << 20));
+        assert_eq!(c.io_write_time(10, 1 << 20), m.io_write_time(10, 1 << 20));
+    }
+
+    #[test]
+    fn background_share_respects_weights() {
+        let heavy = BackgroundLoad {
+            competitors: 2,
+            weight: 4.0,
+            competitor_weight: 1.0,
+        };
+        assert!((heavy.share() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(BackgroundLoad::jobs(0).share(), 1.0);
+        assert!((BackgroundLoad::jobs(1).share() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod time;
 
 pub use collectives::{CommElem, CommError, ReduceOp};
 pub use comm::{Payload, ProtocolError, RecvError, Tag};
-pub use costmodel::{CostModel, IoCost};
+pub use costmodel::{BackgroundLoad, CostModel, IoCost};
 pub use fault::{FaultCharges, FaultConfig, FaultDomain, FaultInjector, IoFate, RetryPolicy};
 pub use machine::{Machine, MachineConfig};
 pub use ooc_trace::{Trace, TraceConfig};

@@ -20,6 +20,10 @@ pub struct MachineConfig {
     /// Simulated-clock event tracing; off by default, and when off the
     /// machine runs the exact untraced path.
     pub trace: TraceConfig,
+    /// Job identity when this machine runs as part of a multi-job workload
+    /// (`ooc-sched`). Seeds fault/RNG streams per (job, rank) pair; job 0 —
+    /// the default — is bit-identical to the pre-workload derivation.
+    pub job: u32,
 }
 
 impl MachineConfig {
@@ -30,12 +34,20 @@ impl MachineConfig {
             nprocs,
             cost,
             trace: TraceConfig::default(),
+            job: 0,
         }
     }
 
     /// Enable simulated-clock tracing on every processor.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Tag the machine with a workload job identity (isolates fault/RNG
+    /// streams per (job, rank) pair).
+    pub fn with_job(mut self, job: u32) -> Self {
+        self.job = job;
         self
     }
 
@@ -125,11 +137,12 @@ impl Machine {
                 let faults = self
                     .fault
                     .as_ref()
-                    .map(|fc| FaultInjector::new(fc, rank, FaultDomain::Msg));
+                    .map(|fc| FaultInjector::for_job(fc, self.config.job, rank, FaultDomain::Msg));
                 let tracer = tracing.then(|| Tracer::new(rank, self.config.trace));
+                let job = self.config.job;
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let ctx = ProcCtx::new(rank, n, cost, endpoints, faults, tracer);
+                    let ctx = ProcCtx::new(rank, n, cost, endpoints, faults, tracer, job);
                     let value = body(&ctx);
                     let (report, trace) = ctx.finish();
                     (rank, report, trace, value)

@@ -6,7 +6,7 @@
 //! charge all their work through this context so that simulated time and the
 //! paper's two I/O metrics stay consistent by construction.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use ooc_trace::{Args, Category, RankTrace, SpanId, Tracer, Track};
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,12 @@ pub struct ProcCtx {
     /// Array identity of the I/O operation currently charging, set by the
     /// runtime layers via `set_io_hint` so disk spans carry array names.
     io_hint: RefCell<Option<(String, u64)>>,
+    /// File offset of the I/O operation currently charging, set by the disk
+    /// substrate via `set_io_offset`; consumed by the next disk span when
+    /// the trace configuration asks for I/O detail.
+    io_offset: Cell<Option<u64>>,
+    /// Workload job identity (0 for single-program runs).
+    job: u32,
 }
 
 impl ProcCtx {
@@ -47,6 +53,7 @@ impl ProcCtx {
         endpoints: Endpoints,
         faults: Option<FaultInjector>,
         tracer: Option<Tracer>,
+        job: u32,
     ) -> Self {
         ProcCtx {
             rank,
@@ -58,6 +65,8 @@ impl ProcCtx {
             faults,
             tracer,
             io_hint: RefCell::new(None),
+            io_offset: Cell::new(None),
+            job,
         }
     }
 
@@ -97,6 +106,13 @@ impl ProcCtx {
         self.tracer.as_ref()
     }
 
+    /// Workload job identity this processor runs under (0 outside
+    /// multi-job workloads).
+    #[inline]
+    pub fn job(&self) -> u32 {
+        self.job
+    }
+
     /// Tag subsequent disk charges with the array identity they serve.
     /// No-op when tracing is off. Called by the I/O runtime layers, which
     /// know the array; the disk substrate below them only sees offsets.
@@ -106,10 +122,23 @@ impl ProcCtx {
         }
     }
 
+    /// Tag the *next* disk charge with its starting file offset. Recorded
+    /// on the span only when the trace configuration enables `io_detail`,
+    /// and consumed by that one charge — stale offsets never leak onto
+    /// later spans.
+    pub fn set_io_offset(&self, offset: u64) {
+        if self.tracer.as_ref().is_some_and(|tr| tr.config().io_detail) {
+            self.io_offset.set(Some(offset));
+        }
+    }
+
     fn hinted_args(&self, requests: u64, bytes: u64) -> Args {
         let mut args = Args::io(requests, bytes);
         if let Some((array, file)) = self.io_hint.borrow().as_ref() {
             args = args.with_array(array, Some(*file));
+        }
+        if let Some(offset) = self.io_offset.take() {
+            args = args.with_offset(offset);
         }
         args
     }

@@ -83,6 +83,11 @@ pub struct RunConfig {
     /// `Always`, so strided section reads sieve everywhere. `None` (the
     /// default) runs what the compiler chose.
     pub io_method: Option<pario::IoMethod>,
+    /// Workload job tag. Job 0 (the default) is bit-identical to a build
+    /// without the workload runtime; a nonzero tag gives this run its own
+    /// fault/RNG streams per (job, rank) and labels its requests for the
+    /// `ooc-sched` disk-farm scheduler.
+    pub job: u32,
 }
 
 /// Bound on whole-program recovery re-runs after a permanent fault.
@@ -148,10 +153,13 @@ pub(crate) struct RankResult {
 /// Execute every plan of `compiled` in order on the simulated machine.
 pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
     let p = compiled.nprocs();
-    let machine_cfg = cfg.machine.clone().unwrap_or_else(|| {
+    let mut machine_cfg = cfg.machine.clone().unwrap_or_else(|| {
         MachineConfig::new(p, compiled.model.clone())
             .with_trace(cfg.trace.unwrap_or(compiled.trace))
     });
+    if cfg.job != 0 {
+        machine_cfg.job = cfg.job;
+    }
     if machine_cfg.nprocs != p {
         return Err(RunError::Config(format!(
             "machine has {} processors but the program was compiled for {p}",
@@ -310,7 +318,7 @@ fn execute_rank(
     // I/O happens, and initial distribution is amortized (and assumed
     // reliable) anyway.
     if let Some(fc) = fault {
-        env.enable_faults(fc);
+        env.enable_faults_for_job(fc, ctx.job());
     }
 
     let mut peak = 0usize;

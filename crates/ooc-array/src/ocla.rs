@@ -149,6 +149,14 @@ impl OocEnv {
         self.disk.enable_faults(cfg, self.rank);
     }
 
+    /// Like [`OocEnv::enable_faults`] but for workload job `job`: the fate
+    /// stream is derived from the (job, rank) pair, so concurrent jobs in a
+    /// shared-farm workload keep independent fault schedules. Job 0
+    /// reproduces the legacy per-rank streams bit-for-bit.
+    pub fn enable_faults_for_job(&mut self, cfg: &dmsim::FaultConfig, job: u32) {
+        self.disk.enable_faults_for_job(cfg, job, self.rank);
+    }
+
     /// Clear any armed permanent faults so a checkpoint/restart recovery
     /// pass can re-issue the failed accesses. Transient fault probabilities
     /// stay active. No-op without an injector.

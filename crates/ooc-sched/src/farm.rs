@@ -1,0 +1,643 @@
+//! The modeled disk-farm server layer.
+//!
+//! One simulated physical disk per rank id: job streams captured by
+//! [`crate::capture`] feed per-disk request queues, and a
+//! [`Policy`](crate::Policy) decides the service order. The replay is
+//! closed-loop — a stream's next request arrives only after its previous
+//! one finished plus the solo inter-request gap — so queueing delay
+//! propagates through each job exactly once, and the whole farm is a pure
+//! function of the profiles and the policy.
+//!
+//! Arithmetic is arranged so the uncontended case is *bitwise* exact: a
+//! request that starts at its arrival with zero accumulated lag finishes at
+//! its original solo end time (no re-derivation through `t0 + (t1 - t0)`,
+//! which float non-associativity would perturb). Single-job replays under
+//! FIFO therefore reproduce the pre-farm simulated times byte-for-byte.
+
+use crate::capture::{IoReq, JobProfile};
+use crate::policy::Policy;
+use ooc_trace::{Args, Category, Trace, TraceConfig, Tracer, Track};
+
+/// One job's standing in the farm: its profile, admission time and QoS.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmJob<'a> {
+    /// Workload job tag (nonzero for real workload members; the tag also
+    /// seeds the job's fault/RNG streams in the executor).
+    pub job: u32,
+    /// The captured solo profile being replayed.
+    pub profile: &'a JobProfile,
+    /// Admission time: every request arrival and the completion shift by
+    /// this base. Zero means "started with the farm".
+    pub base: f64,
+    /// Fair-share weight (higher = larger bandwidth share).
+    pub weight: f64,
+    /// Deadline slack for [`Policy::Deadline`]: a request arriving at `t`
+    /// carries deadline `t + qos_slack`.
+    pub qos_slack: f64,
+}
+
+impl<'a> FarmJob<'a> {
+    /// A job admitted at time zero with unit weight and a solo-makespan
+    /// deadline slack.
+    pub fn new(job: u32, profile: &'a JobProfile) -> FarmJob<'a> {
+        FarmJob {
+            job,
+            profile,
+            base: 0.0,
+            weight: 1.0,
+            qos_slack: profile.makespan(),
+        }
+    }
+}
+
+/// Farm configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarmConfig {
+    /// Service-order policy at every disk.
+    pub policy: Policy,
+    /// Extra seconds the elevator model charges when the chosen request is
+    /// not contiguous with the previous head position. Zero (the default)
+    /// keeps total service equal to the captured service time, so policies
+    /// differ only in ordering.
+    pub seek_penalty: f64,
+    /// Record a per-disk queue trace (service spans, enqueue instants,
+    /// wait spans, queue-depth counters) exportable to Perfetto.
+    pub trace: bool,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            policy: Policy::default(),
+            seek_penalty: 0.0,
+            trace: false,
+        }
+    }
+}
+
+/// One served request, as logged by the farm replay. The log is the ground
+/// truth for the property tests (work conservation, fairness, determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Served {
+    /// Disk that served the request.
+    pub disk: usize,
+    /// Owning job tag.
+    pub job: u32,
+    /// Position of the request in its stream.
+    pub seq: usize,
+    /// When the request became ready at the disk.
+    pub arrival: f64,
+    /// When service began (`start - arrival` is the queueing wait).
+    pub start: f64,
+    /// When service completed.
+    pub finish: f64,
+    /// Service duration actually charged (captured service, plus any seek
+    /// penalty).
+    pub service: f64,
+    /// Starting file offset, when the profile recorded one.
+    pub offset: Option<u64>,
+}
+
+impl Served {
+    /// Queueing wait of this request.
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+}
+
+/// Per-job queue metrics accumulated over the whole farm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobQueueStats {
+    /// Job tag.
+    pub job: u32,
+    /// Requests served.
+    pub requests: u64,
+    /// Sum of queueing waits, seconds.
+    pub total_wait: f64,
+    /// Largest single queueing wait, seconds.
+    pub max_wait: f64,
+    /// Sum of service time charged, seconds.
+    pub total_service: f64,
+    /// Job completion time on the farm clock: the latest rank finish,
+    /// shifted by the admission base and that rank's accumulated lag.
+    pub completion: f64,
+}
+
+/// Result of one farm replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmReport {
+    /// Per-job metrics, parallel to the input job slice.
+    pub jobs: Vec<JobQueueStats>,
+    /// Every served request, grouped by disk in service order.
+    pub served: Vec<Served>,
+    /// Per-disk total service time (busy time; the farm never idles while
+    /// a request is armed, so busy == sum of service).
+    pub disk_busy: Vec<f64>,
+    /// Per-disk maximum queue depth observed at a service start (armed
+    /// requests, including the one entering service).
+    pub max_queue_depth: Vec<usize>,
+    /// Per-disk queue timeline (one trace rank per disk) when
+    /// [`FarmConfig::trace`] was set. Wait spans overlap by nature, so this
+    /// trace is for Perfetto inspection, not for nesting checks.
+    pub trace: Option<Trace>,
+}
+
+/// `base + t`, exact when `base` is zero (the parity-critical case: a job
+/// admitted at 0.0 must replay its solo timestamps bitwise).
+#[inline]
+fn shift(base: f64, t: f64) -> f64 {
+    if base == 0.0 {
+        t
+    } else {
+        base + t
+    }
+}
+
+/// Per-disk replay state of one job's stream.
+struct StreamState<'a> {
+    /// Index into the input job slice.
+    slot: usize,
+    job: u32,
+    weight: f64,
+    qos_slack: f64,
+    base: f64,
+    reqs: &'a [IoReq],
+    cursor: usize,
+    /// Accumulated delay vs the solo schedule (finish − solo finish of the
+    /// last served request). Never negative: queueing only pushes later.
+    lag: f64,
+    /// Finish time of the previously served request: the closed loop arms
+    /// the next request no earlier than this.
+    floor: f64,
+    /// Weighted attained service, for fair-share selection.
+    attained: f64,
+}
+
+impl StreamState<'_> {
+    /// Arrival time of the head request (caller ensures one exists).
+    fn arrival(&self) -> f64 {
+        let r = &self.reqs[self.cursor];
+        let mut a = shift(self.base, r.t0);
+        if self.lag != 0.0 {
+            a += self.lag;
+        }
+        a.max(self.floor)
+    }
+}
+
+/// Selection key: lexicographic (k0, k1, arrival, job), all finite.
+struct Key {
+    k0: u8,
+    k1: f64,
+    arrival: f64,
+    job: u32,
+}
+
+impl Key {
+    fn beats(&self, other: &Key) -> bool {
+        if self.k0 != other.k0 {
+            return self.k0 < other.k0;
+        }
+        if self.k1 != other.k1 {
+            return self.k1 < other.k1;
+        }
+        if self.arrival != other.arrival {
+            return self.arrival < other.arrival;
+        }
+        self.job < other.job
+    }
+}
+
+fn key_of(policy: Policy, s: &StreamState, head: Option<u64>) -> Key {
+    let arrival = s.arrival();
+    let r = &s.reqs[s.cursor];
+    let (k0, k1) = match policy {
+        Policy::StaticShare => (0, 0.0), // unused: static share bypasses the queue
+        Policy::Fifo => (0, 0.0),
+        Policy::Elevator => {
+            // C-SCAN: requests at or beyond the head sweep first, ordered
+            // by offset; the rest wait for the wrap, also by offset.
+            let pos = head.unwrap_or(0);
+            let off = r.offset.unwrap_or(0);
+            (u8::from(off < pos), off as f64)
+        }
+        Policy::Deadline => (0, arrival + s.qos_slack),
+        Policy::FairShare => (0, s.attained / s.weight.max(f64::MIN_POSITIVE)),
+    };
+    Key {
+        k0,
+        k1,
+        arrival,
+        job: s.job,
+    }
+}
+
+/// Replay all jobs against the shared farm under `cfg`.
+pub fn simulate(jobs: &[FarmJob], cfg: &FarmConfig) -> FarmReport {
+    let ndisks = jobs.iter().map(|j| j.profile.nprocs()).max().unwrap_or(0);
+    let mut report = FarmReport {
+        jobs: jobs
+            .iter()
+            .map(|j| JobQueueStats {
+                job: j.job,
+                ..JobQueueStats::default()
+            })
+            .collect(),
+        served: Vec::new(),
+        disk_busy: vec![0.0; ndisks],
+        max_queue_depth: vec![0; ndisks],
+        trace: None,
+    };
+    let mut lags: Vec<Vec<f64>> = Vec::with_capacity(ndisks);
+    let mut rank_traces = Vec::new();
+
+    for disk in 0..ndisks {
+        let mut streams: Vec<StreamState> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| disk < j.profile.nprocs())
+            .map(|(slot, j)| StreamState {
+                slot,
+                job: j.job,
+                weight: j.weight,
+                qos_slack: j.qos_slack,
+                base: j.base,
+                reqs: &j.profile.streams[disk],
+                cursor: 0,
+                lag: 0.0,
+                floor: f64::NEG_INFINITY,
+                attained: 0.0,
+            })
+            .collect();
+        let tracer = if cfg.trace {
+            Some(Tracer::new(disk, TraceConfig::detailed()))
+        } else {
+            None
+        };
+        run_disk(disk, &mut streams, cfg, tracer.as_ref(), &mut report);
+        let mut row = vec![0.0f64; jobs.len()];
+        for s in &streams {
+            row[s.slot] = s.lag;
+        }
+        lags.push(row);
+        if let Some(t) = tracer {
+            rank_traces.push(t.finish());
+        }
+    }
+
+    // Job completion: each rank's remaining (non-I/O) tail after its last
+    // request is rigid, so the rank finishes at its solo finish time
+    // shifted by the admission base and the stream's final lag.
+    for (slot, j) in jobs.iter().enumerate() {
+        let mut c = 0.0f64;
+        for (rank, &fin) in j.profile.rank_finish.iter().enumerate() {
+            let mut f = shift(j.base, fin);
+            if lags[rank][slot] != 0.0 {
+                f += lags[rank][slot];
+            }
+            c = c.max(f);
+        }
+        report.jobs[slot].completion = c;
+    }
+    if cfg.trace {
+        report.trace = Some(Trace { ranks: rank_traces });
+    }
+    report
+}
+
+fn run_disk(
+    disk: usize,
+    streams: &mut [StreamState],
+    cfg: &FarmConfig,
+    tracer: Option<&Tracer>,
+    report: &mut FarmReport,
+) {
+    if cfg.policy == Policy::StaticShare {
+        // Legacy static divide: no queue. The captured service times were
+        // already priced under the cost model's static bandwidth share, so
+        // every request is served exactly at its arrival.
+        for s in streams {
+            for (seq, r) in s.reqs.iter().enumerate() {
+                let arrival = shift(s.base, r.t0);
+                let finish = shift(s.base, r.t1);
+                record(
+                    disk,
+                    s,
+                    seq,
+                    r,
+                    arrival,
+                    arrival,
+                    finish,
+                    r.service(),
+                    1,
+                    tracer,
+                    report,
+                );
+            }
+        }
+        return;
+    }
+
+    let mut now = 0.0f64;
+    let mut head: Option<u64> = None;
+    loop {
+        // Earliest arrival among non-exhausted streams.
+        let mut min_arrival = f64::INFINITY;
+        for s in streams.iter() {
+            if s.cursor < s.reqs.len() {
+                min_arrival = min_arrival.min(s.arrival());
+            }
+        }
+        if !min_arrival.is_finite() {
+            break;
+        }
+        // Work conservation: never idle past the earliest armed request.
+        if now < min_arrival {
+            now = min_arrival;
+        }
+        // Armed set and policy selection.
+        let mut pick: Option<usize> = None;
+        let mut best: Option<Key> = None;
+        let mut depth = 0usize;
+        for (i, s) in streams.iter().enumerate() {
+            if s.cursor < s.reqs.len() && s.arrival() <= now {
+                depth += 1;
+                let k = key_of(cfg.policy, s, head);
+                if best.as_ref().is_none_or(|b| k.beats(b)) {
+                    best = Some(k);
+                    pick = Some(i);
+                }
+            }
+        }
+        let i = pick.expect("an armed stream exists at `now`");
+        let s = &mut streams[i];
+        let r = &s.reqs[s.cursor];
+        let seq = s.cursor;
+        let arrival = s.arrival();
+        let mut service = r.service();
+        if cfg.seek_penalty > 0.0 {
+            if let (Some(h), Some(o)) = (head, r.offset) {
+                if o != h {
+                    service += cfg.seek_penalty;
+                }
+            }
+        }
+        let start = now;
+        // Bitwise-exact fast path: an undisturbed request keeps its solo
+        // finish time instead of re-deriving it as start + (t1 - t0).
+        let finish = if s.base == 0.0 && s.lag == 0.0 && start == r.t0 && service == r.service() {
+            r.t1
+        } else {
+            start + service
+        };
+        record(
+            disk, s, seq, r, arrival, start, finish, service, depth, tracer, report,
+        );
+        if let Some(o) = r.offset {
+            head = Some(o + r.bytes);
+        }
+        now = finish;
+    }
+}
+
+/// Book-keep one served request: advance the stream, update its lag and
+/// attained service, log it, accumulate job metrics, and emit trace events.
+#[allow(clippy::too_many_arguments)]
+fn record(
+    disk: usize,
+    s: &mut StreamState,
+    seq: usize,
+    r: &IoReq,
+    arrival: f64,
+    start: f64,
+    finish: f64,
+    service: f64,
+    depth: usize,
+    tracer: Option<&Tracer>,
+    report: &mut FarmReport,
+) {
+    let solo_finish = shift(s.base, r.t1);
+    s.lag = if finish == solo_finish {
+        0.0
+    } else {
+        (finish - solo_finish).max(0.0)
+    };
+    s.floor = finish;
+    s.attained += service;
+    s.cursor = seq + 1;
+
+    report.served.push(Served {
+        disk,
+        job: s.job,
+        seq,
+        arrival,
+        start,
+        finish,
+        service,
+        offset: r.offset,
+    });
+    report.disk_busy[disk] += service;
+    report.max_queue_depth[disk] = report.max_queue_depth[disk].max(depth);
+    let js = &mut report.jobs[s.slot];
+    js.requests += 1;
+    let wait = start - arrival;
+    js.total_wait += wait;
+    js.max_wait = js.max_wait.max(wait);
+    js.total_service += service;
+
+    if let Some(tr) = tracer {
+        let name = format!("j{}", s.job);
+        tr.instant(
+            Category::Queue,
+            &format!("enqueue:{name}"),
+            arrival,
+            Args::io(r.requests, r.bytes),
+        );
+        if wait > 0.0 {
+            // Waits of different requests overlap freely; they live on the
+            // overlap track and are not nesting-checked.
+            tr.span(
+                Category::Queue,
+                &format!("wait:{name}"),
+                arrival,
+                start,
+                Track::Overlap,
+                Args::io(r.requests, r.bytes),
+            );
+        }
+        let cat = if r.write {
+            Category::DiskWrite
+        } else {
+            Category::DiskRead
+        };
+        let mut args = Args::io(r.requests, r.bytes);
+        if let Some(o) = r.offset {
+            args = args.with_offset(o);
+        }
+        tr.span(
+            cat,
+            &format!("service:{name}"),
+            start,
+            finish,
+            Track::Main,
+            args,
+        );
+        tr.counter("queue_depth", start, depth as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A profile with one rank and evenly spaced unit requests.
+    fn uniform_profile(n: usize, gap: f64, service: f64) -> JobProfile {
+        let mut reqs = Vec::new();
+        let mut t = 0.0;
+        for i in 0..n {
+            reqs.push(IoReq {
+                t0: t,
+                t1: t + service,
+                requests: 1,
+                bytes: 64,
+                offset: Some(64 * i as u64),
+                write: false,
+            });
+            t += service + gap;
+        }
+        JobProfile {
+            rank_finish: vec![t],
+            streams: vec![reqs],
+        }
+    }
+
+    #[test]
+    fn solo_fifo_replay_is_bitwise_exact() {
+        let p = uniform_profile(10, 0.25, 1.0);
+        let jobs = [FarmJob::new(1, &p)];
+        let rep = simulate(
+            &jobs,
+            &FarmConfig {
+                policy: Policy::Fifo,
+                ..FarmConfig::default()
+            },
+        );
+        for sv in &rep.served {
+            assert_eq!(sv.wait(), 0.0);
+            let orig = &p.streams[0][sv.seq];
+            assert_eq!(sv.start.to_bits(), orig.t0.to_bits());
+            assert_eq!(sv.finish.to_bits(), orig.t1.to_bits());
+        }
+        assert_eq!(
+            rep.jobs[0].completion.to_bits(),
+            p.makespan().to_bits(),
+            "solo completion is the solo makespan, bitwise"
+        );
+    }
+
+    #[test]
+    fn static_share_ignores_contention_entirely() {
+        let p = uniform_profile(5, 0.0, 1.0);
+        let jobs = [FarmJob::new(1, &p), FarmJob::new(2, &p)];
+        let rep = simulate(&jobs, &FarmConfig::default());
+        assert!(rep.jobs.iter().all(|j| j.total_wait == 0.0));
+        assert_eq!(rep.jobs[0].completion, rep.jobs[1].completion);
+        assert_eq!(rep.jobs[0].completion.to_bits(), p.makespan().to_bits());
+    }
+
+    #[test]
+    fn two_backlogged_jobs_under_fifo_interleave_and_delay() {
+        let p = uniform_profile(4, 0.0, 1.0);
+        let jobs = [FarmJob::new(1, &p), FarmJob::new(2, &p)];
+        let rep = simulate(
+            &jobs,
+            &FarmConfig {
+                policy: Policy::Fifo,
+                ..FarmConfig::default()
+            },
+        );
+        // One disk, 8 unit requests, no gaps: busy the whole span.
+        assert_eq!(rep.disk_busy[0], 8.0);
+        assert!(rep.jobs.iter().any(|j| j.total_wait > 0.0));
+        // Completion reflects the queueing: both jobs finish later than solo.
+        assert!(rep.jobs[0].completion > p.makespan());
+        assert!(rep.jobs[1].completion > p.makespan());
+        assert_eq!(rep.max_queue_depth[0], 2);
+    }
+
+    #[test]
+    fn elevator_orders_by_offset_and_charges_seeks() {
+        // Two jobs whose first requests are armed together; job 2's offset
+        // is lower, so a fresh head (None -> pos 0) serves it first.
+        let mut p1 = uniform_profile(1, 0.0, 1.0);
+        p1.streams[0][0].offset = Some(1000);
+        let p2 = uniform_profile(1, 0.0, 1.0);
+        let jobs = [FarmJob::new(1, &p1), FarmJob::new(2, &p2)];
+        let rep = simulate(
+            &jobs,
+            &FarmConfig {
+                policy: Policy::Elevator,
+                ..FarmConfig::default()
+            },
+        );
+        assert_eq!(rep.served[0].job, 2);
+        assert_eq!(rep.served[1].job, 1);
+        // With a seek penalty, the non-contiguous second request costs more.
+        let rep = simulate(
+            &jobs,
+            &FarmConfig {
+                policy: Policy::Elevator,
+                seek_penalty: 0.5,
+                ..FarmConfig::default()
+            },
+        );
+        assert_eq!(rep.served[1].service, 1.5);
+    }
+
+    #[test]
+    fn deadline_prefers_the_tighter_qos() {
+        let p = uniform_profile(1, 0.0, 1.0);
+        let mut tight = FarmJob::new(1, &p);
+        tight.qos_slack = 0.5;
+        let mut loose = FarmJob::new(2, &p);
+        loose.qos_slack = 100.0;
+        let rep = simulate(
+            &[loose, tight],
+            &FarmConfig {
+                policy: Policy::Deadline,
+                ..FarmConfig::default()
+            },
+        );
+        assert_eq!(rep.served[0].job, 1, "tighter deadline is served first");
+    }
+
+    #[test]
+    fn farm_trace_records_queue_events() {
+        let p = uniform_profile(3, 0.0, 1.0);
+        let jobs = [FarmJob::new(1, &p), FarmJob::new(2, &p)];
+        let rep = simulate(
+            &jobs,
+            &FarmConfig {
+                policy: Policy::Fifo,
+                trace: true,
+                ..FarmConfig::default()
+            },
+        );
+        let trace = rep.trace.expect("tracing was requested");
+        assert_eq!(trace.ranks.len(), 1);
+        let evs = &trace.ranks[0].events;
+        assert!(evs
+            .iter()
+            .any(|e| e.cat == Category::Queue && e.name.starts_with("enqueue")));
+        assert!(evs
+            .iter()
+            .any(|e| e.cat == Category::Queue && e.name.starts_with("wait")));
+        assert!(evs.iter().any(|e| e.cat == Category::DiskRead));
+        assert!(evs
+            .iter()
+            .any(|e| e.name == "queue_depth" && e.args.value == Some(2.0)));
+        // The queue trace exports to Perfetto JSON without panicking.
+        let json = ooc_trace::perfetto::to_chrome_json(&trace);
+        ooc_trace::json::parse(&json).expect("valid JSON");
+    }
+}

@@ -1,0 +1,73 @@
+//! Disk scheduling policies.
+//!
+//! Each physical disk of the farm owns a request queue; a [`Policy`] decides
+//! which armed request the disk serves next. Every policy is a pure,
+//! deterministic function of the queue state — ties always break on the
+//! `(arrival, job)` key — so farm replays are bit-reproducible.
+
+/// How a disk orders the requests competing for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// The legacy static divide: no queueing at all. Every request is
+    /// served at its arrival time, exactly as the pre-farm cost model
+    /// priced it (the `shared_disks` / aggregate-bandwidth parameters
+    /// already spread the bandwidth statically). This is the default and
+    /// the byte-identical fallback for single-job runs.
+    #[default]
+    StaticShare,
+    /// First-come first-served on arrival time.
+    Fifo,
+    /// Offset-coalescing elevator (C-SCAN): among armed requests, serve
+    /// the one at or beyond the head position with the smallest offset,
+    /// wrapping to the smallest offset when none lies ahead. Requests
+    /// without recorded offsets (profiles captured without
+    /// `TraceConfig::detailed()`) sort as offset 0.
+    Elevator,
+    /// Earliest deadline first: each job's requests carry the deadline
+    /// `arrival + qos_slack`; the disk serves the most urgent.
+    Deadline,
+    /// Weighted fair share: serve the job with the least attained service
+    /// normalized by its weight (start-time fair queueing over the farm's
+    /// service time).
+    FairShare,
+}
+
+impl Policy {
+    /// All policies, in display order.
+    pub const ALL: [Policy; 5] = [
+        Policy::StaticShare,
+        Policy::Fifo,
+        Policy::Elevator,
+        Policy::Deadline,
+        Policy::FairShare,
+    ];
+
+    /// Stable lowercase label used in reports and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::StaticShare => "static-share",
+            Policy::Fifo => "fifo",
+            Policy::Elevator => "elevator",
+            Policy::Deadline => "deadline",
+            Policy::FairShare => "fair-share",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_legacy_static_divide() {
+        assert_eq!(Policy::default(), Policy::StaticShare);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut names: Vec<&str> = Policy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Policy::ALL.len());
+    }
+}

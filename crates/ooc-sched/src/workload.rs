@@ -1,0 +1,333 @@
+//! Multi-job workload runtime: admission control plus farm replay.
+//!
+//! A workload is a batch of compiled-program profiles submitted to the
+//! shared disk farm. The runtime admits jobs in deterministic `(submit,
+//! index)` order, holding each until a concurrency slot frees, then
+//! replays all admitted jobs together under the configured policy.
+//!
+//! Admission is *optimistic*: a job's admit time is computed from the
+//! completion times the farm predicts at the moment of the decision, and
+//! admitting the job then slows those very completions down. Re-simulating
+//! after every admission keeps the whole schedule deterministic and
+//! reproducible — the admit times are the runtime's view at decision time,
+//! exactly as a real batch scheduler's would be.
+
+use crate::capture::JobProfile;
+use crate::farm::{simulate, FarmConfig, FarmJob, FarmReport};
+use crate::policy::Policy;
+
+/// One job submitted to the workload runtime.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name (job type, bench label…).
+    pub name: String,
+    /// Captured solo profile (see [`crate::capture::profile`]).
+    pub profile: JobProfile,
+    /// Submission time on the workload clock.
+    pub submit: f64,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Deadline slack for [`Policy::Deadline`].
+    pub qos_slack: f64,
+}
+
+impl JobSpec {
+    /// A job submitted at time zero with unit weight and a solo-makespan
+    /// deadline slack.
+    pub fn new(name: impl Into<String>, profile: JobProfile) -> JobSpec {
+        let qos_slack = profile.makespan();
+        JobSpec {
+            name: name.into(),
+            profile,
+            submit: 0.0,
+            weight: 1.0,
+            qos_slack,
+        }
+    }
+
+    /// Same job with a different fair-share weight.
+    pub fn with_weight(mut self, weight: f64) -> JobSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Same job with a different submission time.
+    pub fn with_submit(mut self, submit: f64) -> JobSpec {
+        self.submit = submit;
+        self
+    }
+}
+
+/// Workload runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Disk service-order policy.
+    pub policy: Policy,
+    /// Maximum jobs running concurrently (0 = unlimited). Admission holds
+    /// later submissions until a predicted completion frees a slot.
+    pub max_concurrent: usize,
+    /// Elevator seek penalty, seconds per non-contiguous head movement.
+    pub seek_penalty: f64,
+    /// Record the per-disk queue trace in the final replay.
+    pub trace: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            policy: Policy::default(),
+            max_concurrent: 0,
+            seek_penalty: 0.0,
+            trace: false,
+        }
+    }
+}
+
+/// Outcome of one job in the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Display name from the spec.
+    pub name: String,
+    /// Job tag the runtime assigned (1-based; tag 0 is reserved for the
+    /// legacy single-job path).
+    pub job: u32,
+    /// Submission time.
+    pub submit: f64,
+    /// Admission time the runtime granted.
+    pub admit: f64,
+    /// Completion on the farm clock.
+    pub completion: f64,
+    /// Solo makespan of the profile (the no-contention baseline).
+    pub solo_makespan: f64,
+    /// Requests served for this job.
+    pub requests: u64,
+    /// Sum of queueing waits.
+    pub total_wait: f64,
+    /// Largest single queueing wait.
+    pub max_wait: f64,
+}
+
+impl JobReport {
+    /// Turnaround: submission to completion.
+    pub fn turnaround(&self) -> f64 {
+        self.completion - self.submit
+    }
+
+    /// Slowdown of the running phase vs the solo baseline (1.0 = no
+    /// contention effect).
+    pub fn stretch(&self) -> f64 {
+        if self.solo_makespan > 0.0 {
+            (self.completion - self.admit) / self.solo_makespan
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Result of running a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Per-job outcomes, in submission-slice order.
+    pub jobs: Vec<JobReport>,
+    /// The final farm replay (served log, per-disk metrics, queue trace).
+    pub farm: FarmReport,
+    /// Policy the workload ran under.
+    pub policy: Policy,
+}
+
+impl WorkloadReport {
+    /// Workload makespan: the latest completion.
+    pub fn makespan(&self) -> f64 {
+        self.jobs.iter().map(|j| j.completion).fold(0.0, f64::max)
+    }
+}
+
+/// Admit and run `specs` against the shared farm.
+pub fn run_workload(specs: &[JobSpec], cfg: &WorkloadConfig) -> WorkloadReport {
+    // Deterministic admission order: submission time, then slice position.
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by(|&a, &b| {
+        specs[a]
+            .submit
+            .partial_cmp(&specs[b].submit)
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+
+    let farm_cfg = FarmConfig {
+        policy: cfg.policy,
+        seek_penalty: cfg.seek_penalty,
+        trace: false,
+    };
+    // (spec index, admit time) of everything admitted so far.
+    let mut admitted: Vec<(usize, f64)> = Vec::new();
+    let mut last_report: Option<FarmReport> = None;
+    for &idx in &order {
+        let spec = &specs[idx];
+        let admit = if cfg.max_concurrent == 0 || admitted.len() < cfg.max_concurrent {
+            spec.submit
+        } else {
+            // A slot frees when all but (C - 1) of the previously admitted
+            // jobs have completed: take the (n - C + 1)-th smallest
+            // predicted completion.
+            let completions = &last_report
+                .as_ref()
+                .expect("simulated after admission")
+                .jobs;
+            let mut done: Vec<f64> = completions.iter().map(|j| j.completion).collect();
+            done.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let slot_free = done[admitted.len() - cfg.max_concurrent];
+            spec.submit.max(slot_free)
+        };
+        admitted.push((idx, admit));
+        let jobs: Vec<FarmJob> = admitted
+            .iter()
+            .map(|&(i, base)| FarmJob {
+                job: i as u32 + 1,
+                profile: &specs[i].profile,
+                base,
+                weight: specs[i].weight,
+                qos_slack: specs[i].qos_slack,
+            })
+            .collect();
+        last_report = Some(simulate(&jobs, &farm_cfg));
+    }
+
+    // Final replay, with tracing if requested.
+    let jobs: Vec<FarmJob> = admitted
+        .iter()
+        .map(|&(i, base)| FarmJob {
+            job: i as u32 + 1,
+            profile: &specs[i].profile,
+            base,
+            weight: specs[i].weight,
+            qos_slack: specs[i].qos_slack,
+        })
+        .collect();
+    let farm = simulate(
+        &jobs,
+        &FarmConfig {
+            trace: cfg.trace,
+            ..farm_cfg
+        },
+    );
+
+    // Report in original spec order.
+    let mut jobs_out: Vec<Option<JobReport>> = vec![None; specs.len()];
+    for (pos, &(i, admit)) in admitted.iter().enumerate() {
+        let qs = &farm.jobs[pos];
+        jobs_out[i] = Some(JobReport {
+            name: specs[i].name.clone(),
+            job: i as u32 + 1,
+            submit: specs[i].submit,
+            admit,
+            completion: qs.completion,
+            solo_makespan: specs[i].profile.makespan(),
+            requests: qs.requests,
+            total_wait: qs.total_wait,
+            max_wait: qs.max_wait,
+        });
+    }
+    WorkloadReport {
+        jobs: jobs_out
+            .into_iter()
+            .map(|j| j.expect("every spec admitted"))
+            .collect(),
+        farm,
+        policy: cfg.policy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::IoReq;
+
+    fn profile(n: usize, service: f64) -> JobProfile {
+        let reqs: Vec<IoReq> = (0..n)
+            .map(|i| IoReq {
+                t0: i as f64 * service,
+                t1: (i as f64 + 1.0) * service,
+                requests: 1,
+                bytes: 64,
+                offset: Some(64 * i as u64),
+                write: false,
+            })
+            .collect();
+        JobProfile {
+            rank_finish: vec![n as f64 * service],
+            streams: vec![reqs],
+        }
+    }
+
+    #[test]
+    fn single_job_default_policy_matches_solo_exactly() {
+        let p = profile(8, 1.0);
+        let rep = run_workload(
+            &[JobSpec::new("solo", p.clone())],
+            &WorkloadConfig::default(),
+        );
+        assert_eq!(rep.jobs[0].completion.to_bits(), p.makespan().to_bits());
+        assert_eq!(rep.jobs[0].total_wait, 0.0);
+        assert_eq!(rep.jobs[0].stretch(), 1.0);
+    }
+
+    #[test]
+    fn admission_staggers_beyond_the_concurrency_cap() {
+        let p = profile(4, 1.0);
+        let specs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec::new(format!("j{i}"), p.clone()))
+            .collect();
+        let rep = run_workload(
+            &specs,
+            &WorkloadConfig {
+                policy: Policy::Fifo,
+                max_concurrent: 1,
+                ..WorkloadConfig::default()
+            },
+        );
+        // Serial admission: each job starts when the previous completes.
+        assert_eq!(rep.jobs[0].admit, 0.0);
+        assert_eq!(rep.jobs[1].admit, rep.jobs[0].completion);
+        assert_eq!(rep.jobs[2].admit, rep.jobs[1].completion);
+        // Serialized jobs never queue against each other.
+        assert!(rep.jobs.iter().all(|j| j.total_wait == 0.0));
+    }
+
+    #[test]
+    fn unlimited_concurrency_admits_everything_at_submit() {
+        let p = profile(4, 1.0);
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::new(format!("j{i}"), p.clone()))
+            .collect();
+        let rep = run_workload(
+            &specs,
+            &WorkloadConfig {
+                policy: Policy::Fifo,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert!(rep.jobs.iter().all(|j| j.admit == j.submit));
+        assert!(
+            rep.makespan() > p.makespan(),
+            "contention stretches the batch"
+        );
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let p = profile(6, 0.5);
+        let specs: Vec<JobSpec> = (0..5)
+            .map(|i| JobSpec::new(format!("j{i}"), p.clone()).with_weight(1.0 + i as f64))
+            .collect();
+        let cfg = WorkloadConfig {
+            policy: Policy::FairShare,
+            max_concurrent: 3,
+            ..WorkloadConfig::default()
+        };
+        let a = run_workload(&specs, &cfg);
+        let b = run_workload(&specs, &cfg);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.farm.served, b.farm.served);
+    }
+}

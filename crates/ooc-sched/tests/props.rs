@@ -1,0 +1,197 @@
+//! Property tests for the disk-farm scheduler: work conservation, fairness
+//! / no starvation under weighted fair share, and bitwise determinism of
+//! the queue service order, over randomized synthetic workloads.
+
+use proptest::prelude::*;
+
+use ooc_sched::{simulate, FarmConfig, FarmJob, IoReq, JobProfile, Policy, Served};
+
+/// Synthetic single-rank profile: `n` requests of `service` seconds with
+/// `gap` idle seconds between them, offsets advancing contiguously.
+fn make_profile(n: usize, service: f64, gap: f64) -> JobProfile {
+    let mut reqs = Vec::new();
+    let mut t = 0.0;
+    for i in 0..n {
+        reqs.push(IoReq {
+            t0: t,
+            t1: t + service,
+            requests: 1,
+            bytes: 4096,
+            offset: Some(4096 * i as u64),
+            write: i % 3 == 2,
+        });
+        t += service + gap;
+    }
+    JobProfile {
+        rank_finish: vec![t],
+        streams: vec![reqs],
+    }
+}
+
+/// Check work conservation on a served log: per disk, (a) busy time equals
+/// the service sum, and (b) the disk never idles while a request that was
+/// already armed is waiting — any service gap must end at the arrival of
+/// some request served after it.
+fn assert_work_conserving(served: &[Served], disk_busy: &[f64]) {
+    for (disk, &busy) in disk_busy.iter().enumerate() {
+        let log: Vec<&Served> = served.iter().filter(|s| s.disk == disk).collect();
+        let total: f64 = log.iter().map(|s| s.service).sum();
+        assert!(
+            (total - busy).abs() < 1e-9,
+            "disk {disk}: busy {busy} != service sum {total}"
+        );
+        // The log is in service order per disk.
+        for w in log.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(
+                b.start >= a.finish - 1e-12,
+                "overlapping service on one disk"
+            );
+            if b.start > a.finish + 1e-12 {
+                // Idle gap: nothing served later may have been armed
+                // during it (closed-loop arrivals are final in the log).
+                for s in &log {
+                    if s.start >= b.start {
+                        assert!(
+                            s.arrival >= b.start - 1e-12,
+                            "disk {disk} idled [{}, {}] while a request from \
+                             job {} (seq {}) was armed at {}",
+                            a.finish,
+                            b.start,
+                            s.job,
+                            s.seq,
+                            s.arrival
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn queueing_policies_are_work_conserving(
+        njobs in 2usize..5,
+        nreqs in 1usize..30,
+        svc10 in 1u32..8,
+        gap10 in 0u32..6,
+        policy_ix in 0usize..4,
+    ) {
+        let policy = [Policy::Fifo, Policy::Elevator, Policy::Deadline, Policy::FairShare][policy_ix];
+        let service = svc10 as f64 / 10.0;
+        let gap = gap10 as f64 / 10.0;
+        let profiles: Vec<JobProfile> = (0..njobs)
+            .map(|j| make_profile(nreqs + j, service, gap))
+            .collect();
+        let jobs: Vec<FarmJob> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| FarmJob::new(i as u32 + 1, p))
+            .collect();
+        let rep = simulate(&jobs, &FarmConfig { policy, ..FarmConfig::default() });
+        // Completeness: every submitted request is served exactly once.
+        let expect: usize = profiles.iter().map(|p| p.total_requests()).sum();
+        prop_assert_eq!(rep.served.len(), expect);
+        assert_work_conserving(&rep.served, &rep.disk_busy);
+    }
+
+    #[test]
+    fn fair_share_bounds_attained_service_skew(
+        nreqs in 10usize..40,
+        svc10 in 1u32..10,
+    ) {
+        // Two equal-weight, fully backlogged jobs (zero gaps): at the end
+        // of the shorter job's life, attained service may differ by at
+        // most one service quantum.
+        let service = svc10 as f64 / 10.0;
+        let p = make_profile(nreqs, service, 0.0);
+        let jobs = [FarmJob::new(1, &p), FarmJob::new(2, &p)];
+        let rep = simulate(
+            &jobs,
+            &FarmConfig { policy: Policy::FairShare, ..FarmConfig::default() },
+        );
+        let mut attained = [0.0f64; 2];
+        let mut max_skew = 0.0f64;
+        for s in &rep.served {
+            attained[(s.job - 1) as usize] += s.service;
+            max_skew = max_skew.max((attained[0] - attained[1]).abs());
+        }
+        prop_assert!(
+            max_skew <= service + 1e-9,
+            "equal-weight backlogged jobs diverged by {max_skew} (> one quantum {service})"
+        );
+    }
+
+    #[test]
+    fn fair_share_never_starves_a_light_job(
+        heavy_reqs in 50usize..120,
+        light_reqs in 3usize..10,
+        weight10 in 10u32..40,
+    ) {
+        // A heavy backlogged job cannot starve a light one: with J jobs in
+        // closed loop, each light request waits at most J in-flight
+        // service quanta.
+        let heavy = make_profile(heavy_reqs, 1.0, 0.0);
+        let light = make_profile(light_reqs, 0.2, 0.0);
+        let mut hj = FarmJob::new(1, &heavy);
+        hj.weight = 1.0;
+        let mut lj = FarmJob::new(2, &light);
+        lj.weight = weight10 as f64 / 10.0;
+        let rep = simulate(
+            &[hj, lj],
+            &FarmConfig { policy: Policy::FairShare, ..FarmConfig::default() },
+        );
+        let max_service = 1.0; // the heavy job's quantum dominates
+        for s in rep.served.iter().filter(|s| s.job == 2) {
+            prop_assert!(
+                s.wait() <= 2.0 * max_service + 1e-9,
+                "light request seq {} waited {}",
+                s.seq,
+                s.wait()
+            );
+        }
+        // And the light job's completion is far before the heavy one's.
+        prop_assert!(rep.jobs[1].completion < rep.jobs[0].completion);
+    }
+
+    #[test]
+    fn service_order_is_bitwise_deterministic(
+        njobs in 2usize..5,
+        nreqs in 1usize..25,
+        policy_ix in 0usize..5,
+        seek10 in 0u32..3,
+    ) {
+        let policy = Policy::ALL[policy_ix];
+        let profiles: Vec<JobProfile> = (0..njobs)
+            .map(|j| make_profile(nreqs + 2 * j, 0.3 + j as f64 * 0.1, 0.05))
+            .collect();
+        let jobs: Vec<FarmJob> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut j = FarmJob::new(i as u32 + 1, p);
+                j.weight = 1.0 + i as f64;
+                j.base = i as f64 * 0.7;
+                j
+            })
+            .collect();
+        let cfg = FarmConfig {
+            policy,
+            seek_penalty: seek10 as f64 / 10.0,
+            ..FarmConfig::default()
+        };
+        let a = simulate(&jobs, &cfg);
+        let b = simulate(&jobs, &cfg);
+        prop_assert_eq!(a.served.len(), b.served.len());
+        for (x, y) in a.served.iter().zip(b.served.iter()) {
+            prop_assert_eq!(x.job, y.job);
+            prop_assert_eq!(x.seq, y.seq);
+            prop_assert_eq!(x.start.to_bits(), y.start.to_bits());
+            prop_assert_eq!(x.finish.to_bits(), y.finish.to_bits());
+        }
+        prop_assert_eq!(a.jobs, b.jobs);
+    }
+}

@@ -39,6 +39,11 @@ pub struct TraceConfig {
     pub enabled: bool,
     /// Also emit counter samples (cache occupancy, outstanding dirty bytes).
     pub counters: bool,
+    /// Stamp disk-transfer spans with per-request detail (file offsets) so
+    /// scheduling layers can replay them. Off by default: without it the
+    /// recorded events — and therefore exported traces — are byte-identical
+    /// to builds that predate the detail fields.
+    pub io_detail: bool,
 }
 
 impl TraceConfig {
@@ -47,6 +52,7 @@ impl TraceConfig {
         TraceConfig {
             enabled: true,
             counters: true,
+            io_detail: false,
         }
     }
 
@@ -55,6 +61,17 @@ impl TraceConfig {
         TraceConfig {
             enabled: true,
             counters: false,
+            io_detail: false,
+        }
+    }
+
+    /// Tracing fully on, including per-request I/O detail (offsets) for
+    /// scheduling replay (`ooc-sched`).
+    pub fn detailed() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            counters: true,
+            io_detail: true,
         }
     }
 }
@@ -100,6 +117,10 @@ pub enum Category {
     Checkpoint,
     /// Array redistribution scope.
     Redist,
+    /// Disk-farm queueing event (enqueue instants, wait spans, queue-depth
+    /// counters) emitted by the `ooc-sched` scheduling layer. Queueing is
+    /// waiting, not transfer, so it joins no `ProcStats` time group.
+    Queue,
 }
 
 /// Which `ProcStats` time counter a category's span durations sum into.
@@ -117,7 +138,7 @@ pub enum TimeGroup {
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 16] = [
+    pub const ALL: [Category; 17] = [
         Category::Phase,
         Category::Slab,
         Category::Compute,
@@ -134,6 +155,7 @@ impl Category {
         Category::Retry,
         Category::Checkpoint,
         Category::Redist,
+        Category::Queue,
     ];
 
     /// Stable lowercase label used in exported JSON.
@@ -155,6 +177,7 @@ impl Category {
             Category::Retry => "retry",
             Category::Checkpoint => "checkpoint",
             Category::Redist => "redist",
+            Category::Queue => "queue",
         }
     }
 
@@ -218,6 +241,11 @@ pub struct Args {
     /// [`Tracer::push_io_method`].
     #[serde(default)]
     pub method: Option<String>,
+    /// Starting file offset of the first request covered by the event.
+    /// Stamped on disk-transfer spans only when [`TraceConfig::io_detail`]
+    /// is set; used by the `ooc-sched` elevator policy to order seeks.
+    #[serde(default)]
+    pub offset: Option<u64>,
 }
 
 impl Args {
@@ -255,6 +283,12 @@ impl Args {
     /// Attach an I/O access-method label.
     pub fn with_method(mut self, method: &str) -> Args {
         self.method = Some(method.to_string());
+        self
+    }
+
+    /// Attach a starting file offset (scheduling replay detail).
+    pub fn with_offset(mut self, offset: u64) -> Args {
+        self.offset = Some(offset);
         self
     }
 }

@@ -65,6 +65,9 @@ fn event_args(ev: &Event) -> String {
     if let Some(m) = &ev.args.method {
         parts.push(format!("\"method\":\"{}\"", escape_json(m)));
     }
+    if let Some(o) = ev.args.offset {
+        parts.push(format!("\"offset\":{}", o));
+    }
     if let Some(v) = ev.args.value {
         // Counter/flops values are integral by construction; keep them
         // byte-stable by printing as integers.

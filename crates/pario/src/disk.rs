@@ -171,7 +171,15 @@ impl LogicalDisk {
     /// quiet config (or no injector at all) the request path is bit-identical
     /// to the fault-free build.
     pub fn enable_faults(&mut self, cfg: &FaultConfig, rank: usize) {
-        self.faults = Some(FaultInjector::new(cfg, rank, FaultDomain::Disk));
+        self.enable_faults_for_job(cfg, 0, rank);
+    }
+
+    /// Like [`LogicalDisk::enable_faults`] but for rank `rank` of workload
+    /// job `job`: the fate stream is derived from the (job, rank) pair so
+    /// concurrent jobs cannot perturb each other's chaos results. Job 0
+    /// reproduces the legacy per-rank streams bit-for-bit.
+    pub fn enable_faults_for_job(&mut self, cfg: &FaultConfig, job: u32, rank: usize) {
+        self.faults = Some(FaultInjector::for_job(cfg, job, rank, FaultDomain::Disk));
     }
 
     /// The active fault injector, if any.
@@ -321,6 +329,7 @@ impl LogicalDisk {
             let before = stats.read_requests;
             let mut cursor = start;
             for run in &coalesced {
+                charge.io_offset(run.offset);
                 let buf = &mut out[cursor..cursor + run.len as usize];
                 cache.read(
                     file.0,
@@ -357,6 +366,9 @@ impl LogicalDisk {
                 }
                 let requests = coalesced.len() as u64;
                 self.stats.add_read(requests, bytes);
+                if let Some(first) = coalesced.first() {
+                    charge.io_offset(first.offset);
+                }
                 charge.io_read(requests, bytes);
                 self.settle_faults(charge);
                 Ok(requests)
@@ -374,6 +386,7 @@ impl LogicalDisk {
                 out.extend(sieve_extract(&span, &useful, &span_buf));
                 self.pool.put(span_buf);
                 self.stats.add_read(1, span.len);
+                charge.io_offset(span.offset);
                 charge.io_read(1, span.len);
                 charge.io_sieve(span.len, total_bytes(&useful));
                 self.settle_faults(charge);
@@ -424,7 +437,9 @@ impl LogicalDisk {
                 self.pool.put(updated);
                 self.stats.add_read(1, span.len);
                 self.stats.add_write(1, span.len);
+                charge.io_offset(span.offset);
                 charge.io_read(1, span.len);
+                charge.io_offset(span.offset);
                 charge.io_write(1, span.len);
                 charge.io_sieve(span.len, total_bytes(&useful));
                 self.settle_faults(charge);
@@ -475,6 +490,7 @@ impl LogicalDisk {
             let before = stats.write_requests;
             let mut cursor = 0usize;
             for run in &coalesced {
+                charge.io_offset(run.offset);
                 let src = &sorted[cursor..cursor + run.len as usize];
                 cache.write(
                     file.0,
@@ -515,6 +531,9 @@ impl LogicalDisk {
         }
         let requests = coalesced.len() as u64;
         self.stats.add_write(requests, bytes);
+        if let Some(first) = coalesced.first() {
+            charge.io_offset(first.offset);
+        }
         charge.io_write(requests, bytes);
         self.settle_faults(charge);
         Ok(requests)

@@ -70,6 +70,10 @@ pub trait IoCharge {
     /// Pure observability — the default ignores it; tracing sinks use it to
     /// tag disk events with array identity.
     fn io_array(&self, _name: &str, _file: u64) {}
+    /// Hint: the next charge starts at file `offset`. Pure observability —
+    /// the default ignores it; detail-tracing sinks stamp it on the disk
+    /// span so the `ooc-sched` elevator policy can order seeks.
+    fn io_offset(&self, _offset: u64) {}
     /// Observe the slab cache's occupancy after an operation: `used_bytes`
     /// resident, of which `dirty_bytes` not yet written back. Default
     /// ignores it.
@@ -97,6 +101,9 @@ impl IoCharge for ProcCtx {
     }
     fn io_array(&self, name: &str, file: u64) {
         self.set_io_hint(name, file);
+    }
+    fn io_offset(&self, offset: u64) {
+        self.set_io_offset(offset);
     }
     fn io_cache_level(&self, used_bytes: u64, dirty_bytes: u64) {
         self.trace_counter("cache_used", used_bytes as f64);
