@@ -8,6 +8,21 @@ use ooc_core::stripmine::SlabSizing;
 use ooc_core::{compile_hir, CompilerOptions, SlabStrategy};
 use pario::ElemKind;
 
+/// Best-effort peak resident set size of this process in bytes (Linux
+/// `VmHWM` from `/proc/self/status`; `None` elsewhere). A *host* quantity
+/// for capacity benchmarking — never part of simulated results or parity
+/// comparisons (see [`dmsim::RunReport::set_peak_rss_bytes`]).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
 /// Deterministic initializers used by all experiments (mild values so f32
 /// accumulation stays accurate at 2K).
 pub fn init_a(g: &[usize]) -> f32 {

@@ -19,5 +19,7 @@ pub mod harness;
 pub mod plot;
 pub mod table;
 
-pub use harness::{gaxpy_hir, run_incore_matmul, run_matmul, ExperimentRow, MatmulSetup};
+pub use harness::{
+    gaxpy_hir, peak_rss_bytes, run_incore_matmul, run_matmul, ExperimentRow, MatmulSetup,
+};
 pub use table::TextTable;

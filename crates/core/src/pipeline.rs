@@ -90,6 +90,12 @@ pub struct CompilerOptions {
     /// [`dmsim::CostModel::contended`]; `None` (the default, and any load
     /// with zero competitors) is bit-identical to the uncontended compiler.
     pub background: Option<dmsim::BackgroundLoad>,
+    /// Execution engine for the compiled program's runs: OS threads (the
+    /// default) or a fixed worker pool hosting the ranks as cooperative
+    /// tasks. Purely a hosting choice — reports are bit-identical either
+    /// way — but `Pool` is the only way to run hundreds of ranks or jobs.
+    /// Carried into [`CompiledProgram`] like `trace`.
+    pub engine: dmsim::Engine,
 }
 
 impl Default for CompilerOptions {
@@ -104,6 +110,7 @@ impl Default for CompilerOptions {
             trace: ooc_trace::TraceConfig::default(),
             io_method: None,
             background: None,
+            engine: dmsim::Engine::default(),
         }
     }
 }
@@ -163,6 +170,12 @@ pub struct CompiledProgram {
     /// Tracing configuration requested at compile time (threaded from
     /// [`CompilerOptions::trace`] to the executor's machine).
     pub trace: ooc_trace::TraceConfig,
+    /// Execution engine requested at compile time (threaded from
+    /// [`CompilerOptions::engine`] to the executor's machine). Defaults to
+    /// [`dmsim::Engine::Threads`] on programs serialized before the field
+    /// existed.
+    #[serde(default)]
+    pub engine: dmsim::Engine,
 }
 
 impl CompiledProgram {
@@ -663,6 +676,7 @@ pub fn compile_hir(
         io_choices,
         model,
         trace: options.trace,
+        engine: options.engine,
     })
 }
 

@@ -1,21 +1,33 @@
 //! Point-to-point message fabric.
 //!
-//! Every ordered pair of processors gets a dedicated unbounded channel, so a
-//! receive from a *specific* source is race-free and deterministic. Message
-//! payloads are real data (the simulator computes real results); each message
-//! also carries its simulated departure time so the receiver can synchronize
-//! its virtual clock.
+//! Every rank owns one *mailbox*; inside it, per-source FIFO queues are
+//! materialized lazily on the first message from that source. A receive
+//! from a *specific* source scans only that source's queue, so matching is
+//! race-free and deterministic, and a 1024-rank machine whose ranks talk
+//! to `O(log n)` peers allocates `O(n log n)` queues instead of the `n²`
+//! channel pairs the previous eager fabric built up front.
+//!
+//! Message payloads are real data (the simulator computes real results);
+//! each message also carries its simulated arrival time so the receiver
+//! can synchronize its virtual clock.
 //!
 //! Timing semantics: a send advances the sender's clock by the full message
 //! transfer time (latency + bytes/bandwidth) — a conservative store-and-
 //! forward model that matches the blocking `csend`/`crecv` style of the
 //! paper's era. The message arrives at the sender's post-send clock; a
 //! receive moves the receiver's clock to `max(own clock, arrival)`.
+//!
+//! Blocking works for both execution engines: an OS-thread rank waits on
+//! the mailbox condvar, a pooled rank registers its task id in the mailbox
+//! and parks its coroutine ([`crate::pool`]). Senders and exiting ranks
+//! wake whichever kind of waiter they find. Registration happens under the
+//! same lock as the queue scan, so wakeups cannot be lost.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
+use crate::pool::{CoroHook, PoolShared};
 use crate::time::SimTime;
 
 /// Message tag for matching sends with receives.
@@ -182,34 +194,171 @@ impl std::fmt::Display for RecvError {
 
 impl std::error::Error for RecvError {}
 
-/// One processor's endpoints: senders to every peer and receivers from every
-/// peer, plus per-source pending queues for tag-mismatch buffering.
+/// How the pooled engine wakes a parked rank task: a parked receiver
+/// registers its task id in its mailbox, and senders hand that id to the
+/// scheduler through this route.
+pub(crate) struct PoolWake {
+    pub(crate) shared: Arc<PoolShared>,
+}
+
+struct MailState {
+    /// Per-source queues, materialized on the first message from a source.
+    queues: HashMap<usize, VecDeque<Msg>>,
+    /// Task id of a pooled rank parked on this mailbox (OS-thread ranks
+    /// wait on the condvar instead and leave this `None`).
+    waiting: Option<usize>,
+}
+
+struct Mailbox {
+    state: Mutex<MailState>,
+    arrived: Condvar,
+}
+
+/// The machine-wide fabric: one mailbox and one exited flag per rank.
+pub(crate) struct Fabric {
+    mailboxes: Vec<Mailbox>,
+    exited: Vec<AtomicBool>,
+    wake: OnceLock<PoolWake>,
+}
+
+impl Fabric {
+    pub(crate) fn new(n: usize) -> Arc<Fabric> {
+        Arc::new(Fabric {
+            mailboxes: (0..n)
+                .map(|_| Mailbox {
+                    state: Mutex::new(MailState {
+                        queues: HashMap::new(),
+                        waiting: None,
+                    }),
+                    arrived: Condvar::new(),
+                })
+                .collect(),
+            exited: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            wake: OnceLock::new(),
+        })
+    }
+
+    /// Install the pooled-engine wake route. Called once, after the run's
+    /// tasks are staged (so the rank→task-id map exists) and before they
+    /// are launched.
+    pub(crate) fn set_wake(&self, wake: PoolWake) {
+        if self.wake.set(wake).is_err() {
+            panic!("fabric wake route installed twice");
+        }
+    }
+
+    fn wake_task(&self, tid: usize) {
+        if let Some(w) = self.wake.get() {
+            w.shared.wake(tid);
+        }
+    }
+
+    /// Deliver `msg` from `src` into `dst`'s mailbox; returns `false` if
+    /// `dst` already exited (the message is dropped on the floor, matching
+    /// a send into a dropped channel).
+    fn send(&self, src: usize, dst: usize, msg: Msg) -> bool {
+        if self.exited[dst].load(Ordering::Acquire) {
+            return false;
+        }
+        let mb = &self.mailboxes[dst];
+        let waiter = {
+            let mut st = mb.state.lock().unwrap();
+            st.queues.entry(src).or_default().push_back(msg);
+            st.waiting.take()
+        };
+        mb.arrived.notify_all();
+        if let Some(tid) = waiter {
+            self.wake_task(tid);
+        }
+        true
+    }
+
+    /// Blocking receive for rank `me` of the next message from `src` with
+    /// tag `tag`. `hook` selects the blocking style: condvar wait for
+    /// OS-thread ranks, park-the-coroutine for pooled ranks.
+    fn recv(
+        &self,
+        me: usize,
+        src: usize,
+        tag: Tag,
+        hook: Option<&CoroHook>,
+    ) -> Result<Msg, RecvError> {
+        let mb = &self.mailboxes[me];
+        let mut st = mb.state.lock().unwrap();
+        loop {
+            if let Some(q) = st.queues.get_mut(&src) {
+                if let Some(pos) = q.iter().position(|m| m.tag == tag) {
+                    return Ok(q.remove(pos).expect("position valid"));
+                }
+            }
+            // Checked *after* draining matches and *inside* the lock: an
+            // exiting sender stores the flag before sweeping mailbox locks,
+            // so a receiver that misses the flag here is guaranteed to be
+            // registered (or condvar-waiting) when the sweep reaches it.
+            if self.exited[src].load(Ordering::Acquire) {
+                return Err(RecvError::Disconnected { from: src });
+            }
+            match hook {
+                None => st = mb.arrived.wait(st).unwrap(),
+                Some(h) => {
+                    st.waiting = Some(h.tid());
+                    drop(st);
+                    h.park();
+                    st = mb.state.lock().unwrap();
+                }
+            }
+        }
+    }
+
+    /// Mark `rank` exited and wake every waiter in the machine so blocked
+    /// receivers re-check their sources. Spurious wakes re-park; receivers
+    /// actually waiting on `rank` observe the flag and error out.
+    pub(crate) fn mark_exited(&self, rank: usize) {
+        if self.exited[rank].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for mb in &self.mailboxes {
+            let waiter = { mb.state.lock().unwrap().waiting.take() };
+            mb.arrived.notify_all();
+            if let Some(tid) = waiter {
+                self.wake_task(tid);
+            }
+        }
+    }
+}
+
+/// One processor's handle into the fabric. Dropping it marks the rank
+/// exited (waking any peer blocked on it), which is how a finished — or
+/// panicked and unwound — rank disconnects.
 pub struct Endpoints {
-    /// `to[d]` sends to rank `d` (entry for self is present but unused).
-    pub to: Vec<Sender<Msg>>,
-    /// `from[s]` receives from rank `s`.
-    pub from: Vec<Receiver<Msg>>,
-    /// Messages received from `s` whose tag did not match a pending receive.
-    pending: Vec<VecDeque<Msg>>,
+    fabric: Arc<Fabric>,
+    rank: usize,
 }
 
 impl Endpoints {
-    /// Blocking receive of the next message from `src` with tag `tag`.
+    pub(crate) fn on(fabric: Arc<Fabric>, rank: usize) -> Endpoints {
+        Endpoints { fabric, rank }
+    }
+
+    /// Blocking receive of the next message from `src` with tag `tag`,
+    /// waiting as an OS thread.
     ///
-    /// Messages with other tags that arrive first are buffered and delivered
-    /// to later receives, so independent protocols (e.g. a collective and a
-    /// user exchange) can interleave safely.
+    /// Messages with other tags that arrive first stay queued and are
+    /// delivered to later receives, so independent protocols (e.g. a
+    /// collective and a user exchange) can interleave safely.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Result<Msg, RecvError> {
-        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
-            return Ok(self.pending[src].remove(pos).expect("position valid"));
-        }
-        loop {
-            match self.from[src].recv() {
-                Ok(m) if m.tag == tag => return Ok(m),
-                Ok(m) => self.pending[src].push_back(m),
-                Err(_) => return Err(RecvError::Disconnected { from: src }),
-            }
-        }
+        self.fabric.recv(self.rank, src, tag, None)
+    }
+
+    /// Blocking receive with an engine-selected wait: `hook` is `None` on
+    /// the threaded engine, `Some` (park the coroutine) on the pooled one.
+    pub(crate) fn recv_as(
+        &self,
+        src: usize,
+        tag: Tag,
+        hook: Option<&CoroHook>,
+    ) -> Result<Msg, RecvError> {
+        self.fabric.recv(self.rank, src, tag, hook)
     }
 
     /// Send `msg` to `dst`. Returns `false` if `dst` has already exited.
@@ -220,29 +369,22 @@ impl Endpoints {
     /// rank's error drives machine-level recovery. Panicking here instead
     /// would tear down every surviving rank's thread.
     pub fn send(&self, dst: usize, msg: Msg) -> bool {
-        self.to[dst].send(msg).is_ok()
+        self.fabric.send(self.rank, dst, msg)
     }
 }
 
-/// Build the full fabric for `n` processors: a vector of per-rank endpoints.
-pub fn build_fabric(n: usize) -> Vec<Endpoints> {
-    // txs[s][d] / rxs[d][s]: channel from s to d.
-    let mut txs: Vec<Vec<Option<Sender<Msg>>>> = (0..n).map(|_| vec![None; n]).collect();
-    let mut rxs: Vec<Vec<Option<Receiver<Msg>>>> = (0..n).map(|_| vec![None; n]).collect();
-    for (s, tx_row) in txs.iter_mut().enumerate() {
-        for (d, slot) in tx_row.iter_mut().enumerate() {
-            let (tx, rx) = unbounded();
-            *slot = Some(tx);
-            rxs[d][s] = Some(rx);
-        }
+impl Drop for Endpoints {
+    fn drop(&mut self) {
+        self.fabric.mark_exited(self.rank);
     }
-    txs.into_iter()
-        .zip(rxs)
-        .map(|(tx_row, rx_row)| Endpoints {
-            to: tx_row.into_iter().map(|t| t.expect("filled")).collect(),
-            from: rx_row.into_iter().map(|r| r.expect("filled")).collect(),
-            pending: (0..n).map(|_| VecDeque::new()).collect(),
-        })
+}
+
+/// Build the full fabric for `n` processors: a vector of per-rank endpoint
+/// handles over one shared lazy mailbox fabric.
+pub fn build_fabric(n: usize) -> Vec<Endpoints> {
+    let fabric = Fabric::new(n);
+    (0..n)
+        .map(|rank| Endpoints::on(fabric.clone(), rank))
         .collect()
 }
 
@@ -277,7 +419,7 @@ mod tests {
         let a = eps.pop().unwrap();
         a.send(1, msg(1, 10));
         a.send(1, msg(2, 20));
-        // Ask for tag 2 first: tag 1 must be buffered, not lost.
+        // Ask for tag 2 first: tag 1 must stay queued, not get lost.
         let second = b.recv(0, Tag(2)).unwrap();
         assert_eq!(second.payload.into_u64(), vec![20]);
         let first = b.recv(0, Tag(1)).unwrap();
@@ -291,6 +433,36 @@ mod tests {
         let a = eps.pop().unwrap();
         drop(a);
         assert_eq!(b.recv(0, Tag(0)), Err(RecvError::Disconnected { from: 0 }));
+    }
+
+    #[test]
+    fn messages_sent_before_exit_survive_the_exit() {
+        let mut eps = build_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, msg(4, 77));
+        drop(a);
+        // The queued message is still deliverable; only *after* draining it
+        // does the disconnect surface.
+        assert_eq!(b.recv(0, Tag(4)).unwrap().payload.into_u64(), vec![77]);
+        assert_eq!(b.recv(0, Tag(4)), Err(RecvError::Disconnected { from: 0 }));
+    }
+
+    #[test]
+    fn send_to_exited_rank_reports_failure() {
+        let mut eps = build_fabric(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b);
+        assert!(!a.send(1, msg(0, 1)));
+    }
+
+    #[test]
+    fn large_fabrics_are_cheap_to_build() {
+        // The eager predecessor allocated n² channel pairs here; the lazy
+        // fabric is O(n) until messages actually flow.
+        let eps = build_fabric(1024);
+        assert_eq!(eps.len(), 1024);
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! disks.
 //!
 //! The simulator executes **real SPMD programs on real data**: every virtual
-//! processor is an OS thread running the supplied closure, and messages carry
-//! actual payloads. What is *simulated* is time. Each processor owns a
-//! virtual clock, and every operation — floating-point work, message
-//! transfers, disk requests — advances that clock according to a
-//! [`CostModel`] calibrated to the Intel Touchstone Delta, the machine used
-//! in the paper. Because collectives are built from deterministic
+//! processor runs the supplied closure — as its own OS thread under
+//! [`Engine::Threads`], or as a coroutine multiplexed onto a fixed
+//! [`WorkerPool`] under [`Engine::Pool`], which scales to thousands of ranks
+//! — and messages carry actual payloads. What is *simulated* is time. Each
+//! processor owns a virtual clock, and every operation — floating-point
+//! work, message transfers, disk requests — advances that clock according to
+//! a [`CostModel`] calibrated to the Intel Touchstone Delta, the machine
+//! used in the paper. Because collectives are built from deterministic
 //! tree-structured point-to-point messages, the simulated time of a run is a
-//! pure function of the program, independent of OS scheduling.
+//! pure function of the program, independent of OS scheduling *and of the
+//! execution engine*: both engines produce bitwise-identical reports.
 //!
 //! ## Quick tour
 //!
@@ -35,9 +38,11 @@
 
 pub mod collectives;
 pub mod comm;
+mod coro;
 pub mod costmodel;
 pub mod fault;
 pub mod machine;
+mod pool;
 pub mod proc;
 pub mod stats;
 pub mod time;
@@ -46,8 +51,9 @@ pub use collectives::{CommElem, CommError, ReduceOp};
 pub use comm::{Payload, ProtocolError, RecvError, Tag};
 pub use costmodel::{BackgroundLoad, CostModel, IoCost};
 pub use fault::{FaultCharges, FaultConfig, FaultDomain, FaultInjector, IoFate, RetryPolicy};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Engine, Machine, MachineConfig, RunHandle};
 pub use ooc_trace::{Trace, TraceConfig};
+pub use pool::WorkerPool;
 pub use proc::{ProcCtx, Rank, RunReport, TraceSpanGuard};
 pub use stats::{ProcStats, StatsSnapshot};
 pub use time::SimTime;

@@ -1,14 +1,35 @@
 //! The simulated machine: configuration and SPMD execution.
 
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ooc_trace::{Trace, TraceConfig, Tracer};
+use ooc_trace::{RankTrace, Trace, TraceConfig, Tracer};
 use serde::{Deserialize, Serialize};
 
-use crate::comm::build_fabric;
+use crate::comm::{build_fabric, Endpoints, Fabric, PoolWake};
 use crate::costmodel::CostModel;
 use crate::fault::{FaultConfig, FaultDomain, FaultInjector};
-use crate::proc::{ProcCtx, RunReport};
+use crate::pool::{CoroHook, RankBody, RunCore, TaskToken, WorkerPool};
+use crate::proc::{Blocker, ProcCtx, ProcReport, RunReport};
+
+/// Which execution engine carries the simulated ranks.
+///
+/// Both engines produce **bitwise-identical** results — clocks, stats,
+/// traces, fault streams — because every per-rank quantity is a pure
+/// function of the rank's own event sequence and messages carry their
+/// arrival timestamps. The engines differ only in host-resource shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Engine {
+    /// One OS thread per simulated rank — the legacy engine and the
+    /// exact-parity oracle. Simple, but caps out at OS thread limits.
+    #[default]
+    Threads,
+    /// Ranks are coroutines scheduled on a fixed pool of this many worker
+    /// threads (`0` = host parallelism). Scales to thousands of ranks and
+    /// lets concurrent runs share one pool.
+    Pool(usize),
+}
 
 /// Configuration of a simulated distributed-memory machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +45,8 @@ pub struct MachineConfig {
     /// (`ooc-sched`). Seeds fault/RNG streams per (job, rank) pair; job 0 —
     /// the default — is bit-identical to the pre-workload derivation.
     pub job: u32,
+    /// Execution engine carrying the ranks; results are engine-invariant.
+    pub engine: Engine,
 }
 
 impl MachineConfig {
@@ -35,6 +58,7 @@ impl MachineConfig {
             cost,
             trace: TraceConfig::default(),
             job: 0,
+            engine: Engine::default(),
         }
     }
 
@@ -48,6 +72,12 @@ impl MachineConfig {
     /// streams per (job, rank) pair).
     pub fn with_job(mut self, job: u32) -> Self {
         self.job = job;
+        self
+    }
+
+    /// Select the execution engine (results are engine-invariant).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -102,9 +132,10 @@ impl Machine {
         &self.config
     }
 
-    /// Run `body` as an SPMD region: one OS thread per simulated processor,
-    /// each receiving its own [`ProcCtx`]. Returns the timing/statistics
-    /// report. Panics in any processor propagate after all threads joined.
+    /// Run `body` as an SPMD region on the configured [`Engine`], each
+    /// processor receiving its own [`ProcCtx`]. Returns the
+    /// timing/statistics report. Panics in any processor propagate after
+    /// the region completes, lowest rank first.
     pub fn run<F>(&self, body: F) -> RunReport
     where
         F: Fn(&ProcCtx) + Send + Sync,
@@ -119,17 +150,32 @@ impl Machine {
         F: Fn(&ProcCtx) -> T + Send + Sync,
         T: Send,
     {
+        match self.config.engine {
+            Engine::Threads => self.run_threaded(body),
+            Engine::Pool(workers) => {
+                if !crate::coro::supported() {
+                    // No coroutine backend on this target; the threaded
+                    // engine is bitwise-identical, only less scalable.
+                    return self.run_threaded(body);
+                }
+                let pool = WorkerPool::new(workers);
+                self.run_on(&pool, body)
+            }
+        }
+    }
+
+    /// The legacy engine: one OS thread per simulated processor.
+    fn run_threaded<F, T>(&self, body: F) -> (RunReport, Vec<T>)
+    where
+        F: Fn(&ProcCtx) -> T + Send + Sync,
+        T: Send,
+    {
         let n = self.config.nprocs;
         let fabric = build_fabric(n);
         let started = Instant::now();
 
         let tracing = self.config.trace.enabled;
-        let mut joined: Vec<(
-            usize,
-            crate::proc::ProcReport,
-            Option<ooc_trace::RankTrace>,
-            T,
-        )> = Vec::with_capacity(n);
+        let mut joined: Vec<(usize, ProcReport, Option<RankTrace>, T)> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, endpoints) in fabric.into_iter().enumerate() {
@@ -142,7 +188,18 @@ impl Machine {
                 let job = self.config.job;
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    let ctx = ProcCtx::new(rank, n, cost, endpoints, faults, tracer, job);
+                    // A panic unwinds through `ctx`, dropping its endpoints,
+                    // which marks the rank exited and unblocks its peers.
+                    let ctx = ProcCtx::new(
+                        rank,
+                        n,
+                        cost,
+                        endpoints,
+                        faults,
+                        tracer,
+                        job,
+                        Blocker::Thread,
+                    );
                     let value = body(&ctx);
                     let (report, trace) = ctx.finish();
                     (rank, report, trace, value)
@@ -168,6 +225,198 @@ impl Machine {
         }
         let trace = tracing.then_some(Trace { ranks: rank_traces });
         (RunReport::new(reports, wall, trace), values)
+    }
+
+    /// Run the SPMD region as rank coroutines on an existing [`WorkerPool`],
+    /// blocking until every rank finished. Several `run_on` calls (from
+    /// different OS threads) may share one pool; their tasks interleave on
+    /// the workers without affecting each other's results.
+    ///
+    /// Panics if the simulated program deadlocks (every rank parked with no
+    /// wake possible) — the threaded engine would hang forever instead.
+    pub fn run_on<F, T>(&self, pool: &WorkerPool, body: F) -> (RunReport, Vec<T>)
+    where
+        F: Fn(&ProcCtx) -> T + Send + Sync,
+        T: Send,
+    {
+        if !crate::coro::supported() {
+            return self.run_threaded(body);
+        }
+        // `&F` implements `Fn(&ProcCtx) -> T` and is `Copy`; the staged
+        // tasks borrow `body` only until `wait()` returns (see the safety
+        // argument in `stage_generic`).
+        self.stage_generic(pool, &body).wait()
+    }
+
+    /// Start the SPMD region on `pool` without blocking: the returned
+    /// handle collects the report. Lets a driver thread keep many runs
+    /// in flight on one shared pool (multi-job workloads).
+    pub fn start_on<F, T>(&self, pool: &WorkerPool, body: F) -> RunHandle<T>
+    where
+        F: Fn(&ProcCtx) -> T + Send + Sync + 'static,
+        T: Send + 'static,
+    {
+        assert!(
+            crate::coro::supported(),
+            "start_on requires the coroutine backend (x86_64/aarch64)"
+        );
+        let body = Arc::new(body);
+        let staged = self.stage_generic(pool, move |ctx: &ProcCtx| body(ctx));
+        RunHandle {
+            staged,
+            _pool: pool.clone(),
+        }
+    }
+
+    /// Stage one coroutine per rank on `pool` and launch them. `body` is
+    /// cloned per rank (a borrow for `run_on`, an `Arc`-capturing closure
+    /// for `start_on`).
+    fn stage_generic<'env, T, B>(&self, pool: &WorkerPool, body: B) -> StagedRun<T>
+    where
+        T: Send + 'env,
+        B: Fn(&ProcCtx) -> T + Send + Clone + 'env,
+    {
+        let n = self.config.nprocs;
+        let started = Instant::now();
+        let tracing = self.config.trace.enabled;
+        let fabric = Fabric::new(n);
+        let run = pool.new_run(n);
+        let results: SharedResults<T> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+        let mut bodies: Vec<ErasedBody<'env>> = Vec::with_capacity(n);
+        for rank in 0..n {
+            let cost = self.config.cost.clone();
+            let faults = self
+                .fault
+                .as_ref()
+                .map(|fc| FaultInjector::for_job(fc, self.config.job, rank, FaultDomain::Msg));
+            let tracer = tracing.then(|| Tracer::new(rank, self.config.trace));
+            let job = self.config.job;
+            let fabric = fabric.clone();
+            let run = run.clone();
+            let results = results.clone();
+            let body = body.clone();
+            bodies.push(Box::new(move |y, token| {
+                let hook = CoroHook::new(y, token);
+                let ctx = ProcCtx::new(
+                    rank,
+                    n,
+                    cost,
+                    Endpoints::on(fabric, rank),
+                    faults,
+                    tracer,
+                    job,
+                    Blocker::Coro(hook),
+                );
+                match std::panic::catch_unwind(AssertUnwindSafe(|| body(&ctx))) {
+                    Ok(value) => {
+                        let (report, trace) = ctx.finish();
+                        results.lock().unwrap()[rank] = Some((report, trace, value));
+                    }
+                    Err(payload) => {
+                        // Dropping the context disconnects the rank's
+                        // endpoints, unblocking any peer waiting on it.
+                        drop(ctx);
+                        run.record_panic(rank, payload);
+                    }
+                }
+            }));
+        }
+
+        // SAFETY: lifetime erasure of the rank closures, which may borrow
+        // `body` from the caller's frame ('env). `StagedRun::wait` blocks
+        // until every task of the run is accounted for: a finished task has
+        // consumed its closure (captures dropped on its own stack), and a
+        // deadlock-killed task's suspended stack is *leaked* — its borrows
+        // are never touched again — after which `wait` panics. `run_on`
+        // calls `wait` before 'env can end, and `start_on` only accepts
+        // 'static bodies, so no erased borrow is ever dangling when used.
+        let bodies: Vec<RankBody> = unsafe { std::mem::transmute(bodies) };
+        let tids = pool.submit(&run, bodies);
+        fabric.set_wake(PoolWake {
+            shared: pool.shared_arc(),
+        });
+        pool.launch(&tids);
+        StagedRun {
+            run,
+            results,
+            started,
+            tracing,
+            n,
+        }
+    }
+}
+
+type RankDone<T> = (ProcReport, Option<RankTrace>, T);
+type SharedResults<T> = Arc<Mutex<Vec<Option<RankDone<T>>>>>;
+/// A rank closure before lifetime erasure (see the SAFETY comment in
+/// [`Machine::stage_generic`]); `RankBody` is its `'static` counterpart.
+type ErasedBody<'env> = Box<dyn FnOnce(&crate::coro::Yielder, TaskToken) + Send + 'env>;
+
+/// A launched pooled run: owns the completion state and result slots.
+struct StagedRun<T> {
+    run: Arc<RunCore>,
+    results: SharedResults<T>,
+    started: Instant,
+    tracing: bool,
+    n: usize,
+}
+
+impl<T: Send> StagedRun<T> {
+    fn wait(self) -> (RunReport, Vec<T>) {
+        self.run.wait();
+        if self.run.failed() {
+            let mut ranks = self.run.deadlocked_ranks();
+            ranks.sort_unstable();
+            panic!(
+                "dmsim: simulated program deadlocked on the pooled engine: \
+                 ranks {ranks:?} were parked with no possible wake \
+                 (their coroutine stacks were leaked)"
+            );
+        }
+        if let Some((_rank, payload)) = self.run.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        let wall = self.started.elapsed().as_secs_f64();
+        let slots = match Arc::try_unwrap(self.results) {
+            Ok(m) => m.into_inner().unwrap(),
+            // Every task finished cleanly (no deadlock, no panic), so every
+            // per-rank clone of the results handle has been dropped.
+            Err(_) => unreachable!("result slots still shared after completion"),
+        };
+        let mut reports = Vec::with_capacity(self.n);
+        let mut rank_traces = Vec::with_capacity(self.n);
+        let mut values = Vec::with_capacity(self.n);
+        for (rank, slot) in slots.into_iter().enumerate() {
+            let (rep, rt, val) =
+                slot.unwrap_or_else(|| panic!("rank {rank} finished without a result"));
+            reports.push(rep);
+            rank_traces.extend(rt);
+            values.push(val);
+        }
+        let trace = self.tracing.then_some(Trace { ranks: rank_traces });
+        (RunReport::new(reports, wall, trace), values)
+    }
+}
+
+/// Handle to a run started with [`Machine::start_on`]. Keeps the worker
+/// pool alive until the run is collected.
+pub struct RunHandle<T> {
+    staged: StagedRun<T>,
+    _pool: WorkerPool,
+}
+
+impl<T: Send> RunHandle<T> {
+    /// Block until the run completes and collect its report and per-rank
+    /// values. Propagates rank panics (lowest rank first) and turns
+    /// simulated deadlocks into a diagnostic panic.
+    pub fn wait(self) -> (RunReport, Vec<T>) {
+        self.staged.wait()
+    }
+
+    /// Whether every rank of the run has already finished.
+    pub fn is_done(&self) -> bool {
+        self.staged.run.is_done()
     }
 }
 

@@ -15,11 +15,30 @@ use crate::collectives::CommError;
 use crate::comm::{Endpoints, Msg, Payload, RecvError, Tag};
 use crate::costmodel::CostModel;
 use crate::fault::{FaultCharges, FaultInjector};
+use crate::pool::CoroHook;
 use crate::stats::{ProcStats, StatsSnapshot};
 use crate::time::{Clock, SimTime};
 
 /// Processor rank, `0..nprocs`.
 pub type Rank = usize;
+
+/// How this processor's execution engine blocks at clock-advance points.
+pub(crate) enum Blocker {
+    /// The rank is an OS thread: block on the mailbox condvar.
+    Thread,
+    /// The rank is a coroutine on the worker pool: park / yield through
+    /// the scheduler hook.
+    Coro(CoroHook),
+}
+
+impl Blocker {
+    fn hook(&self) -> Option<&CoroHook> {
+        match self {
+            Blocker::Thread => None,
+            Blocker::Coro(h) => Some(h),
+        }
+    }
+}
 
 /// The execution context handed to the SPMD closure on each processor.
 pub struct ProcCtx {
@@ -43,9 +62,12 @@ pub struct ProcCtx {
     io_offset: Cell<Option<u64>>,
     /// Workload job identity (0 for single-program runs).
     job: u32,
+    /// How this rank blocks: as an OS thread or as a pooled coroutine.
+    blocker: Blocker,
 }
 
 impl ProcCtx {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: Rank,
         nprocs: usize,
@@ -54,6 +76,7 @@ impl ProcCtx {
         faults: Option<FaultInjector>,
         tracer: Option<Tracer>,
         job: u32,
+        blocker: Blocker,
     ) -> Self {
         ProcCtx {
             rank,
@@ -67,6 +90,27 @@ impl ProcCtx {
             io_hint: RefCell::new(None),
             io_offset: Cell::new(None),
             job,
+            blocker,
+        }
+    }
+
+    /// Refresh the scheduler's virtual-time key for this rank (pooled
+    /// engine only) right before a potential suspension.
+    fn sync_blocker_vtime(&self) -> Option<&CoroHook> {
+        let hook = self.blocker.hook();
+        if let Some(h) = hook {
+            h.set_vtime_bits(self.clock.now().seconds().to_bits());
+        }
+        hook
+    }
+
+    /// A clock-advance point with no data dependency (a disk wait in the
+    /// parallel I/O layer): give ranks that are behind in virtual time a
+    /// chance to run. No-op on the threaded engine; purely a scheduling
+    /// hint on the pooled one — results are bitwise-identical either way.
+    pub fn io_yield(&self) {
+        if let Some(h) = self.sync_blocker_vtime() {
+            h.coop_yield();
         }
     }
 
@@ -435,7 +479,8 @@ impl ProcCtx {
     /// it was waiting; time already past arrival costs nothing.
     pub fn recv(&self, src: Rank, tag: Tag) -> Result<Payload, RecvError> {
         assert!(src < self.nprocs, "recv from rank {src} of {}", self.nprocs);
-        let msg = self.endpoints.borrow_mut().recv(src, tag)?;
+        let hook = self.sync_blocker_vtime();
+        let msg = self.endpoints.borrow().recv_as(src, tag, hook)?;
         let before = self.clock.now();
         let after = self.clock.sync_to(msg.arrival);
         let wait = (after.seconds() - before.seconds()).max(0.0);
@@ -528,6 +573,10 @@ pub struct RunReport {
     per_proc: Vec<ProcReport>,
     wall_seconds: f64,
     trace: Option<ooc_trace::Trace>,
+    /// Peak resident set size of the *host* process, when a harness
+    /// recorded one (see `ooc-bench`'s `/proc/self/status` reader). Not a
+    /// simulated quantity: excluded from parity comparisons.
+    peak_rss_bytes: Option<u64>,
 }
 
 impl RunReport {
@@ -541,7 +590,19 @@ impl RunReport {
             per_proc,
             wall_seconds,
             trace,
+            peak_rss_bytes: None,
         }
+    }
+
+    /// Best-effort peak resident memory of the simulating process, if a
+    /// harness attached one via [`RunReport::set_peak_rss_bytes`].
+    pub fn peak_rss_bytes(&self) -> Option<u64> {
+        self.peak_rss_bytes
+    }
+
+    /// Attach a host peak-RSS measurement (bytes) to the report.
+    pub fn set_peak_rss_bytes(&mut self, bytes: Option<u64>) {
+        self.peak_rss_bytes = bytes;
     }
 
     /// The recorded simulated-clock trace, when tracing was enabled on the

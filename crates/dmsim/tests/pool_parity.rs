@@ -1,0 +1,139 @@
+//! Engine parity: the pooled executor must be a drop-in replacement for the
+//! threaded engine — same clocks, same stats, same traces, same fault
+//! streams, bit for bit — and invariant in the number of pool workers.
+
+use proptest::prelude::*;
+
+use dmsim::{Engine, FaultConfig, Machine, MachineConfig, ProcCtx, TraceConfig, WorkerPool};
+
+/// A rank body exercising every kind of clock-advance point: compute,
+/// point-to-point ring traffic with tag mixing, disk charges with
+/// cooperative yields, a collective, and a barrier.
+fn workout(ctx: &ProcCtx, work_seed: u64) -> Vec<f64> {
+    let p = ctx.nprocs();
+    let me = ctx.rank();
+    ctx.charge_flops((me as u64 * 7919 + work_seed * 131) % 50_000);
+    if p > 1 {
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        // Two tags sent in one order, received in the other: exercises the
+        // mailbox's tag-mismatch queuing on both engines.
+        ctx.send(next, dmsim::Tag(1), dmsim::Payload::U64(vec![me as u64; 8]));
+        ctx.send(next, dmsim::Tag(2), dmsim::Payload::F64(vec![me as f64; 4]));
+        let b = ctx.recv(prev, dmsim::Tag(2)).unwrap().into_f64();
+        let a = ctx.recv(prev, dmsim::Tag(1)).unwrap().into_u64();
+        assert_eq!(a, vec![prev as u64; 8]);
+        assert_eq!(b, vec![prev as f64; 4]);
+    }
+    ctx.charge_io_read(4, 1 << 16);
+    ctx.io_yield();
+    ctx.charge_io_write(2, 1 << 14);
+    ctx.io_yield();
+    let v = vec![me as f64 + 1.0, work_seed as f64];
+    let sum = ctx.allreduce_sum_f64(&v);
+    ctx.barrier();
+    sum
+}
+
+fn run_config(p: usize, engine: Engine) -> MachineConfig {
+    MachineConfig::delta(p)
+        .with_trace(TraceConfig::detailed())
+        .with_engine(engine)
+}
+
+/// Run the workout on `engine` and return everything comparable.
+fn observe(p: usize, work_seed: u64, fault_seed: Option<u64>, engine: Engine) -> RunObs {
+    let mut machine = Machine::new(run_config(p, engine));
+    if let Some(seed) = fault_seed {
+        machine = machine.with_fault_injection(FaultConfig::chaos(seed));
+    }
+    let (mut report, values) = machine.run_with(move |ctx| workout(ctx, work_seed));
+    RunObs {
+        per_proc: report.per_proc().to_vec(),
+        elapsed_bits: report.elapsed().to_bits(),
+        trace: report.take_trace(),
+        values,
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct RunObs {
+    per_proc: Vec<dmsim::proc::ProcReport>,
+    elapsed_bits: u64,
+    trace: Option<dmsim::Trace>,
+    values: Vec<Vec<f64>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pool(1), Pool(2) and Pool(8) all equal the threaded oracle, bitwise,
+    /// fault injection included.
+    #[test]
+    fn pool_size_is_unobservable(
+        p in 1usize..13,
+        work_seed in 0u64..1000,
+        chaos_raw in 0u64..2000,
+    ) {
+        // Low half of the range means "no fault injection"; high half is a
+        // chaos seed. (The in-repo proptest shim has no `option::of`.)
+        let chaos = chaos_raw.checked_sub(1000);
+        let oracle = observe(p, work_seed, chaos, Engine::Threads);
+        for workers in [1usize, 2, 8] {
+            let pooled = observe(p, work_seed, chaos, Engine::Pool(workers));
+            prop_assert_eq!(
+                &pooled, &oracle,
+                "Pool({}) diverged from Engine::Threads at p={}", workers, p
+            );
+        }
+    }
+
+    /// Sharing one pool across consecutive runs (the multi-job setup) does
+    /// not perturb results either.
+    #[test]
+    fn shared_pool_reuse_is_unobservable(
+        p in 2usize..9,
+        work_seed in 0u64..1000,
+    ) {
+        let oracle = observe(p, work_seed, Some(work_seed), Engine::Threads);
+        let pool = WorkerPool::new(2);
+        for _ in 0..3 {
+            let machine = Machine::new(run_config(p, Engine::Pool(2)))
+                .with_fault_injection(FaultConfig::chaos(work_seed));
+            let (mut report, values) =
+                machine.run_on(&pool, move |ctx| workout(ctx, work_seed));
+            let obs = RunObs {
+                per_proc: report.per_proc().to_vec(),
+                elapsed_bits: report.elapsed().to_bits(),
+                trace: report.take_trace(),
+                values,
+            };
+            prop_assert_eq!(&obs, &oracle);
+        }
+    }
+}
+
+/// A panic in a rank body surfaces through `run_with` on the pooled engine
+/// the same way it does on the threaded one: lowest-rank panic wins.
+#[test]
+fn rank_panics_propagate_from_the_pool() {
+    for engine in [Engine::Threads, Engine::Pool(2)] {
+        let err = std::panic::catch_unwind(|| {
+            let machine = Machine::new(MachineConfig::delta(4).with_engine(engine));
+            machine.run_with(|ctx| {
+                ctx.charge_flops(10 * (4 - ctx.rank() as u64));
+                panic!("boom from rank {}", ctx.rank());
+            });
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom from rank 0"),
+            "engine {engine:?}: expected lowest-rank panic, got {msg:?}"
+        );
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use dmsim::{FaultConfig, Machine, MachineConfig, ProcCtx, RunReport};
+use dmsim::{Engine, FaultConfig, Machine, MachineConfig, ProcCtx, RunReport, WorkerPool};
 use ooc_array::{OocEnv, OocError, Section, Shape};
 use ooc_core::{CompiledProgram, ExecPlan};
 
@@ -88,6 +88,16 @@ pub struct RunConfig {
     /// fault/RNG streams per (job, rank) and labels its requests for the
     /// `ooc-sched` disk-farm scheduler.
     pub job: u32,
+    /// Execution engine override. `None` follows the compiled program's
+    /// [`ooc_core::CompilerOptions::engine`]; `Some` replaces it. Ignored
+    /// when [`RunConfig::machine`] is set — an explicit machine carries its
+    /// own engine. Reports are bit-identical across engines.
+    pub engine: Option<Engine>,
+    /// Host the ranks on this existing worker pool instead of building a
+    /// transient one per run. Implies the pooled engine regardless of
+    /// `engine`/`machine`; required for running many programs concurrently
+    /// on one fixed set of OS threads (see [`start`]).
+    pub pool: Option<WorkerPool>,
 }
 
 /// Bound on whole-program recovery re-runs after a permanent fault.
@@ -150,13 +160,19 @@ pub(crate) struct RankResult {
     pub peak_elems: usize,
 }
 
-/// Execute every plan of `compiled` in order on the simulated machine.
-pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
+/// Build and validate the machine configuration for one run of `compiled`
+/// under `cfg` (engine resolution: `cfg.machine` > `cfg.engine` >
+/// `compiled.engine`).
+fn machine_config(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<MachineConfig, RunError> {
     let p = compiled.nprocs();
     let mut machine_cfg = cfg.machine.clone().unwrap_or_else(|| {
         MachineConfig::new(p, compiled.model.clone())
             .with_trace(cfg.trace.unwrap_or(compiled.trace))
+            .with_engine(compiled.engine)
     });
+    if let Some(engine) = cfg.engine {
+        machine_cfg.engine = engine;
+    }
     if cfg.job != 0 {
         machine_cfg.job = cfg.job;
     }
@@ -180,51 +196,63 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, Ru
             )));
         }
     }
+    Ok(machine_cfg)
+}
 
-    // Fault-recovery loop: a permanent fault (or the resulting loss of a
-    // peer mid-collective) triggers a bounded re-run with hard faults
-    // quiesced; checkpointed executors resume from their last slab
-    // watermark. Everything is deterministic — the re-run is as much a
-    // pure function of the seed as the first attempt.
-    let mut fault = cfg.fault.clone();
-    let mut recoveries = 0usize;
-    let (report, rank_results) = loop {
-        let mut machine = Machine::new(machine_cfg.clone());
-        if let Some(fc) = &fault {
-            machine = machine.with_fault_injection(fc.clone());
-        }
-        let rank_fault = fault.clone();
-        let (report, results) =
-            machine.run_with(|ctx| execute_rank(ctx, compiled, cfg, rank_fault.as_ref()));
+/// What one attempt's per-rank results amount to.
+enum Sift {
+    /// Every rank succeeded.
+    Done(Vec<RankResult>),
+    /// At least one rank failed recoverably and the recovery budget is not
+    /// exhausted: re-run with hard faults quiesced.
+    Retry,
+}
 
-        let mut ok = Vec::with_capacity(results.len());
-        let mut first_err: Option<OocError> = None;
-        let mut all_recoverable = true;
-        for r in results {
-            match r {
-                Ok(v) => ok.push(v),
-                Err(e) => {
-                    all_recoverable &= e.is_recoverable();
-                    first_err.get_or_insert(e);
-                }
+/// Separate an attempt's results into success / retry / hard failure.
+fn sift_attempt(
+    results: Vec<Result<RankResult, OocError>>,
+    recoveries: usize,
+) -> Result<Sift, RunError> {
+    let mut ok = Vec::with_capacity(results.len());
+    let mut first_err: Option<OocError> = None;
+    let mut all_recoverable = true;
+    for r in results {
+        match r {
+            Ok(v) => ok.push(v),
+            Err(e) => {
+                all_recoverable &= e.is_recoverable();
+                first_err.get_or_insert(e);
             }
         }
-        match first_err {
-            None => break (report, ok),
-            Some(e) => {
-                if !all_recoverable || recoveries >= MAX_RECOVERIES {
-                    return Err(e.into());
-                }
-                recoveries += 1;
-                if let Some(fc) = fault.as_mut() {
-                    fc.hard_read = 0.0;
-                    fc.hard_write = 0.0;
-                }
+    }
+    match first_err {
+        None => Ok(Sift::Done(ok)),
+        Some(e) => {
+            if !all_recoverable || recoveries >= MAX_RECOVERIES {
+                Err(e.into())
+            } else {
+                Ok(Sift::Retry)
             }
         }
-    };
+    }
+}
 
-    // Assemble collected arrays outside the timed region.
+/// Quiesce hard faults for a recovery re-run.
+fn quiesce(fault: &mut Option<FaultConfig>) {
+    if let Some(fc) = fault.as_mut() {
+        fc.hard_read = 0.0;
+        fc.hard_write = 0.0;
+    }
+}
+
+/// Assemble the final outcome (collected arrays, peak) outside the timed
+/// region.
+fn assemble_outcome(
+    compiled: &CompiledProgram,
+    cfg: &RunConfig,
+    report: RunReport,
+    rank_results: Vec<RankResult>,
+) -> RunOutcome {
     let mut collected = HashMap::new();
     for name in &cfg.collect {
         let id = compiled
@@ -249,13 +277,140 @@ pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, Ru
             crate::verify::assemble_global(desc, &per_rank),
         );
     }
-
     let peak_elems = rank_results.iter().map(|r| r.peak_elems).max().unwrap_or(0);
-    Ok(RunOutcome {
+    RunOutcome {
         report,
         collected,
         peak_elems,
+    }
+}
+
+/// Execute every plan of `compiled` in order on the simulated machine.
+pub fn run(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<RunOutcome, RunError> {
+    let machine_cfg = machine_config(compiled, cfg)?;
+
+    // Fault-recovery loop: a permanent fault (or the resulting loss of a
+    // peer mid-collective) triggers a bounded re-run with hard faults
+    // quiesced; checkpointed executors resume from their last slab
+    // watermark. Everything is deterministic — the re-run is as much a
+    // pure function of the seed as the first attempt.
+    let mut fault = cfg.fault.clone();
+    let mut recoveries = 0usize;
+    let (report, rank_results) = loop {
+        let mut machine = Machine::new(machine_cfg.clone());
+        if let Some(fc) = &fault {
+            machine = machine.with_fault_injection(fc.clone());
+        }
+        let rank_fault = fault.clone();
+        let body = |ctx: &ProcCtx| execute_rank(ctx, compiled, cfg, rank_fault.as_ref());
+        let (report, results) = match &cfg.pool {
+            Some(pool) => machine.run_on(pool, body),
+            None => machine.run_with(body),
+        };
+        match sift_attempt(results, recoveries)? {
+            Sift::Done(ok) => break (report, ok),
+            Sift::Retry => {
+                recoveries += 1;
+                quiesce(&mut fault);
+            }
+        }
+    };
+    Ok(assemble_outcome(compiled, cfg, report, rank_results))
+}
+
+/// A program submitted to a shared worker pool, running in the background.
+///
+/// Produced by [`start`]; redeem with [`StartedRun::wait`]. Many started
+/// runs coexist on one pool — that is the whole point: a fixed set of OS
+/// threads hosts every rank of every job as cooperative tasks.
+pub struct StartedRun {
+    compiled: Arc<CompiledProgram>,
+    cfg: Arc<RunConfig>,
+    pool: WorkerPool,
+    machine_cfg: MachineConfig,
+    fault: Option<FaultConfig>,
+    recoveries: usize,
+    handle: dmsim::RunHandle<Result<RankResult, OocError>>,
+}
+
+/// Submit one attempt of `compiled` to the pool without blocking.
+fn launch_attempt(
+    compiled: &Arc<CompiledProgram>,
+    cfg: &Arc<RunConfig>,
+    machine_cfg: &MachineConfig,
+    fault: &Option<FaultConfig>,
+    pool: &WorkerPool,
+) -> dmsim::RunHandle<Result<RankResult, OocError>> {
+    let mut machine = Machine::new(machine_cfg.clone());
+    if let Some(fc) = fault {
+        machine = machine.with_fault_injection(fc.clone());
+    }
+    let compiled = Arc::clone(compiled);
+    let cfg = Arc::clone(cfg);
+    let fault = fault.clone();
+    machine.start_on(pool, move |ctx| {
+        execute_rank(ctx, &compiled, &cfg, fault.as_ref())
     })
+}
+
+/// Start executing `compiled` on `pool` and return without waiting.
+///
+/// The non-blocking counterpart of [`run`]: the program's ranks join the
+/// pool's run queue immediately and execute interleaved with every other
+/// started run. Call [`StartedRun::wait`] to block for the outcome; fault
+/// recovery (the same bounded re-run loop as [`run`]) happens inside
+/// `wait`. `cfg.pool` is ignored — the explicit `pool` argument hosts the
+/// run. Requires the pooled engine's platform support (x86_64/aarch64).
+pub fn start(
+    compiled: Arc<CompiledProgram>,
+    cfg: Arc<RunConfig>,
+    pool: &WorkerPool,
+) -> Result<StartedRun, RunError> {
+    let machine_cfg = machine_config(&compiled, &cfg)?;
+    let fault = cfg.fault.clone();
+    let handle = launch_attempt(&compiled, &cfg, &machine_cfg, &fault, pool);
+    Ok(StartedRun {
+        compiled,
+        cfg,
+        pool: pool.clone(),
+        machine_cfg,
+        fault,
+        recoveries: 0,
+        handle,
+    })
+}
+
+impl StartedRun {
+    /// True once every rank of the current attempt has finished (cheap,
+    /// non-blocking; a recovery re-run resets it).
+    pub fn is_done(&self) -> bool {
+        self.handle.is_done()
+    }
+
+    /// Block until the program completes, running the bounded
+    /// fault-recovery loop if attempts fail recoverably.
+    pub fn wait(self) -> Result<RunOutcome, RunError> {
+        let StartedRun {
+            compiled,
+            cfg,
+            pool,
+            machine_cfg,
+            mut fault,
+            mut recoveries,
+            mut handle,
+        } = self;
+        loop {
+            let (report, results) = handle.wait();
+            match sift_attempt(results, recoveries)? {
+                Sift::Done(ok) => return Ok(assemble_outcome(&compiled, &cfg, report, ok)),
+                Sift::Retry => {
+                    recoveries += 1;
+                    quiesce(&mut fault);
+                    handle = launch_attempt(&compiled, &cfg, &machine_cfg, &fault, &pool);
+                }
+            }
+        }
+    }
 }
 
 /// Stable phase name for statement `i`: position plus what it computes, so

@@ -1,0 +1,100 @@
+//! End-to-end engine parity: a compiled program run through
+//! `noderun::run` produces bit-identical outcomes whether the ranks are OS
+//! threads or cooperative tasks on a worker pool — results, clocks, stats,
+//! traces, and fault behaviour all included.
+
+use std::sync::Arc;
+
+use dmsim::{Engine, FaultConfig, WorkerPool};
+use noderun::{init_fn, run, start, RunConfig, RunOutcome};
+use ooc_core::{compile_source, CompiledProgram, CompilerOptions};
+use ooc_trace::TraceConfig;
+
+fn fa(g: &[usize]) -> f32 {
+    ((g[0] * 7 + g[1] * 3) % 11) as f32 * 0.125 - 0.5
+}
+fn fb(g: &[usize]) -> f32 {
+    ((g[0] * 5 + g[1]) % 13) as f32 * 0.125 - 0.75
+}
+
+fn gaxpy() -> (CompiledProgram, RunConfig) {
+    let options = CompilerOptions {
+        trace: TraceConfig::detailed(),
+        ..CompilerOptions::default()
+    };
+    let compiled = compile_source(hpf::GAXPY_SOURCE, &options).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.init.insert("a".into(), init_fn(fa));
+    cfg.init.insert("b".into(), init_fn(fb));
+    cfg.collect.push("c".into());
+    (compiled, cfg)
+}
+
+fn assert_same_outcome(a: &mut RunOutcome, b: &mut RunOutcome, what: &str) {
+    assert_eq!(a.report.per_proc(), b.report.per_proc(), "{what}: per-proc");
+    assert_eq!(
+        a.report.elapsed().to_bits(),
+        b.report.elapsed().to_bits(),
+        "{what}: elapsed"
+    );
+    assert_eq!(
+        a.report.take_trace(),
+        b.report.take_trace(),
+        "{what}: trace"
+    );
+    assert_eq!(a.collected, b.collected, "{what}: collected arrays");
+    assert_eq!(a.peak_elems, b.peak_elems, "{what}: peak elements");
+}
+
+#[test]
+fn pooled_run_is_bit_identical_to_threaded_run() {
+    let (compiled, cfg) = gaxpy();
+    let mut threaded = run(&compiled, &cfg).unwrap();
+    let pooled_cfg = RunConfig {
+        engine: Some(Engine::Pool(2)),
+        ..cfg.clone()
+    };
+    let mut pooled = run(&compiled, &pooled_cfg).unwrap();
+    assert_same_outcome(&mut pooled, &mut threaded, "plain gaxpy");
+}
+
+#[test]
+fn pooled_run_with_faults_is_bit_identical_to_threaded_run() {
+    let (compiled, mut cfg) = gaxpy();
+    cfg.fault = Some(FaultConfig::chaos(7));
+    let mut threaded = run(&compiled, &cfg).unwrap();
+    let pooled_cfg = RunConfig {
+        engine: Some(Engine::Pool(3)),
+        ..cfg.clone()
+    };
+    let mut pooled = run(&compiled, &pooled_cfg).unwrap();
+    assert_same_outcome(&mut pooled, &mut threaded, "gaxpy under chaos faults");
+}
+
+#[test]
+fn concurrent_started_runs_match_sequential_runs() {
+    let (compiled, cfg) = gaxpy();
+    let compiled = Arc::new(compiled);
+    let pool = WorkerPool::new(2);
+    // Start several jobs before waiting on any: their ranks interleave
+    // arbitrarily on the two workers, yet each job's outcome must equal its
+    // solo threaded run.
+    let started: Vec<_> = (0..4)
+        .map(|i| {
+            let job_cfg = RunConfig {
+                job: i,
+                ..cfg.clone()
+            };
+            start(Arc::clone(&compiled), Arc::new(job_cfg), &pool).unwrap()
+        })
+        .collect();
+    for (i, s) in started.into_iter().enumerate() {
+        let mut got = s.wait().unwrap();
+        let job_cfg = RunConfig {
+            job: i as u32,
+            ..cfg.clone()
+        };
+        let mut solo = run(&compiled, &job_cfg).unwrap();
+        assert_same_outcome(&mut got, &mut solo, &format!("job {i}"));
+    }
+}

@@ -54,10 +54,12 @@
 
 pub mod capture;
 pub mod farm;
+pub mod live;
 pub mod policy;
 pub mod workload;
 
 pub use capture::{profile, IoReq, JobProfile};
 pub use farm::{simulate, FarmConfig, FarmJob, FarmReport, JobQueueStats, Served};
+pub use live::{profile_all_on, run_workload_live, ProgramJob};
 pub use policy::Policy;
 pub use workload::{run_workload, JobReport, JobSpec, WorkloadConfig, WorkloadReport};

@@ -371,6 +371,7 @@ impl LogicalDisk {
                 }
                 charge.io_read(requests, bytes);
                 self.settle_faults(charge);
+                charge.io_wait();
                 Ok(requests)
             }
             AccessPlan::Sieved { span, useful } => {
@@ -390,6 +391,7 @@ impl LogicalDisk {
                 charge.io_read(1, span.len);
                 charge.io_sieve(span.len, total_bytes(&useful));
                 self.settle_faults(charge);
+                charge.io_wait();
                 Ok(1)
             }
         }
@@ -443,6 +445,7 @@ impl LogicalDisk {
                 charge.io_write(1, span.len);
                 charge.io_sieve(span.len, total_bytes(&useful));
                 self.settle_faults(charge);
+                charge.io_wait();
                 Ok(2)
             }
         }
@@ -536,6 +539,7 @@ impl LogicalDisk {
         }
         charge.io_write(requests, bytes);
         self.settle_faults(charge);
+        charge.io_wait();
         Ok(requests)
     }
 

@@ -81,6 +81,14 @@ pub trait IoCharge {
     /// Observe one sieved read: a spanning read of `span_bytes` of which
     /// only `useful_bytes` were wanted. Default ignores it.
     fn io_sieve(&self, _span_bytes: u64, _useful_bytes: u64) {}
+    /// The charged operation is a *disk wait*: a clock-advance point at
+    /// which a cooperatively scheduled rank may hand the worker to whichever
+    /// rank is furthest behind in virtual time. Purely a scheduling hint —
+    /// it charges nothing and must not affect any simulated quantity. The
+    /// default (and every plain sink) does nothing; `ProcCtx` forwards to
+    /// [`dmsim::ProcCtx::io_yield`], which is a no-op on the threaded
+    /// engine.
+    fn io_wait(&self) {}
 }
 
 impl IoCharge for ProcCtx {
@@ -117,6 +125,9 @@ impl IoCharge for ProcCtx {
                 ooc_trace::Args::io(1, span_bytes - useful_bytes),
             );
         }
+    }
+    fn io_wait(&self) {
+        self.io_yield();
     }
 }
 
