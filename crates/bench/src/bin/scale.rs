@@ -172,7 +172,8 @@ fn run_jobs_rung(pool: &WorkerPool, jobs: usize) -> JobsRung {
             max_concurrent: jobs,
             ..WorkloadConfig::default()
         },
-    );
+    )
+    .expect("workload batch is well-formed");
     assert_eq!(rep.jobs.len(), jobs);
 
     JobsRung {

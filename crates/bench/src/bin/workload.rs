@@ -58,7 +58,8 @@ fn run_level(small: &JobProfile, heavy: &JobProfile, policy: Policy, concurrency
                 if placed + k == 0 {
                     JobSpec::new("heavy", heavy.clone()).with_weight(HEAVY_WEIGHT)
                 } else {
-                    JobSpec::new("small", small.clone()).with_weight(SMALL_WEIGHT)
+                    JobSpec::new(format!("small-{}", placed + k), small.clone())
+                        .with_weight(SMALL_WEIGHT)
                 }
             })
             .collect();
@@ -69,7 +70,8 @@ fn run_level(small: &JobProfile, heavy: &JobProfile, policy: Policy, concurrency
                 max_concurrent: concurrency,
                 ..WorkloadConfig::default()
             },
-        );
+        )
+        .expect("workload batch is well-formed");
         for j in &rep.jobs {
             turnarounds.push(j.turnaround());
             wait_sum += j.total_wait;

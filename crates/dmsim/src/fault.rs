@@ -96,6 +96,12 @@ pub struct FaultConfig {
     pub degrade_after: u64,
     /// Bandwidth divisor applied by a degraded disk when re-planning.
     pub degraded_bw_factor: f64,
+    /// After this many injected disk faults the disk **dies permanently**
+    /// (0 = never): every subsequent request fails with a typed
+    /// disk-down error that no retry or checkpoint/restart on the same
+    /// disk can clear. Workload-level layers (`ooc-sched`) react by
+    /// re-planning the surviving jobs onto the remaining disks.
+    pub fail_after: u64,
     /// Retry policy shared by disk and message recovery.
     pub retry: RetryPolicy,
 }
@@ -116,6 +122,7 @@ impl Default for FaultConfig {
             hard_write: 0.0,
             degrade_after: 0,
             degraded_bw_factor: 4.0,
+            fail_after: 0,
             retry: RetryPolicy::default(),
         }
     }
@@ -206,6 +213,44 @@ impl Stream {
             return false;
         }
         self.next_f64() < p
+    }
+}
+
+/// A public seeded splitmix64 stream for *workload-level* fault plans.
+///
+/// The per-(job, rank, domain) streams above belong to one machine run;
+/// layers above the machine (the `ooc-sched` fault-domain executive) need
+/// their own deterministic draws — which job hangs, where a disk dies —
+/// that must not perturb, and must not be perturbed by, any machine-level
+/// stream. `FaultStream` is the same generator with an independent salt
+/// space: a pure function of `(seed, salt)`.
+#[derive(Debug)]
+pub struct FaultStream(Stream);
+
+impl FaultStream {
+    /// Derive the stream for `salt` (e.g. a workload job index) under
+    /// `seed`. Distinct salts decorrelate; the derivation is disjoint from
+    /// the machine-level (rank, domain) space by construction.
+    pub fn derive(seed: u64, salt: u64) -> FaultStream {
+        let s = Stream::new(seed ^ salt.wrapping_mul(0xa076_1d64_78bd_642f) ^ (0x3f << 56));
+        FaultStream(Stream::new(s.next_u64()))
+    }
+
+    /// Next uniform 64-bit draw.
+    pub fn next_u64(&self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Next uniform draw in `[0, 1)`.
+    pub fn next_f64(&self) -> f64 {
+        self.0.next_f64()
+    }
+
+    /// Bernoulli draw; `p <= 0` returns `false` without advancing the
+    /// stream (disabled fault kinds leave every other fate sequence
+    /// intact, exactly as the machine-level injector behaves).
+    pub fn chance(&self, p: f64) -> bool {
+        self.0.chance(p)
     }
 }
 
@@ -429,6 +474,14 @@ impl FaultInjector {
     /// True once enough faults accumulated to mark the disk degraded.
     pub fn degraded(&self) -> bool {
         self.cfg.degrade_after > 0 && self.faults_seen.get() >= self.cfg.degrade_after
+    }
+
+    /// True once enough faults accumulated to kill the disk permanently
+    /// ([`FaultConfig::fail_after`]). Unlike degradation — which planners
+    /// absorb by re-planning slab sizes — a dead disk fails every
+    /// subsequent request with a typed disk-down error.
+    pub fn dead(&self) -> bool {
+        self.cfg.fail_after > 0 && self.faults_seen.get() >= self.cfg.fail_after
     }
 
     /// Bandwidth divisor for planning against a degraded disk.

@@ -50,8 +50,10 @@ pub mod time;
 pub use collectives::{CommElem, CommError, ReduceOp};
 pub use comm::{Payload, ProtocolError, RecvError, Tag};
 pub use costmodel::{BackgroundLoad, CostModel, IoCost};
-pub use fault::{FaultCharges, FaultConfig, FaultDomain, FaultInjector, IoFate, RetryPolicy};
-pub use machine::{Engine, Machine, MachineConfig, RunHandle};
+pub use fault::{
+    FaultCharges, FaultConfig, FaultDomain, FaultInjector, FaultStream, IoFate, RetryPolicy,
+};
+pub use machine::{Engine, Machine, MachineConfig, RunDeath, RunHandle};
 pub use ooc_trace::{Trace, TraceConfig};
 pub use pool::WorkerPool;
 pub use proc::{ProcCtx, Rank, RunReport, TraceSpanGuard};

@@ -264,7 +264,7 @@ impl Machine {
         let staged = self.stage_generic(pool, move |ctx: &ProcCtx| body(ctx));
         RunHandle {
             staged,
-            _pool: pool.clone(),
+            pool: pool.clone(),
         }
     }
 
@@ -353,6 +353,33 @@ type SharedResults<T> = Arc<Mutex<Vec<Option<RankDone<T>>>>>;
 /// [`Machine::stage_generic`]); `RankBody` is its `'static` counterpart.
 type ErasedBody<'env> = Box<dyn FnOnce(&crate::coro::Yielder, TaskToken) + Send + 'env>;
 
+/// How a pooled run died instead of completing: detected simulated
+/// deadlock, or an explicit [`RunHandle::kill`] (e.g. a workload watchdog
+/// evicting a hung job). Either way the victims' suspended coroutine
+/// stacks are leaked and the rest of the pool is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunDeath {
+    /// Every live rank of the run was parked with no possible wake; the
+    /// listed ranks were reaped.
+    Deadlock { ranks: Vec<usize> },
+    /// The run was torn down via [`RunHandle::kill`]; the listed ranks were
+    /// reaped before finishing (ranks that completed earlier are absent).
+    Killed { ranks: Vec<usize> },
+}
+
+impl std::fmt::Display for RunDeath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunDeath::Deadlock { ranks } => {
+                write!(f, "simulated program deadlocked (ranks {ranks:?} parked)")
+            }
+            RunDeath::Killed { ranks } => {
+                write!(f, "run killed (ranks {ranks:?} reaped)")
+            }
+        }
+    }
+}
+
 /// A launched pooled run: owns the completion state and result slots.
 struct StagedRun<T> {
     run: Arc<RunCore>,
@@ -364,15 +391,35 @@ struct StagedRun<T> {
 
 impl<T: Send> StagedRun<T> {
     fn wait(self) -> (RunReport, Vec<T>) {
-        self.run.wait();
-        if self.run.failed() {
-            let mut ranks = self.run.deadlocked_ranks();
-            ranks.sort_unstable();
-            panic!(
+        match self.wait_outcome() {
+            Ok(done) => done,
+            Err(RunDeath::Deadlock { ranks }) => panic!(
                 "dmsim: simulated program deadlocked on the pooled engine: \
                  ranks {ranks:?} were parked with no possible wake \
                  (their coroutine stacks were leaked)"
-            );
+            ),
+            Err(RunDeath::Killed { ranks }) => panic!(
+                "dmsim: pooled run was killed (ranks {ranks:?} reaped); \
+                 use wait_outcome() to observe kills without panicking"
+            ),
+        }
+    }
+
+    /// Block until every task is accounted for; a deadlocked or killed run
+    /// comes back as a typed [`RunDeath`] instead of a panic. Rank panics
+    /// still propagate (lowest rank first) — they are program bugs, not
+    /// simulated faults.
+    fn wait_outcome(self) -> Result<(RunReport, Vec<T>), RunDeath> {
+        self.run.wait();
+        if self.run.was_killed() {
+            let mut ranks = self.run.killed_ranks();
+            ranks.sort_unstable();
+            return Err(RunDeath::Killed { ranks });
+        }
+        if self.run.failed() {
+            let mut ranks = self.run.deadlocked_ranks();
+            ranks.sort_unstable();
+            return Err(RunDeath::Deadlock { ranks });
         }
         if let Some((_rank, payload)) = self.run.take_panic() {
             std::panic::resume_unwind(payload);
@@ -395,7 +442,7 @@ impl<T: Send> StagedRun<T> {
             values.push(val);
         }
         let trace = self.tracing.then_some(Trace { ranks: rank_traces });
-        (RunReport::new(reports, wall, trace), values)
+        Ok((RunReport::new(reports, wall, trace), values))
     }
 }
 
@@ -403,7 +450,7 @@ impl<T: Send> StagedRun<T> {
 /// pool alive until the run is collected.
 pub struct RunHandle<T> {
     staged: StagedRun<T>,
-    _pool: WorkerPool,
+    pool: WorkerPool,
 }
 
 impl<T: Send> RunHandle<T> {
@@ -412,6 +459,25 @@ impl<T: Send> RunHandle<T> {
     /// simulated deadlocks into a diagnostic panic.
     pub fn wait(self) -> (RunReport, Vec<T>) {
         self.staged.wait()
+    }
+
+    /// Like [`RunHandle::wait`], but a deadlocked or killed run comes back
+    /// as a typed [`RunDeath`] instead of a panic. Rank panics (program
+    /// bugs) still propagate.
+    pub fn wait_outcome(self) -> Result<(RunReport, Vec<T>), RunDeath> {
+        self.staged.wait_outcome()
+    }
+
+    /// Tear down the run: unfinished ranks are reaped (suspended coroutine
+    /// stacks leaked, like deadlock kills) without touching other runs on
+    /// the pool, and any partial results are discarded. Blocks until every
+    /// task is accounted for, then reports which ranks were reaped.
+    pub fn kill(self) -> RunDeath {
+        self.pool.kill_run(&self.staged.run);
+        self.staged.run.wait();
+        let mut ranks = self.staged.run.killed_ranks();
+        ranks.sort_unstable();
+        RunDeath::Killed { ranks }
     }
 
     /// Whether every rank of the run has already finished.
@@ -641,6 +707,47 @@ mod tests {
         assert_eq!(vals_a, vals_b);
         assert_eq!(rep_a.per_proc(), rep_b.per_proc());
         assert_eq!(rep_a.elapsed(), rep_b.elapsed());
+    }
+
+    #[test]
+    fn kill_tears_down_hung_run_without_poisoning_pool() {
+        if !crate::coro::supported() {
+            return;
+        }
+        let pool = WorkerPool::new(2);
+        let m = Machine::new(MachineConfig::free(2));
+        // Mutual recv: both ranks park forever. Whether our kill or the
+        // deadlock detector reaps them first, `kill` must return promptly
+        // and the pool must stay healthy.
+        let handle = m.start_on(&pool, |ctx| {
+            let peer = 1 - ctx.rank();
+            let _ = ctx.recv(peer, Tag(42));
+        });
+        let death = handle.kill();
+        assert!(matches!(death, RunDeath::Killed { .. }));
+        let (_, vals) = m.run_on(&pool, |ctx| ctx.rank());
+        assert_eq!(vals, vec![0, 1]);
+    }
+
+    #[test]
+    fn wait_outcome_reports_deadlock_instead_of_panicking() {
+        if !crate::coro::supported() {
+            return;
+        }
+        let pool = WorkerPool::new(2);
+        let m = Machine::new(MachineConfig::free(2));
+        let handle = m.start_on(&pool, |ctx| {
+            let peer = 1 - ctx.rank();
+            let _ = ctx.recv(peer, Tag(42));
+        });
+        match handle.wait_outcome() {
+            Err(RunDeath::Deadlock { ranks }) => assert_eq!(ranks, vec![0, 1]),
+            other => panic!("expected deadlock, got {:?}", other.err()),
+        }
+        // A clean run on the same pool comes back Ok.
+        let handle = m.start_on(&pool, |ctx| ctx.rank() * 10);
+        let (_, vals) = handle.wait_outcome().expect("clean run");
+        assert_eq!(vals, vec![0, 10]);
     }
 
     #[test]

@@ -194,6 +194,11 @@ pub(crate) struct RunCore {
     panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>>,
     failed: AtomicBool,
     deadlocked: Mutex<Vec<usize>>,
+    /// Set by [`WorkerPool::kill_run`]: the run is being torn down and no
+    /// task of it may be dispatched again. Workers reap killed tasks at
+    /// their next dispatch or yield instead of running them.
+    killed: AtomicBool,
+    killed_ranks: Mutex<Vec<usize>>,
     seq: u64,
 }
 
@@ -218,6 +223,14 @@ impl RunCore {
         self.deadlocked.lock().unwrap().clone()
     }
 
+    pub(crate) fn was_killed(&self) -> bool {
+        self.killed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn killed_ranks(&self) -> Vec<usize> {
+        self.killed_ranks.lock().unwrap().clone()
+    }
+
     fn task_done(&self, finished: usize) {
         let mut rem = self.remaining.lock().unwrap();
         *rem = rem.saturating_sub(finished);
@@ -236,6 +249,11 @@ impl RunCore {
 
     pub(crate) fn is_done(&self) -> bool {
         *self.remaining.lock().unwrap() == 0
+    }
+
+    #[cfg(test)]
+    fn remaining_for_test(&self) -> usize {
+        *self.remaining.lock().unwrap()
     }
 }
 
@@ -324,6 +342,8 @@ impl WorkerPool {
             panic: Mutex::new(None),
             failed: AtomicBool::new(false),
             deadlocked: Mutex::new(Vec::new()),
+            killed: AtomicBool::new(false),
+            killed_ranks: Mutex::new(Vec::new()),
             seq: self
                 .inner
                 .shared
@@ -368,6 +388,58 @@ impl WorkerPool {
         tids
     }
 
+    /// Tear down every unfinished task of `run` without poisoning the pool
+    /// or touching other runs.
+    ///
+    /// Parked and staged tasks are reaped immediately (suspended coroutine
+    /// stacks are freed with their frames leaked, exactly like deadlock
+    /// kills). Queued tasks cannot be removed here — the runnable heap
+    /// holds their entries and tids are reused after free, so yanking the
+    /// slot would let a stale heap entry dispatch a stranger — and running
+    /// tasks are mid-execution on a worker; both are reaped by workers at
+    /// their next dispatch or yield. Returns once the kill is initiated;
+    /// `run.wait()` blocks until every task is accounted for.
+    pub(crate) fn kill_run(&self, run: &Arc<RunCore>) {
+        let shared = &self.inner.shared;
+        run.killed.store(true, Ordering::Release);
+        let mut s = shared.sched.lock().unwrap();
+        let mut reaped = 0usize;
+        for tid in 0..s.slots.len() {
+            let belongs = s.slots[tid]
+                .as_ref()
+                .is_some_and(|sl| Arc::ptr_eq(&sl.run, run));
+            if !belongs {
+                continue;
+            }
+            let state = s.slots[tid].as_ref().map(|sl| sl.state);
+            match state {
+                Some(TaskState::Parked) => {
+                    let slot = s.slots[tid].take().expect("checked live");
+                    s.free.push(tid);
+                    s.live -= 1;
+                    run.killed_ranks.lock().unwrap().push(slot.rank);
+                    reaped += 1;
+                    // `slot.coro` (suspended) drops here: stack freed,
+                    // frames leaked.
+                }
+                Some(TaskState::Staged) => {
+                    let slot = s.slots[tid].take().expect("checked live");
+                    s.free.push(tid);
+                    s.staged -= 1;
+                    run.killed_ranks.lock().unwrap().push(slot.rank);
+                    reaped += 1;
+                }
+                Some(TaskState::Queued | TaskState::Running) | None => {}
+            }
+        }
+        drop(s);
+        if reaped > 0 {
+            run.task_done(reaped);
+        }
+        // Workers may be asleep while the heap holds killed entries to reap.
+        shared.work.notify_all();
+    }
+
     /// Make previously staged tasks runnable, seeded at virtual time zero
     /// in rank order.
     pub(crate) fn launch(&self, tids: &[usize]) {
@@ -406,6 +478,20 @@ fn worker_loop(shared: &PoolShared) {
     loop {
         if let Some(Reverse((_, _, _, tid))) = s.runnable.pop() {
             let slot = s.slots[tid].as_mut().expect("queued slot is live");
+            if slot.run.was_killed() {
+                let slot = s.slots[tid].take().expect("checked live");
+                s.free.push(tid);
+                s.live -= 1;
+                let run = slot.run.clone();
+                run.killed_ranks.lock().unwrap().push(slot.rank);
+                drop(s);
+                // `slot.coro` drops here: if it already started, its
+                // suspended stack is freed with frames leaked.
+                drop(slot);
+                run.task_done(1);
+                s = shared.sched.lock().unwrap();
+                continue;
+            }
             slot.state = TaskState::Running;
             slot.wake_pending = false;
             let mut coro = slot.coro.take().expect("queued slot holds its coroutine");
@@ -428,6 +514,21 @@ fn worker_loop(shared: &PoolShared) {
                 }
                 CoroStatus::Yielded(reason, vtime_bits) => {
                     let slot = s.slots[tid].as_mut().expect("yielded slot is live");
+                    if slot.run.was_killed() {
+                        let slot = s.slots[tid].take().expect("checked live");
+                        s.free.push(tid);
+                        s.live -= 1;
+                        let run = slot.run.clone();
+                        run.killed_ranks.lock().unwrap().push(slot.rank);
+                        drop(s);
+                        // The coroutine just yielded into our hands; drop
+                        // frees its stack, leaking suspended frames.
+                        drop(coro);
+                        drop(slot);
+                        run.task_done(1);
+                        s = shared.sched.lock().unwrap();
+                        continue;
+                    }
                     slot.vtime_bits = vtime_bits;
                     slot.coro = Some(coro);
                     let requeue = match reason {
@@ -579,6 +680,134 @@ mod tests {
         );
         run2.wait();
         assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn kill_run_reaps_parked_tasks_without_poisoning_pool() {
+        let pool = WorkerPool::new(2);
+        // A separate spinner run keeps one worker busy so the deadlock
+        // detector (which requires `running == 0`) never fires while the
+        // victims sit parked.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let spinner: Vec<RankBody> = vec![Box::new(move |_y: &Yielder, _t: TaskToken| {
+            while !stop2.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        })];
+        let run_spin = pool.new_run(spinner.len());
+        let tids_spin = pool.submit(&run_spin, spinner);
+        pool.launch(&tids_spin);
+
+        // Three ranks park forever.
+        let bodies: Vec<RankBody> = (0..3)
+            .map(|_| {
+                Box::new(move |y: &Yielder, token: TaskToken| {
+                    CoroHook::new(y, token).park();
+                }) as RankBody
+            })
+            .collect();
+        let run = pool.new_run(bodies.len());
+        let tids = pool.submit(&run, bodies);
+        pool.launch(&tids);
+        // Wait until all three actually parked.
+        loop {
+            let s = pool.inner.shared.sched.lock().unwrap();
+            let parked = s
+                .slots
+                .iter()
+                .flatten()
+                .filter(|sl| sl.state == TaskState::Parked)
+                .count();
+            drop(s);
+            if parked == 3 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        pool.kill_run(&run);
+        run.wait();
+        stop.store(true, Ordering::SeqCst);
+        run_spin.wait();
+        assert_eq!(run.remaining_for_test(), 0);
+        assert!(run.was_killed());
+        let mut ranks = run.killed_ranks();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2]);
+        assert!(!run.failed(), "kill is not a deadlock failure");
+        // The pool still runs fresh work afterwards.
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = ok.clone();
+        let run2 = run_bodies(
+            &pool,
+            vec![Box::new(move |_y: &Yielder, _t: TaskToken| {
+                ok2.fetch_add(1, Ordering::SeqCst);
+            }) as RankBody],
+        );
+        run2.wait();
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn kill_run_leaves_other_runs_untouched() {
+        let pool = WorkerPool::new(2);
+        // Run A parks forever; run B parks, then is woken and finishes.
+        let victim: Vec<RankBody> = vec![Box::new(|y: &Yielder, token: TaskToken| {
+            CoroHook::new(y, token).park();
+        })];
+        let run_a = pool.new_run(victim.len());
+        let tids_a = pool.submit(&run_a, victim);
+        pool.launch(&tids_a);
+
+        let parked_tid = Arc::new(Mutex::new(None::<usize>));
+        let woken = Arc::new(AtomicUsize::new(0));
+        let (pt0, w0) = (parked_tid.clone(), woken.clone());
+        let pt1 = parked_tid.clone();
+        let survivor: Vec<RankBody> = vec![
+            Box::new(move |y, token| {
+                let hook = CoroHook::new(y, token);
+                *pt0.lock().unwrap() = Some(hook.tid());
+                hook.park();
+                w0.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(move |y, token| {
+                let hook = CoroHook::new(y, token);
+                loop {
+                    if let Some(tid) = pt1.lock().unwrap().take() {
+                        hook.shared.wake(tid);
+                        break;
+                    }
+                    hook.set_vtime_bits(1);
+                    hook.coop_yield();
+                }
+            }),
+        ];
+        let run_b = pool.new_run(survivor.len());
+        let tids_b = pool.submit(&run_b, survivor);
+        pool.kill_run(&run_a);
+        pool.launch(&tids_b);
+        run_a.wait();
+        run_b.wait();
+        assert!(run_a.was_killed());
+        assert!(!run_b.was_killed());
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn kill_run_reaps_staged_tasks() {
+        let pool = WorkerPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = ran.clone();
+        let bodies: Vec<RankBody> = vec![Box::new(move |_y: &Yielder, _t: TaskToken| {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        })];
+        let run = pool.new_run(bodies.len());
+        let _tids = pool.submit(&run, bodies);
+        // Killed before launch: the staged task must be reaped, never run.
+        pool.kill_run(&run);
+        run.wait();
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(run.killed_ranks(), vec![0]);
     }
 
     #[test]

@@ -113,6 +113,11 @@ pub enum RunError {
     Comm(dmsim::CommError),
     /// The configuration is inconsistent with the compiled program.
     Config(String),
+    /// The run died on the pool without completing: a simulated deadlock
+    /// was detected, or the run was explicitly killed (a workload watchdog
+    /// evicting a hung job). Not retried by the recovery loop — the
+    /// workload layer decides whether to resubmit or quarantine.
+    Hung(dmsim::RunDeath),
 }
 
 impl fmt::Display for RunError {
@@ -121,6 +126,7 @@ impl fmt::Display for RunError {
             RunError::Io(e) => write!(f, "I/O error: {e}"),
             RunError::Comm(e) => write!(f, "communication error: {e}"),
             RunError::Config(m) => write!(f, "configuration error: {m}"),
+            RunError::Hung(d) => write!(f, "run died without completing: {d}"),
         }
     }
 }
@@ -388,7 +394,9 @@ impl StartedRun {
     }
 
     /// Block until the program completes, running the bounded
-    /// fault-recovery loop if attempts fail recoverably.
+    /// fault-recovery loop if attempts fail recoverably. A run that dies on
+    /// the pool (deadlock, external kill) surfaces as [`RunError::Hung`]
+    /// instead of a panic.
     pub fn wait(self) -> Result<RunOutcome, RunError> {
         let StartedRun {
             compiled,
@@ -400,7 +408,7 @@ impl StartedRun {
             mut handle,
         } = self;
         loop {
-            let (report, results) = handle.wait();
+            let (report, results) = handle.wait_outcome().map_err(RunError::Hung)?;
             match sift_attempt(results, recoveries)? {
                 Sift::Done(ok) => return Ok(assemble_outcome(&compiled, &cfg, report, ok)),
                 Sift::Retry => {
@@ -409,6 +417,86 @@ impl StartedRun {
                     handle = launch_attempt(&compiled, &cfg, &machine_cfg, &fault, &pool);
                 }
             }
+        }
+    }
+
+    /// Tear the run down: unfinished ranks are reaped without touching
+    /// other runs on the pool, partial results are discarded. Returns which
+    /// ranks were reaped.
+    pub fn abort(self) -> dmsim::RunDeath {
+        self.handle.kill()
+    }
+
+    /// Preempt the run: tear down the current attempt but keep its
+    /// configuration — and any slab checkpoints it has written under
+    /// [`RunConfig::checkpoint_dir`] — so [`PreemptedRun::resume`] can
+    /// resubmit it later. Checkpointing executors resume from their last
+    /// agreed slab watermark; work past the watermark is lost (re-done).
+    pub fn preempt(self) -> PreemptedRun {
+        let StartedRun {
+            compiled,
+            cfg,
+            pool,
+            machine_cfg,
+            fault,
+            recoveries,
+            handle,
+        } = self;
+        let death = handle.kill();
+        PreemptedRun {
+            compiled,
+            cfg,
+            pool,
+            machine_cfg,
+            fault,
+            recoveries,
+            death,
+        }
+    }
+}
+
+/// A program preempted off the pool: its current attempt was torn down,
+/// but its configuration and checkpoints survive for a later [`resume`].
+///
+/// [`resume`]: PreemptedRun::resume
+pub struct PreemptedRun {
+    compiled: Arc<CompiledProgram>,
+    cfg: Arc<RunConfig>,
+    pool: WorkerPool,
+    machine_cfg: MachineConfig,
+    fault: Option<FaultConfig>,
+    recoveries: usize,
+    death: dmsim::RunDeath,
+}
+
+impl PreemptedRun {
+    /// Which ranks the preemption reaped mid-flight.
+    pub fn death(&self) -> &dmsim::RunDeath {
+        &self.death
+    }
+
+    /// Resubmit the program to its pool. With a checkpoint directory
+    /// configured, checkpointing executors skip the slabs already agreed
+    /// complete; without one the program restarts from scratch.
+    pub fn resume(self) -> StartedRun {
+        let PreemptedRun {
+            compiled,
+            cfg,
+            pool,
+            machine_cfg,
+            fault,
+            recoveries,
+            death: _,
+        } = self;
+        let handle = launch_attempt(&compiled, &cfg, &machine_cfg, &fault, &pool);
+        StartedRun {
+            compiled,
+            cfg,
+            pool,
+            machine_cfg,
+            fault,
+            recoveries,
+            handle,
         }
     }
 }

@@ -33,7 +33,9 @@ pub mod transpose;
 pub mod verify;
 
 pub use divergence::{divergence_report, DivergenceReport, DivergenceRow};
-pub use exec::{init_fn, run, start, Backend, InitFn, RunConfig, RunError, RunOutcome, StartedRun};
+pub use exec::{
+    init_fn, run, start, Backend, InitFn, PreemptedRun, RunConfig, RunError, RunOutcome, StartedRun,
+};
 pub use gaxpy::RecoveryOpts;
 pub use ooc_array::OocError;
 pub use verify::{assemble_global, max_abs_diff, ref_gaxpy, ref_jacobi, ref_transpose};

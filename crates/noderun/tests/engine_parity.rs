@@ -98,3 +98,54 @@ fn concurrent_started_runs_match_sequential_runs() {
         assert_same_outcome(&mut got, &mut solo, &format!("job {i}"));
     }
 }
+
+#[test]
+fn preempted_and_resumed_run_matches_an_uninterrupted_run() {
+    let (compiled, cfg) = gaxpy();
+    let mut baseline = run(&compiled, &cfg).unwrap();
+    let compiled = Arc::new(compiled);
+    let pool = WorkerPool::new(2);
+    // Preempt at an arbitrary host moment: which ranks get reaped is a
+    // host-scheduling race, but the resumed attempt re-executes on a fresh
+    // simulated machine, so the outcome is still bit-identical.
+    let started = start(Arc::clone(&compiled), Arc::new(cfg.clone()), &pool).unwrap();
+    let preempted = started.preempt();
+    match preempted.death() {
+        dmsim::RunDeath::Killed { .. } | dmsim::RunDeath::Deadlock { .. } => {}
+    }
+    let mut resumed = preempted.resume().wait().unwrap();
+    assert_same_outcome(&mut resumed, &mut baseline, "preempt + resume");
+}
+
+#[test]
+fn preempt_resume_under_chaos_faults_stays_bit_identical() {
+    let (compiled, mut cfg) = gaxpy();
+    cfg.fault = Some(FaultConfig::chaos(23));
+    let mut baseline = run(&compiled, &cfg).unwrap();
+    let compiled = Arc::new(compiled);
+    let pool = WorkerPool::new(3);
+    let started = start(Arc::clone(&compiled), Arc::new(cfg.clone()), &pool).unwrap();
+    let mut resumed = started.preempt().resume().wait().unwrap();
+    assert_same_outcome(&mut resumed, &mut baseline, "chaos preempt + resume");
+}
+
+#[test]
+fn aborting_one_run_leaves_the_pool_healthy_for_others() {
+    let (compiled, cfg) = gaxpy();
+    let compiled = Arc::new(compiled);
+    let pool = WorkerPool::new(2);
+    // A victim and a bystander share the pool; the victim is torn down.
+    let victim = start(Arc::clone(&compiled), Arc::new(cfg.clone()), &pool).unwrap();
+    let bystander = start(Arc::clone(&compiled), Arc::new(cfg.clone()), &pool).unwrap();
+    let _death = victim.abort();
+    let mut got = bystander.wait().unwrap();
+    let mut solo = run(&compiled, &cfg).unwrap();
+    assert_same_outcome(&mut got, &mut solo, "bystander after abort");
+    // And the pool accepts new work after the abort.
+    let mut after = start(Arc::clone(&compiled), Arc::new(cfg.clone()), &pool)
+        .unwrap()
+        .wait()
+        .unwrap();
+    let mut solo2 = run(&compiled, &cfg).unwrap();
+    assert_same_outcome(&mut after, &mut solo2, "fresh run after abort");
+}

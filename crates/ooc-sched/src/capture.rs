@@ -47,6 +47,14 @@ pub struct JobProfile {
     pub rank_finish: Vec<f64>,
     /// Per-rank disk request streams, ordered by service start.
     pub streams: Vec<Vec<IoReq>>,
+    /// Faults the chaos harness injected into the capture run (all kinds,
+    /// summed over ranks). Surfaced in workload summaries so quarantine
+    /// decisions are explainable from the report alone.
+    pub faults_injected: u64,
+    /// Disk requests the capture run re-issued under the retry policy.
+    pub io_retries: u64,
+    /// Message re-transmissions after injected drops in the capture run.
+    pub msg_retries: u64,
 }
 
 impl JobProfile {
@@ -103,7 +111,16 @@ impl JobProfile {
         JobProfile {
             rank_finish,
             streams,
+            ..JobProfile::default()
         }
+    }
+
+    /// Attach the capture run's fault/retry counters (summed over ranks).
+    pub fn with_counters(mut self, totals: &dmsim::StatsSnapshot) -> JobProfile {
+        self.faults_injected = totals.faults_injected;
+        self.io_retries = totals.io_retries;
+        self.msg_retries = totals.msg_retries;
+        self
     }
 }
 
@@ -133,7 +150,7 @@ pub fn profile(compiled: &CompiledProgram, cfg: &RunConfig) -> Result<JobProfile
         .iter()
         .map(|p| p.finish_time)
         .collect();
-    Ok(JobProfile::from_trace(&trace, rank_finish))
+    Ok(JobProfile::from_trace(&trace, rank_finish).with_counters(&out.report.totals()))
 }
 
 #[cfg(test)]

@@ -1,0 +1,864 @@
+//! Workload-level fault domains: the guarded runtime.
+//!
+//! The plain workload runtime ([`crate::run_workload`]) assumes every job
+//! runs to completion. Real multi-tenant I/O servers cannot: jobs hang,
+//! deadlines blow, disks die under everyone at once. This module wraps the
+//! resumable farm ([`crate::FarmSim`]) in a control-plane *executive* that
+//! sweeps the workload on the simulated clock and keeps each failure inside
+//! its own fault domain:
+//!
+//! - a **watchdog** kills a job that makes no virtual-time progress within
+//!   its quantum (the configured quantum plus the job's own largest solo
+//!   inter-request gap, so compute-heavy jobs are not misdiagnosed);
+//! - **deadlines** bound each job's turnaround; a miss kills the attempt;
+//! - killed jobs are **resubmitted** with exponential backoff charged to
+//!   the workload clock, resuming from their last checkpoint watermark,
+//!   until a bounded re-run budget is exhausted and the job is
+//!   **quarantined** — a typed outcome, not a panic;
+//! - under overload, EDF **preempts** the latest-deadline running job at a
+//!   checkpoint boundary and resumes it when a slot frees;
+//! - a **permanent disk death** migrates the dead disk's queued streams to
+//!   the survivors ([`FarmSim::kill_disk`]) instead of killing every
+//!   tenant that touched it.
+//!
+//! Every decision is a pure function of the specs, the configuration and
+//! the seed: the injected hangs are drawn from [`dmsim::FaultStream`]s
+//! derived per (job, attempt), disk deaths fire at configured virtual
+//! times, and the sweep visits jobs in a fixed order — so the whole
+//! chaotic workload is bitwise-reproducible.
+
+use dmsim::FaultStream;
+use ooc_trace::{Args, Category, RankTrace, TraceConfig, Tracer};
+
+use crate::farm::{FarmConfig, FarmJob, FarmReport, FarmSim};
+use crate::policy::Policy;
+use crate::workload::{validate_specs, AdmissionError, JobSpec};
+
+/// Terminal fate of one guarded job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Completed on its first attempt, untouched by the executive.
+    Done {
+        /// Completion on the workload clock.
+        completion: f64,
+    },
+    /// Completed after at least one kill, resubmission or preemption.
+    Recovered {
+        /// Completion on the workload clock.
+        completion: f64,
+        /// Total admissions (first run + resubmissions + resumes).
+        attempts: u32,
+        /// EDF preemptions among those.
+        preemptions: u32,
+    },
+    /// Killed by the watchdog or a deadline with no re-run budget
+    /// configured ([`DomainConfig::max_retries`] = 0).
+    Killed {
+        /// Kill time on the workload clock.
+        at: f64,
+    },
+    /// Exhausted its re-run budget; the executive stopped resubmitting.
+    Quarantined {
+        /// Quarantine time on the workload clock.
+        at: f64,
+        /// Total admissions before quarantine.
+        attempts: u32,
+    },
+}
+
+impl JobOutcome {
+    /// Completion time, when the job completed.
+    pub fn completion(&self) -> Option<f64> {
+        match self {
+            JobOutcome::Done { completion } | JobOutcome::Recovered { completion, .. } => {
+                Some(*completion)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for [`JobOutcome::Done`] and [`JobOutcome::Recovered`].
+    pub fn completed(&self) -> bool {
+        self.completion().is_some()
+    }
+
+    /// Stable lowercase label for summaries and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Done { .. } => "done",
+            JobOutcome::Recovered { .. } => "recovered",
+            JobOutcome::Killed { .. } => "killed",
+            JobOutcome::Quarantined { .. } => "quarantined",
+        }
+    }
+}
+
+/// Configuration of the guarded workload runtime.
+#[derive(Debug, Clone)]
+pub struct DomainConfig {
+    /// Disk service-order policy.
+    pub policy: Policy,
+    /// Elevator seek penalty, seconds per non-contiguous head movement.
+    pub seek_penalty: f64,
+    /// Record the per-disk queue trace plus the fault-domain control rank.
+    pub trace: bool,
+    /// Farm capacity in logical disks. Zero sizes the farm to the widest
+    /// job; nonzero refuses wider jobs at admission.
+    pub disks: usize,
+    /// Maximum jobs running concurrently (0 = unlimited). Overload beyond
+    /// the cap triggers EDF preemption.
+    pub max_concurrent: usize,
+    /// Seed of the workload-level fault streams (hang injection).
+    pub seed: u64,
+    /// Probability that one attempt of a job hangs mid-run. Drawn per
+    /// (job, attempt), so a resubmitted job usually recovers.
+    pub hang_chance: f64,
+    /// Watchdog quantum in virtual seconds: a running job that serves no
+    /// request for this long — beyond its own largest solo request gap —
+    /// is declared hung and killed. 0 disables the watchdog.
+    pub watchdog_quantum: f64,
+    /// Deadline factor: each job's deadline is `submit + factor *
+    /// solo_makespan`. 0 disables deadlines (and with them EDF urgency).
+    pub deadline_factor: f64,
+    /// Re-run budget: how many times a killed job may be resubmitted
+    /// before quarantine. 0 means a killed job dies terminally.
+    pub max_retries: u32,
+    /// Backoff base: resubmission `k` waits `backoff_base * 2^(k-1)`
+    /// virtual seconds after the kill.
+    pub backoff_base: f64,
+    /// Checkpoint granularity in requests per rank: a killed or preempted
+    /// job resumes from `floor(cursor / every) * every`. 0 restarts every
+    /// attempt from scratch.
+    pub checkpoint_every: usize,
+    /// Control-plane sweep period in virtual seconds (watchdog, deadline
+    /// and completion checks happen on this grid).
+    pub epoch: f64,
+    /// Scheduled permanent disk deaths: `(virtual time, disk index)`.
+    /// Killing the last surviving disk is refused at validation.
+    pub disk_deaths: Vec<(f64, usize)>,
+}
+
+impl Default for DomainConfig {
+    fn default() -> Self {
+        DomainConfig {
+            policy: Policy::default(),
+            seek_penalty: 0.0,
+            trace: false,
+            disks: 0,
+            max_concurrent: 0,
+            seed: 0,
+            hang_chance: 0.0,
+            watchdog_quantum: 0.0,
+            deadline_factor: 0.0,
+            max_retries: 2,
+            backoff_base: 1.0,
+            checkpoint_every: 4,
+            epoch: 1.0,
+            disk_deaths: Vec::new(),
+        }
+    }
+}
+
+/// Per-job result of a guarded workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedJobReport {
+    /// Display name from the spec.
+    pub name: String,
+    /// Job tag (1-based position in the spec slice).
+    pub job: u32,
+    /// Submission time.
+    pub submit: f64,
+    /// Deadline the executive enforced (infinity when disabled).
+    pub deadline: f64,
+    /// Solo makespan of the profile.
+    pub solo_makespan: f64,
+    /// Terminal typed outcome.
+    pub outcome: JobOutcome,
+    /// Total admissions (first run + resubmissions + resumes).
+    pub attempts: u32,
+    /// EDF preemptions suffered.
+    pub preemptions: u32,
+    /// Watchdog / deadline kills suffered.
+    pub kills: u32,
+    /// Hangs the chaos harness injected into this job's attempts.
+    pub hangs_injected: u32,
+    /// Faults injected into the job's capture run (all kinds).
+    pub faults_injected: u64,
+    /// Disk requests the capture run re-issued under the retry policy.
+    pub io_retries: u64,
+    /// Message re-transmissions after injected drops in the capture run.
+    pub msg_retries: u64,
+}
+
+/// Result of a guarded workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedReport {
+    /// Per-job fates, in spec order.
+    pub jobs: Vec<GuardedJobReport>,
+    /// The farm's served log and per-disk metrics (every attempt's
+    /// requests, including ones later rolled back to a checkpoint).
+    pub farm: FarmReport,
+    /// Policy the farm ran under.
+    pub policy: Policy,
+    /// Disk deaths that actually fired.
+    pub disk_deaths: u32,
+    /// The fault-domain control-plane trace (admissions, kills, resumes,
+    /// preemptions, quarantines, disk deaths), when tracing was on.
+    pub domain_trace: Option<RankTrace>,
+}
+
+impl GuardedReport {
+    /// Workload makespan: the latest completion among completed jobs.
+    pub fn makespan(&self) -> f64 {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.outcome.completion())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of jobs that completed ([`JobOutcome::completed`]).
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.completed()).count()
+    }
+}
+
+/// Where a job sits in the executive's state machine.
+enum St {
+    /// Waiting to (re)enter the farm at `at`, resuming from `resume`.
+    Waiting { at: f64, resume: Option<Vec<usize>> },
+    /// Running on the farm as `slot`.
+    Running { slot: usize },
+    /// Fate sealed.
+    Terminal,
+}
+
+struct JobState {
+    st: St,
+    deadline: f64,
+    /// Effective watchdog quantum (config quantum + max solo gap).
+    quantum: f64,
+    attempts: u32,
+    preemptions: u32,
+    kills: u32,
+    hangs_injected: u32,
+    /// Progress (served requests) at the last watchdog reset.
+    last_progress: u64,
+    /// Workload time of the last watchdog reset.
+    last_progress_t: f64,
+    outcome: Option<JobOutcome>,
+}
+
+/// Largest idle stretch of the solo profile: the initial lead-in plus
+/// inter-request gaps per rank, and the widest request itself. A healthy
+/// job never goes longer than this without completing a request solo, so
+/// the watchdog adds it to the configured quantum.
+fn max_solo_gap(spec: &JobSpec) -> f64 {
+    let mut g = 0.0f64;
+    for s in &spec.profile.streams {
+        let mut prev = 0.0f64;
+        for r in s {
+            g = g.max(r.t0 - prev).max(r.t1 - r.t0);
+            prev = r.t1;
+        }
+    }
+    g
+}
+
+/// Salt domain for workload-level fault draws, disjoint from the
+/// machine-level (rank, domain) space and the job-tag space.
+fn attempt_salt(job: u32, attempt: u32) -> u64 {
+    ((job as u64) << 20) | attempt as u64
+}
+
+/// Run `specs` under the guarded runtime: fault domains, watchdog,
+/// deadlines, checkpoint-preempt-resume and degraded-disk re-planning.
+///
+/// Returns one terminal [`JobOutcome`] per spec — never panics on a hung,
+/// late or unlucky job.
+pub fn run_workload_guarded(
+    specs: &[JobSpec],
+    cfg: &DomainConfig,
+) -> Result<GuardedReport, AdmissionError> {
+    validate_specs(specs, cfg.disks)?;
+    let ndisks = match cfg.disks {
+        0 => specs
+            .iter()
+            .map(|s| s.profile.nprocs())
+            .max()
+            .unwrap_or(1)
+            .max(1),
+        n => n,
+    };
+    for &(t, d) in &cfg.disk_deaths {
+        assert!(
+            t.is_finite() && d < ndisks,
+            "disk death ({t}, {d}) outside the farm of {ndisks} disks"
+        );
+    }
+    assert!(cfg.epoch > 0.0, "the control-plane epoch must be positive");
+    assert!(
+        cfg.hang_chance <= 0.0 || cfg.watchdog_quantum > 0.0,
+        "hang injection without a watchdog would stall the executive forever"
+    );
+
+    let farm_cfg = FarmConfig {
+        policy: cfg.policy,
+        seek_penalty: cfg.seek_penalty,
+        trace: cfg.trace,
+    };
+    let mut sim = FarmSim::new(ndisks, farm_cfg);
+    let tracer = cfg
+        .trace
+        .then(|| Tracer::new(ndisks, TraceConfig::detailed()));
+    let trace_instant = |name: &str, t: f64| {
+        if let Some(tr) = &tracer {
+            tr.instant(Category::FaultDomain, name, t, Args::default());
+        }
+    };
+
+    let mut jobs: Vec<JobState> = specs
+        .iter()
+        .map(|s| JobState {
+            st: St::Waiting {
+                at: s.submit,
+                resume: None,
+            },
+            deadline: if cfg.deadline_factor > 0.0 {
+                s.submit + cfg.deadline_factor * s.profile.makespan()
+            } else {
+                f64::INFINITY
+            },
+            quantum: if cfg.watchdog_quantum > 0.0 {
+                cfg.watchdog_quantum + max_solo_gap(s)
+            } else {
+                f64::INFINITY
+            },
+            attempts: 0,
+            preemptions: 0,
+            kills: 0,
+            hangs_injected: 0,
+            last_progress: 0,
+            last_progress_t: 0.0,
+            outcome: None,
+        })
+        .collect();
+    // slot -> job index, for farm slots admitted so far.
+    let mut slot_owner: Vec<usize> = Vec::new();
+    let mut deaths: Vec<(f64, usize)> = cfg.disk_deaths.clone();
+    deaths.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut next_death = 0usize;
+    let mut deaths_fired = 0u32;
+
+    let mut t = 0.0f64;
+    loop {
+        // 1. Scheduled disk deaths at or before the sweep time. The farm
+        // migrates the dead disk's queued streams; running jobs keep going
+        // on the survivors (degraded mode) instead of dying.
+        while next_death < deaths.len() && deaths[next_death].0 <= t {
+            let (at, disk) = deaths[next_death];
+            next_death += 1;
+            if sim.alive_disks() > 1 {
+                sim.kill_disk(disk);
+                deaths_fired += 1;
+                trace_instant(&format!("disk_death:d{disk}"), at);
+            }
+        }
+
+        // 2. Admissions: every waiting job whose (re)submit time has come,
+        // most urgent deadline first. Under overload, EDF preempts the
+        // latest-deadline running job at its checkpoint boundary — but
+        // only for a strictly more urgent candidate.
+        let mut ready: Vec<usize> = (0..jobs.len())
+            .filter(|&j| matches!(&jobs[j].st, St::Waiting { at, .. } if *at <= t))
+            .collect();
+        ready.sort_by(|&a, &b| {
+            jobs[a]
+                .deadline
+                .partial_cmp(&jobs[b].deadline)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        for j in ready {
+            let running = jobs
+                .iter()
+                .filter(|s| matches!(s.st, St::Running { .. }))
+                .count();
+            if cfg.max_concurrent != 0 && running >= cfg.max_concurrent {
+                // Overload: find the least urgent running job.
+                let victim = (0..jobs.len())
+                    .filter(|&v| matches!(jobs[v].st, St::Running { .. }))
+                    .max_by(|&a, &b| {
+                        jobs[a]
+                            .deadline
+                            .partial_cmp(&jobs[b].deadline)
+                            .unwrap()
+                            .then(a.cmp(&b))
+                    })
+                    .expect("running >= cap >= 1");
+                if jobs[victim].deadline <= jobs[j].deadline {
+                    continue; // nothing less urgent to evict
+                }
+                let St::Running { slot } = jobs[victim].st else {
+                    unreachable!()
+                };
+                let cursors = sim.remove_job(slot);
+                let resume = checkpoint_watermark(&cursors, cfg.checkpoint_every);
+                jobs[victim].preemptions += 1;
+                jobs[victim].st = St::Waiting {
+                    at: t,
+                    resume: Some(resume),
+                };
+                trace_instant(&format!("preempt:{}", specs[victim].name), t);
+            }
+            let St::Waiting { resume, .. } = std::mem::replace(
+                &mut jobs[j].st,
+                St::Terminal, // placeholder, overwritten below
+            ) else {
+                unreachable!()
+            };
+            let fj = FarmJob {
+                job: j as u32 + 1,
+                profile: &specs[j].profile,
+                base: t.max(specs[j].submit),
+                weight: specs[j].weight,
+                qos_slack: specs[j].qos_slack,
+            };
+            let slot = match &resume {
+                Some(w) if w.iter().any(|&c| c > 0) => sim.admit_resumed(&fj, w),
+                _ => sim.admit(&fj),
+            };
+            if slot_owner.len() <= slot {
+                slot_owner.resize(slot + 1, usize::MAX);
+            }
+            slot_owner[slot] = j;
+            jobs[j].attempts += 1;
+            jobs[j].last_progress = sim.progress(slot);
+            jobs[j].last_progress_t = t;
+            jobs[j].st = St::Running { slot };
+            trace_instant(&format!("admit:{}:a{}", specs[j].name, jobs[j].attempts), t);
+            // Chaos: this attempt may hang, per the seeded per-(job,
+            // attempt) stream. The hang pins one rank's remaining requests
+            // past a fraction of its solo life.
+            let stream =
+                FaultStream::derive(cfg.seed, attempt_salt(j as u32 + 1, jobs[j].attempts));
+            if stream.chance(cfg.hang_chance) {
+                let nprocs = specs[j].profile.nprocs();
+                let rank = (stream.next_u64() % nprocs as u64) as usize;
+                let frac = 0.25 + 0.5 * stream.next_f64();
+                let at_solo = frac * specs[j].profile.rank_finish[rank];
+                sim.hang(slot, rank, at_solo);
+                jobs[j].hangs_injected += 1;
+                trace_instant(&format!("hang_injected:{}:r{rank}", specs[j].name), t);
+            }
+        }
+
+        // 3. Advance the farm one epoch.
+        t += cfg.epoch;
+        sim.run_until(t);
+
+        // 4. Sweep running jobs: completion, then deadline, then watchdog.
+        for j in 0..jobs.len() {
+            let St::Running { slot } = jobs[j].st else {
+                continue;
+            };
+            if sim.job_done(slot) {
+                let completion = sim.completion(slot).expect("job is done");
+                let recovered = jobs[j].kills > 0 || jobs[j].preemptions > 0;
+                jobs[j].outcome = Some(if recovered {
+                    JobOutcome::Recovered {
+                        completion,
+                        attempts: jobs[j].attempts,
+                        preemptions: jobs[j].preemptions,
+                    }
+                } else {
+                    JobOutcome::Done { completion }
+                });
+                jobs[j].st = St::Terminal;
+                sim.remove_job(slot);
+                trace_instant(&format!("complete:{}", specs[j].name), completion);
+                continue;
+            }
+            let late = t > jobs[j].deadline;
+            let progress = sim.progress(slot);
+            if progress > jobs[j].last_progress {
+                jobs[j].last_progress = progress;
+                jobs[j].last_progress_t = t;
+            }
+            let hung = t - jobs[j].last_progress_t >= jobs[j].quantum;
+            if !late && !hung {
+                continue;
+            }
+            // Kill the attempt: roll back to the checkpoint watermark and
+            // either resubmit with backoff or seal the fate.
+            let cursors = sim.remove_job(slot);
+            jobs[j].kills += 1;
+            let why = if late { "deadline" } else { "watchdog" };
+            trace_instant(&format!("kill:{}:{}", specs[j].name, why), t);
+            if cfg.max_retries == 0 {
+                jobs[j].outcome = Some(JobOutcome::Killed { at: t });
+                jobs[j].st = St::Terminal;
+            } else if jobs[j].kills > cfg.max_retries {
+                jobs[j].outcome = Some(JobOutcome::Quarantined {
+                    at: t,
+                    attempts: jobs[j].attempts,
+                });
+                jobs[j].st = St::Terminal;
+                trace_instant(&format!("quarantine:{}", specs[j].name), t);
+            } else {
+                let resume = checkpoint_watermark(&cursors, cfg.checkpoint_every);
+                let backoff = cfg.backoff_base * f64::powi(2.0, jobs[j].kills as i32 - 1);
+                let at = t + backoff;
+                if late {
+                    // A renegotiated deadline for the retry; keeping the
+                    // blown one would guarantee a kill loop into
+                    // quarantine regardless of behavior.
+                    jobs[j].deadline = if cfg.deadline_factor > 0.0 {
+                        at + cfg.deadline_factor * specs[j].profile.makespan()
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+                jobs[j].st = St::Waiting {
+                    at,
+                    resume: Some(resume),
+                };
+            }
+        }
+
+        if jobs.iter().all(|s| matches!(s.st, St::Terminal)) {
+            break;
+        }
+        // Fast-forward across idle stretches (everyone waiting on backoff
+        // or future submits) so backoff cost is virtual time, not host
+        // sweeps. The next sweep still lands on the epoch grid.
+        let next_event = jobs
+            .iter()
+            .filter_map(|s| match &s.st {
+                St::Waiting { at, .. } => Some(*at),
+                _ => None,
+            })
+            .fold(f64::INFINITY, f64::min);
+        let any_running = jobs.iter().any(|s| matches!(s.st, St::Running { .. }));
+        if !any_running && next_event.is_finite() && next_event > t + cfg.epoch {
+            let skip = ((next_event - t) / cfg.epoch).floor();
+            t += (skip - 1.0).max(0.0) * cfg.epoch;
+        }
+    }
+
+    let farm = sim.finish();
+    let out = GuardedReport {
+        jobs: specs
+            .iter()
+            .zip(&jobs)
+            .enumerate()
+            .map(|(i, (s, st))| GuardedJobReport {
+                name: s.name.clone(),
+                job: i as u32 + 1,
+                submit: s.submit,
+                deadline: st.deadline,
+                solo_makespan: s.profile.makespan(),
+                outcome: st.outcome.clone().expect("terminal"),
+                attempts: st.attempts,
+                preemptions: st.preemptions,
+                kills: st.kills,
+                hangs_injected: st.hangs_injected,
+                faults_injected: s.profile.faults_injected,
+                io_retries: s.profile.io_retries,
+                msg_retries: s.profile.msg_retries,
+            })
+            .collect(),
+        farm,
+        policy: cfg.policy,
+        disk_deaths: deaths_fired,
+        domain_trace: tracer.map(|tr| tr.finish()),
+    };
+    Ok(out)
+}
+
+/// Roll per-rank cursors back to the checkpoint grid.
+fn checkpoint_watermark(cursors: &[usize], every: usize) -> Vec<usize> {
+    cursors
+        .iter()
+        .map(|&c| c.checked_div(every).map_or(0, |q| q * every))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{IoReq, JobProfile};
+    use crate::workload::WorkloadConfig;
+
+    fn profile(n: usize, service: f64, gap: f64) -> JobProfile {
+        let mut reqs = Vec::new();
+        let mut t = 0.0;
+        for i in 0..n {
+            reqs.push(IoReq {
+                t0: t,
+                t1: t + service,
+                requests: 1,
+                bytes: 64,
+                offset: Some(64 * i as u64),
+                write: false,
+            });
+            t += service + gap;
+        }
+        JobProfile {
+            rank_finish: vec![t],
+            streams: vec![reqs],
+            ..JobProfile::default()
+        }
+    }
+
+    fn quiet_cfg() -> DomainConfig {
+        DomainConfig {
+            policy: Policy::Fifo,
+            watchdog_quantum: 5.0,
+            epoch: 0.5,
+            ..DomainConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_guarded_run_matches_the_plain_workload() {
+        let specs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec::new(format!("j{i}"), profile(6 + i, 1.0, 0.25)))
+            .collect();
+        let guarded = run_workload_guarded(&specs, &quiet_cfg()).unwrap();
+        let plain = crate::workload::run_workload(
+            &specs,
+            &WorkloadConfig {
+                policy: Policy::Fifo,
+                ..WorkloadConfig::default()
+            },
+        )
+        .unwrap();
+        for (g, p) in guarded.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(g.attempts, 1);
+            let JobOutcome::Done { completion } = g.outcome else {
+                panic!("fault-free job not Done: {:?}", g.outcome);
+            };
+            assert_eq!(
+                completion.to_bits(),
+                p.completion.to_bits(),
+                "job {}: guarded completion diverged from the plain runtime",
+                g.name
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_kills_a_hung_job_and_the_retry_recovers_it() {
+        let specs = vec![
+            JobSpec::new("victim", profile(8, 1.0, 0.0)),
+            JobSpec::new("bystander", profile(8, 1.0, 0.0)),
+        ];
+        let cfg = DomainConfig {
+            hang_chance: 1.0, // every attempt draws a hang...
+            seed: 7,
+            watchdog_quantum: 4.0,
+            max_retries: 5,
+            backoff_base: 0.5,
+            ..quiet_cfg()
+        };
+        // ...so with hang_chance 1.0 every retry hangs again and both jobs
+        // must end quarantined — but deterministically, with no panic.
+        let rep = run_workload_guarded(&specs, &cfg).unwrap();
+        for j in &rep.jobs {
+            assert!(
+                matches!(j.outcome, JobOutcome::Quarantined { .. }),
+                "always-hanging job must quarantine, got {:?}",
+                j.outcome
+            );
+            assert_eq!(j.kills, cfg.max_retries + 1);
+            assert!(j.hangs_injected >= 1);
+        }
+        // Now only the first attempt hangs: seed chosen so retries draw no
+        // hang; the job must recover.
+        let cfg2 = DomainConfig {
+            hang_chance: 0.45,
+            seed: 11,
+            ..cfg
+        };
+        let rep2 = run_workload_guarded(&specs, &cfg2).unwrap();
+        assert!(
+            rep2.jobs.iter().any(|j| j.kills > 0),
+            "some attempt must have hung under 45% hang chance (seed-dependent)"
+        );
+        for j in &rep2.jobs {
+            assert!(
+                j.outcome.completed(),
+                "job {} should finish eventually: {:?}",
+                j.name,
+                j.outcome
+            );
+            if j.kills > 0 {
+                assert!(matches!(j.outcome, JobOutcome::Recovered { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_retry_budget_kills_terminally() {
+        let specs = vec![JobSpec::new("doomed", profile(8, 1.0, 0.0))];
+        let cfg = DomainConfig {
+            hang_chance: 1.0,
+            seed: 3,
+            watchdog_quantum: 2.0,
+            max_retries: 0,
+            ..quiet_cfg()
+        };
+        let rep = run_workload_guarded(&specs, &cfg).unwrap();
+        assert!(matches!(rep.jobs[0].outcome, JobOutcome::Killed { .. }));
+    }
+
+    #[test]
+    fn edf_preempts_the_latest_deadline_job_under_overload() {
+        // Two long lax jobs occupy both slots; a short urgent job arrives
+        // later and must preempt one of them.
+        let lax = profile(30, 1.0, 0.0);
+        let urgent = profile(4, 1.0, 0.0);
+        let specs = vec![
+            JobSpec::new("lax-a", lax.clone()),
+            JobSpec::new("lax-b", lax),
+            JobSpec::new("urgent", urgent).with_submit(3.0),
+        ];
+        let cfg = DomainConfig {
+            max_concurrent: 2,
+            deadline_factor: 10.0, // lax deadline = 300, urgent = 43
+            checkpoint_every: 4,
+            ..quiet_cfg()
+        };
+        let rep = run_workload_guarded(&specs, &cfg).unwrap();
+        assert_eq!(
+            rep.jobs.iter().map(|j| j.preemptions).sum::<u32>(),
+            1,
+            "exactly one lax job is preempted"
+        );
+        for j in &rep.jobs {
+            assert!(j.outcome.completed(), "{}: {:?}", j.name, j.outcome);
+        }
+        let urgent = &rep.jobs[2];
+        assert!(
+            urgent.outcome.completion().unwrap() <= urgent.deadline,
+            "EDF exists to make the urgent deadline"
+        );
+        let preempted = rep.jobs.iter().find(|j| j.preemptions > 0).unwrap();
+        assert!(
+            matches!(preempted.outcome, JobOutcome::Recovered { .. }),
+            "a preempted-and-resumed job reports Recovered"
+        );
+    }
+
+    #[test]
+    fn disk_death_degrades_the_farm_without_killing_tenants() {
+        let wide = JobProfile {
+            rank_finish: vec![12.0, 12.0],
+            streams: vec![
+                profile(10, 1.0, 0.2).streams[0].clone(),
+                profile(10, 1.0, 0.2).streams[0].clone(),
+            ],
+            ..JobProfile::default()
+        };
+        let specs = vec![
+            JobSpec::new("wide-a", wide.clone()),
+            JobSpec::new("wide-b", wide),
+        ];
+        let cfg = DomainConfig {
+            disk_deaths: vec![(3.0, 1)],
+            ..quiet_cfg()
+        };
+        let rep = run_workload_guarded(&specs, &cfg).unwrap();
+        assert_eq!(rep.disk_deaths, 1);
+        for j in &rep.jobs {
+            assert!(
+                j.outcome.completed(),
+                "tenant {} must survive the disk death: {:?}",
+                j.name,
+                j.outcome
+            );
+            assert_eq!(j.kills, 0, "re-planning, not killing");
+        }
+        // The survivors' completions stretch past solo (one disk serves
+        // both ranks' tails).
+        assert!(rep.makespan() > 12.0);
+    }
+
+    #[test]
+    fn guarded_chaos_is_bitwise_deterministic() {
+        let specs: Vec<JobSpec> = (0..6)
+            .map(|i| {
+                JobSpec::new(format!("j{i}"), profile(10 + i, 0.5, 0.1)).with_submit(i as f64 * 0.8)
+            })
+            .collect();
+        let cfg = DomainConfig {
+            hang_chance: 0.4,
+            seed: 42,
+            watchdog_quantum: 3.0,
+            deadline_factor: 12.0,
+            max_concurrent: 3,
+            disk_deaths: vec![(4.0, 0)],
+            trace: true,
+            ..quiet_cfg()
+        };
+        let a = run_workload_guarded(&specs, &cfg).unwrap();
+        let b = run_workload_guarded(&specs, &cfg).unwrap();
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.farm.served, b.farm.served);
+        assert_eq!(a.domain_trace, b.domain_trace);
+        // The control-plane trace is real and exports cleanly.
+        let tr = a.domain_trace.unwrap();
+        assert!(tr
+            .events
+            .iter()
+            .any(|e| e.cat == Category::FaultDomain && e.name.starts_with("admit")));
+        let full = ooc_trace::Trace {
+            ranks: a
+                .farm
+                .trace
+                .map(|t| t.ranks)
+                .unwrap_or_default()
+                .into_iter()
+                .chain([tr])
+                .collect(),
+        };
+        let json = ooc_trace::perfetto::to_chrome_json(&full);
+        ooc_trace::json::parse(&json).expect("valid JSON");
+    }
+
+    #[test]
+    fn guarded_rejects_malformed_batches() {
+        let ok = JobSpec::new("ok", profile(3, 1.0, 0.0));
+        let empty = JobSpec::new("empty", JobProfile::default());
+        assert!(matches!(
+            run_workload_guarded(&[empty], &quiet_cfg()),
+            Err(AdmissionError::NoRanks { .. })
+        ));
+        let dup = vec![ok.clone(), ok.clone()];
+        assert!(matches!(
+            run_workload_guarded(&dup, &quiet_cfg()),
+            Err(AdmissionError::DuplicateJobId { .. })
+        ));
+        let wide = JobSpec::new(
+            "wide",
+            JobProfile {
+                rank_finish: vec![1.0; 4],
+                streams: vec![Vec::new(); 4],
+                ..JobProfile::default()
+            },
+        );
+        let cfg = DomainConfig {
+            disks: 2,
+            ..quiet_cfg()
+        };
+        assert!(matches!(
+            run_workload_guarded(&[wide], &cfg),
+            Err(AdmissionError::CapacityExceeded { .. })
+        ));
+        let nan = JobSpec::new("nan", profile(3, 1.0, 0.0)).with_submit(f64::NAN);
+        assert!(matches!(
+            run_workload_guarded(&[nan], &quiet_cfg()),
+            Err(AdmissionError::BadSubmitTime { .. })
+        ));
+    }
+}

@@ -155,12 +155,20 @@ fn shift(base: f64, t: f64) -> f64 {
 
 /// Per-disk replay state of one job's stream.
 struct StreamState<'a> {
-    /// Index into the input job slice.
+    /// Admission slot: index into the sim's job list.
     slot: usize,
     job: u32,
     weight: f64,
     qos_slack: f64,
     base: f64,
+    /// Solo-time re-anchor for resumed jobs: arrivals and finishes use
+    /// `t − origin`, so a stream resumed from a checkpoint watermark
+    /// replays its remaining requests relative to its new admission base.
+    /// Zero for fresh admissions — the bitwise-parity case.
+    origin: f64,
+    /// Profile stream index: the rank whose requests these are, and the
+    /// disk the stream started on before any migration.
+    rank: usize,
     reqs: &'a [IoReq],
     cursor: usize,
     /// Accumulated delay vs the solo schedule (finish − solo finish of the
@@ -171,13 +179,42 @@ struct StreamState<'a> {
     floor: f64,
     /// Weighted attained service, for fair-share selection.
     attained: f64,
+    /// Injected hang: requests at or past this solo time never arrive, so
+    /// the stream makes no further progress until its job is killed.
+    hung_at: Option<f64>,
 }
 
 impl StreamState<'_> {
-    /// Arrival time of the head request (caller ensures one exists).
+    /// Solo time re-anchored for resume (`origin == 0.0` stays bitwise).
+    #[inline]
+    fn rel(&self, t: f64) -> f64 {
+        if self.origin == 0.0 {
+            t
+        } else {
+            t - self.origin
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor >= self.reqs.len()
+    }
+
+    /// Whether the head request will never arrive (injected hang).
+    fn hung(&self) -> bool {
+        match (self.hung_at, self.reqs.get(self.cursor)) {
+            (Some(h), Some(r)) => r.t0 >= h,
+            _ => false,
+        }
+    }
+
+    /// Arrival time of the head request (caller ensures one exists); an
+    /// injected hang arrives never.
     fn arrival(&self) -> f64 {
+        if self.hung() {
+            return f64::INFINITY;
+        }
         let r = &self.reqs[self.cursor];
-        let mut a = shift(self.base, r.t0);
+        let mut a = shift(self.base, self.rel(r.t0));
         if self.lag != 0.0 {
             a += self.lag;
         }
@@ -232,171 +269,468 @@ fn key_of(policy: Policy, s: &StreamState, head: Option<u64>) -> Key {
     }
 }
 
-/// Replay all jobs against the shared farm under `cfg`.
+/// Replay all jobs against the shared farm under `cfg`, start to finish.
+///
+/// The batch entry point: admit everything, run to quiescence, report.
+/// Byte-identical to the pre-resumable replay — it is a thin wrapper over
+/// [`FarmSim`] with an infinite horizon.
 pub fn simulate(jobs: &[FarmJob], cfg: &FarmConfig) -> FarmReport {
     let ndisks = jobs.iter().map(|j| j.profile.nprocs()).max().unwrap_or(0);
-    let mut report = FarmReport {
-        jobs: jobs
-            .iter()
-            .map(|j| JobQueueStats {
-                job: j.job,
-                ..JobQueueStats::default()
-            })
-            .collect(),
-        served: Vec::new(),
-        disk_busy: vec![0.0; ndisks],
-        max_queue_depth: vec![0; ndisks],
-        trace: None,
-    };
-    let mut lags: Vec<Vec<f64>> = Vec::with_capacity(ndisks);
-    let mut rank_traces = Vec::new();
+    let mut sim = FarmSim::new(ndisks, *cfg);
+    for j in jobs {
+        sim.admit(j);
+    }
+    sim.run_to_end();
+    sim.finish()
+}
 
-    for disk in 0..ndisks {
-        let mut streams: Vec<StreamState> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| disk < j.profile.nprocs())
-            .map(|(slot, j)| StreamState {
+/// Per-disk server state that persists across [`FarmSim::run_until`] calls.
+struct DiskState {
+    now: f64,
+    head: Option<u64>,
+    alive: bool,
+    busy: f64,
+    max_depth: usize,
+    served: Vec<Served>,
+    tracer: Option<Tracer>,
+}
+
+/// Per-admission bookkeeping beyond the public stats.
+struct JobSlot<'a> {
+    profile: &'a JobProfile,
+    /// False once the job was removed (completed, preempted, quarantined).
+    active: bool,
+}
+
+/// A resumable disk-farm replay.
+///
+/// Where [`simulate`] replays a fixed job set to quiescence, `FarmSim`
+/// keeps the whole farm state — per-disk clocks, head positions, queued
+/// streams with their closed-loop lag — alive between horizon-bounded
+/// advances, so a workload executive can interleave replay with
+/// control-plane events on the simulated clock: admit a job mid-timeline,
+/// kill a hung one, preempt at a checkpoint watermark and resume later,
+/// or fail a disk permanently and migrate its queued streams to the
+/// survivors. Everything is a pure function of the admitted profiles and
+/// the call sequence; with a single `run_to_end` it is bitwise-identical
+/// to [`simulate`].
+pub struct FarmSim<'a> {
+    cfg: FarmConfig,
+    ndisks: usize,
+    disks: Vec<DiskState>,
+    /// Per-disk queued streams, in admission (then migration) order.
+    queues: Vec<Vec<StreamState<'a>>>,
+    stats: Vec<JobQueueStats>,
+    slots: Vec<JobSlot<'a>>,
+}
+
+impl<'a> FarmSim<'a> {
+    /// An empty farm of `ndisks` disks.
+    pub fn new(ndisks: usize, cfg: FarmConfig) -> FarmSim<'a> {
+        let disks = (0..ndisks)
+            .map(|d| DiskState {
+                now: 0.0,
+                head: None,
+                alive: true,
+                busy: 0.0,
+                max_depth: 0,
+                served: Vec::new(),
+                tracer: cfg.trace.then(|| Tracer::new(d, TraceConfig::detailed())),
+            })
+            .collect();
+        FarmSim {
+            cfg,
+            ndisks,
+            disks,
+            queues: (0..ndisks).map(|_| Vec::new()).collect(),
+            stats: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Number of disks (dead ones included).
+    pub fn ndisks(&self) -> usize {
+        self.ndisks
+    }
+
+    /// Number of disks still alive.
+    pub fn alive_disks(&self) -> usize {
+        self.disks.iter().filter(|d| d.alive).count()
+    }
+
+    /// Admit a fresh job; returns its slot (index into the report's job
+    /// list). Arrivals are shifted by `j.base`.
+    pub fn admit(&mut self, j: &FarmJob<'a>) -> usize {
+        self.admit_streams(j, None)
+    }
+
+    /// Admit a job resuming from per-rank request cursors `start` (the
+    /// checkpoint watermark): each stream skips its first `start[rank]`
+    /// requests and replays the rest re-anchored at `j.base`, preserving
+    /// the solo inter-request gaps.
+    pub fn admit_resumed(&mut self, j: &FarmJob<'a>, start: &[usize]) -> usize {
+        self.admit_streams(j, Some(start))
+    }
+
+    fn admit_streams(&mut self, j: &FarmJob<'a>, start: Option<&[usize]>) -> usize {
+        let slot = self.stats.len();
+        self.stats.push(JobQueueStats {
+            job: j.job,
+            ..JobQueueStats::default()
+        });
+        self.slots.push(JobSlot {
+            profile: j.profile,
+            active: true,
+        });
+        for rank in 0..j.profile.nprocs().min(self.ndisks) {
+            let reqs: &'a [IoReq] = &j.profile.streams[rank];
+            let w = start
+                .map(|s| s.get(rank).copied().unwrap_or(0))
+                .unwrap_or(0)
+                .min(reqs.len());
+            // Re-anchor a resumed stream at the watermark request's solo
+            // start (or, fully-drained, at its last solo finish so only the
+            // rigid compute tail remains).
+            let origin = if w == 0 {
+                0.0
+            } else if w < reqs.len() {
+                reqs[w].t0
+            } else {
+                reqs[w - 1].t1
+            };
+            let disk = self.route(rank);
+            self.queues[disk].push(StreamState {
                 slot,
                 job: j.job,
                 weight: j.weight,
                 qos_slack: j.qos_slack,
                 base: j.base,
-                reqs: &j.profile.streams[disk],
-                cursor: 0,
+                origin,
+                rank,
+                reqs,
+                cursor: w,
                 lag: 0.0,
                 floor: f64::NEG_INFINITY,
                 attained: 0.0,
-            })
-            .collect();
-        let tracer = if cfg.trace {
-            Some(Tracer::new(disk, TraceConfig::detailed()))
-        } else {
-            None
-        };
-        run_disk(disk, &mut streams, cfg, tracer.as_ref(), &mut report);
-        let mut row = vec![0.0f64; jobs.len()];
-        for s in &streams {
-            row[s.slot] = s.lag;
+                hung_at: None,
+            });
         }
-        lags.push(row);
-        if let Some(t) = tracer {
-            rank_traces.push(t.finish());
+        slot
+    }
+
+    /// The disk serving streams of `rank`: the rank's own disk, or — after
+    /// a disk death — the next surviving disk in cyclic order.
+    fn route(&self, rank: usize) -> usize {
+        if self.disks[rank].alive {
+            return rank;
+        }
+        (1..self.ndisks)
+            .map(|k| (rank + k) % self.ndisks)
+            .find(|&d| self.disks[d].alive)
+            .expect("at least one disk is alive")
+    }
+
+    /// Inject a hang into `slot`'s stream on `rank`: its requests at or
+    /// past solo time `after_solo` never arrive, so the job stalls until a
+    /// watchdog kills it.
+    pub fn hang(&mut self, slot: usize, rank: usize, after_solo: f64) {
+        for q in &mut self.queues {
+            for s in q.iter_mut() {
+                if s.slot == slot && s.rank == rank {
+                    s.hung_at = Some(after_solo);
+                }
+            }
         }
     }
 
-    // Job completion: each rank's remaining (non-I/O) tail after its last
-    // request is rigid, so the rank finishes at its solo finish time
-    // shifted by the admission base and the stream's final lag.
-    for (slot, j) in jobs.iter().enumerate() {
+    /// Total requests served for `slot` so far (the watchdog's virtual
+    /// progress measure).
+    pub fn progress(&self, slot: usize) -> u64 {
+        let mut n = 0u64;
+        for q in &self.queues {
+            for s in q {
+                if s.slot == slot {
+                    n += s.cursor as u64;
+                }
+            }
+        }
+        n
+    }
+
+    /// Whether every remaining request of `slot` is behind an injected
+    /// hang: the job can never progress again on its own.
+    pub fn stalled(&self, slot: usize) -> bool {
+        let mut any_live = false;
+        for q in &self.queues {
+            for s in q {
+                if s.slot == slot && !s.exhausted() {
+                    if !s.hung() {
+                        return false;
+                    }
+                    any_live = true;
+                }
+            }
+        }
+        any_live
+    }
+
+    /// Whether every stream of `slot` has drained (the job's I/O is done;
+    /// only rigid compute tails remain).
+    pub fn job_done(&self, slot: usize) -> bool {
+        if !self.slots[slot].active {
+            return false;
+        }
+        let mut any = false;
+        for q in &self.queues {
+            for s in q {
+                if s.slot == slot {
+                    any = true;
+                    if !s.exhausted() {
+                        return false;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Completion time of a drained job: the latest rank finish, shifted
+    /// by the admission base, resume anchor, and that stream's final lag.
+    /// `None` until [`FarmSim::job_done`].
+    pub fn completion(&self, slot: usize) -> Option<f64> {
+        if !self.job_done(slot) {
+            return None;
+        }
+        let profile = self.slots[slot].profile;
         let mut c = 0.0f64;
-        for (rank, &fin) in j.profile.rank_finish.iter().enumerate() {
-            let mut f = shift(j.base, fin);
-            if lags[rank][slot] != 0.0 {
-                f += lags[rank][slot];
-            }
-            c = c.max(f);
-        }
-        report.jobs[slot].completion = c;
-    }
-    if cfg.trace {
-        report.trace = Some(Trace { ranks: rank_traces });
-    }
-    report
-}
-
-fn run_disk(
-    disk: usize,
-    streams: &mut [StreamState],
-    cfg: &FarmConfig,
-    tracer: Option<&Tracer>,
-    report: &mut FarmReport,
-) {
-    if cfg.policy == Policy::StaticShare {
-        // Legacy static divide: no queue. The captured service times were
-        // already priced under the cost model's static bandwidth share, so
-        // every request is served exactly at its arrival.
-        for s in streams {
-            for (seq, r) in s.reqs.iter().enumerate() {
-                let arrival = shift(s.base, r.t0);
-                let finish = shift(s.base, r.t1);
-                record(
-                    disk,
-                    s,
-                    seq,
-                    r,
-                    arrival,
-                    arrival,
-                    finish,
-                    r.service(),
-                    1,
-                    tracer,
-                    report,
-                );
-            }
-        }
-        return;
-    }
-
-    let mut now = 0.0f64;
-    let mut head: Option<u64> = None;
-    loop {
-        // Earliest arrival among non-exhausted streams.
-        let mut min_arrival = f64::INFINITY;
-        for s in streams.iter() {
-            if s.cursor < s.reqs.len() {
-                min_arrival = min_arrival.min(s.arrival());
-            }
-        }
-        if !min_arrival.is_finite() {
-            break;
-        }
-        // Work conservation: never idle past the earliest armed request.
-        if now < min_arrival {
-            now = min_arrival;
-        }
-        // Armed set and policy selection.
-        let mut pick: Option<usize> = None;
-        let mut best: Option<Key> = None;
-        let mut depth = 0usize;
-        for (i, s) in streams.iter().enumerate() {
-            if s.cursor < s.reqs.len() && s.arrival() <= now {
-                depth += 1;
-                let k = key_of(cfg.policy, s, head);
-                if best.as_ref().is_none_or(|b| k.beats(b)) {
-                    best = Some(k);
-                    pick = Some(i);
+        for q in &self.queues {
+            for s in q {
+                if s.slot == slot {
+                    let mut f = shift(s.base, s.rel(profile.rank_finish[s.rank]));
+                    if s.lag != 0.0 {
+                        f += s.lag;
+                    }
+                    c = c.max(f);
                 }
             }
         }
-        let i = pick.expect("an armed stream exists at `now`");
-        let s = &mut streams[i];
-        let r = &s.reqs[s.cursor];
-        let seq = s.cursor;
-        let arrival = s.arrival();
-        let mut service = r.service();
-        if cfg.seek_penalty > 0.0 {
-            if let (Some(h), Some(o)) = (head, r.offset) {
-                if o != h {
-                    service += cfg.seek_penalty;
+        Some(c)
+    }
+
+    /// Remove `slot` from the farm (completed, preempted, or quarantined):
+    /// its streams leave the queues. Returns the per-rank request cursors
+    /// at removal — the executive rolls them back to a checkpoint
+    /// watermark for [`FarmSim::admit_resumed`].
+    pub fn remove_job(&mut self, slot: usize) -> Vec<usize> {
+        let nprocs = self.slots[slot].profile.nprocs();
+        let mut cursors = vec![0usize; nprocs];
+        for q in &mut self.queues {
+            q.retain(|s| {
+                if s.slot == slot {
+                    cursors[s.rank] = s.cursor;
+                    false
+                } else {
+                    true
                 }
-            }
+            });
         }
-        let start = now;
-        // Bitwise-exact fast path: an undisturbed request keeps its solo
-        // finish time instead of re-deriving it as start + (t1 - t0).
-        let finish = if s.base == 0.0 && s.lag == 0.0 && start == r.t0 && service == r.service() {
-            r.t1
-        } else {
-            start + service
-        };
-        record(
-            disk, s, seq, r, arrival, start, finish, service, depth, tracer, report,
+        self.slots[slot].active = false;
+        cursors
+    }
+
+    /// Fail `disk` permanently: it serves nothing further, and its queued
+    /// streams migrate to the surviving disks in deterministic cyclic
+    /// order, keeping their closed-loop state (cursor, lag, floor).
+    /// Requests already served — including one in flight past the caller's
+    /// horizon — stand. Panics if it would kill the last disk.
+    pub fn kill_disk(&mut self, disk: usize) {
+        if !self.disks[disk].alive {
+            return;
+        }
+        assert!(
+            self.disks
+                .iter()
+                .enumerate()
+                .any(|(i, d)| i != disk && d.alive),
+            "cannot kill the last surviving disk"
         );
-        if let Some(o) = r.offset {
-            head = Some(o + r.bytes);
+        self.disks[disk].alive = false;
+        let mut moving = Vec::new();
+        let q = &mut self.queues[disk];
+        let mut i = 0;
+        while i < q.len() {
+            if !q[i].exhausted() {
+                moving.push(q.remove(i));
+            } else {
+                // Drained streams stay: their lag still feeds completion.
+                i += 1;
+            }
         }
-        now = finish;
+        let alive: Vec<usize> = (0..self.ndisks).filter(|&d| self.disks[d].alive).collect();
+        for (k, s) in moving.into_iter().enumerate() {
+            self.queues[alive[k % alive.len()]].push(s);
+        }
+    }
+
+    /// Advance every living disk until no request would *start* before
+    /// `horizon`. A request entering service just before the horizon runs
+    /// to completion (service is not preemptible), possibly leaving the
+    /// disk clock past the horizon.
+    pub fn run_until(&mut self, horizon: f64) {
+        for disk in 0..self.ndisks {
+            if self.disks[disk].alive {
+                self.run_disk(disk, horizon);
+            }
+        }
+    }
+
+    /// Advance every disk to quiescence (hung streams never arrive and are
+    /// left pending).
+    pub fn run_to_end(&mut self) {
+        self.run_until(f64::INFINITY);
+    }
+
+    fn run_disk(&mut self, disk: usize, horizon: f64) {
+        let d = &mut self.disks[disk];
+        let streams = &mut self.queues[disk];
+        let stats = &mut self.stats;
+
+        if self.cfg.policy == Policy::StaticShare {
+            // Legacy static divide: no queue. The captured service times
+            // were already priced under the cost model's static bandwidth
+            // share, so every request is served exactly at its arrival.
+            for s in streams.iter_mut() {
+                while !s.exhausted() && !s.hung() {
+                    let r = s.reqs[s.cursor];
+                    let arrival = shift(s.base, s.rel(r.t0));
+                    if arrival >= horizon {
+                        break;
+                    }
+                    let finish = shift(s.base, s.rel(r.t1));
+                    let seq = s.cursor;
+                    record(
+                        disk,
+                        d,
+                        s,
+                        seq,
+                        &r,
+                        arrival,
+                        arrival,
+                        finish,
+                        r.service(),
+                        1,
+                        stats,
+                    );
+                }
+            }
+            return;
+        }
+
+        loop {
+            // Earliest arrival among non-exhausted streams.
+            let mut min_arrival = f64::INFINITY;
+            for s in streams.iter() {
+                if !s.exhausted() {
+                    min_arrival = min_arrival.min(s.arrival());
+                }
+            }
+            if !min_arrival.is_finite() {
+                break;
+            }
+            // Work conservation: never idle past the earliest armed
+            // request — but commit the clock only when the service will
+            // actually start inside the horizon, so later admissions can
+            // still use the idle gap.
+            let start_at = if d.now < min_arrival {
+                min_arrival
+            } else {
+                d.now
+            };
+            if start_at >= horizon {
+                break;
+            }
+            d.now = start_at;
+            // Armed set and policy selection.
+            let mut pick: Option<usize> = None;
+            let mut best: Option<Key> = None;
+            let mut depth = 0usize;
+            for (i, s) in streams.iter().enumerate() {
+                if !s.exhausted() && s.arrival() <= d.now {
+                    depth += 1;
+                    let k = key_of(self.cfg.policy, s, d.head);
+                    if best.as_ref().is_none_or(|b| k.beats(b)) {
+                        best = Some(k);
+                        pick = Some(i);
+                    }
+                }
+            }
+            let i = pick.expect("an armed stream exists at `now`");
+            let s = &mut streams[i];
+            let r = s.reqs[s.cursor];
+            let seq = s.cursor;
+            let arrival = s.arrival();
+            let mut service = r.service();
+            if self.cfg.seek_penalty > 0.0 {
+                if let (Some(h), Some(o)) = (d.head, r.offset) {
+                    if o != h {
+                        service += self.cfg.seek_penalty;
+                    }
+                }
+            }
+            let start = d.now;
+            // Bitwise-exact fast path: an undisturbed request keeps its
+            // solo finish time instead of re-deriving it as
+            // start + (t1 - t0).
+            let finish = if s.base == 0.0
+                && s.origin == 0.0
+                && s.lag == 0.0
+                && start == r.t0
+                && service == r.service()
+            {
+                r.t1
+            } else {
+                start + service
+            };
+            record(
+                disk, d, s, seq, &r, arrival, start, finish, service, depth, stats,
+            );
+            if let Some(o) = r.offset {
+                d.head = Some(o + r.bytes);
+            }
+            d.now = finish;
+        }
+    }
+
+    /// Tear the farm down into its report: per-disk served logs
+    /// concatenated in disk order, completion times filled in for every
+    /// drained job (jobs removed or still pending keep completion 0.0 —
+    /// the executive reports their fate separately).
+    pub fn finish(mut self) -> FarmReport {
+        for slot in 0..self.stats.len() {
+            if let Some(c) = self.completion(slot) {
+                self.stats[slot].completion = c;
+            }
+        }
+        let mut served = Vec::new();
+        let mut disk_busy = Vec::with_capacity(self.ndisks);
+        let mut max_queue_depth = Vec::with_capacity(self.ndisks);
+        let mut rank_traces = Vec::new();
+        let tracing = self.cfg.trace;
+        for d in self.disks {
+            served.extend(d.served);
+            disk_busy.push(d.busy);
+            max_queue_depth.push(d.max_depth);
+            if let Some(t) = d.tracer {
+                rank_traces.push(t.finish());
+            }
+        }
+        FarmReport {
+            jobs: self.stats,
+            served,
+            disk_busy,
+            max_queue_depth,
+            trace: tracing.then_some(Trace { ranks: rank_traces }),
+        }
     }
 }
 
@@ -405,6 +739,7 @@ fn run_disk(
 #[allow(clippy::too_many_arguments)]
 fn record(
     disk: usize,
+    d: &mut DiskState,
     s: &mut StreamState,
     seq: usize,
     r: &IoReq,
@@ -413,10 +748,9 @@ fn record(
     finish: f64,
     service: f64,
     depth: usize,
-    tracer: Option<&Tracer>,
-    report: &mut FarmReport,
+    stats: &mut [JobQueueStats],
 ) {
-    let solo_finish = shift(s.base, r.t1);
+    let solo_finish = shift(s.base, s.rel(r.t1));
     s.lag = if finish == solo_finish {
         0.0
     } else {
@@ -426,7 +760,7 @@ fn record(
     s.attained += service;
     s.cursor = seq + 1;
 
-    report.served.push(Served {
+    d.served.push(Served {
         disk,
         job: s.job,
         seq,
@@ -436,16 +770,16 @@ fn record(
         service,
         offset: r.offset,
     });
-    report.disk_busy[disk] += service;
-    report.max_queue_depth[disk] = report.max_queue_depth[disk].max(depth);
-    let js = &mut report.jobs[s.slot];
+    d.busy += service;
+    d.max_depth = d.max_depth.max(depth);
+    let js = &mut stats[s.slot];
     js.requests += 1;
     let wait = start - arrival;
     js.total_wait += wait;
     js.max_wait = js.max_wait.max(wait);
     js.total_service += service;
 
-    if let Some(tr) = tracer {
+    if let Some(tr) = &d.tracer {
         let name = format!("j{}", s.job);
         tr.instant(
             Category::Queue,
@@ -508,6 +842,7 @@ mod tests {
         JobProfile {
             rank_finish: vec![t],
             streams: vec![reqs],
+            ..JobProfile::default()
         }
     }
 
@@ -639,5 +974,171 @@ mod tests {
         // The queue trace exports to Perfetto JSON without panicking.
         let json = ooc_trace::perfetto::to_chrome_json(&trace);
         ooc_trace::json::parse(&json).expect("valid JSON");
+    }
+
+    /// A profile with `ranks` identical streams of evenly spaced requests.
+    fn wide_profile(ranks: usize, n: usize, gap: f64, service: f64) -> JobProfile {
+        let one = uniform_profile(n, gap, service);
+        JobProfile {
+            rank_finish: vec![one.rank_finish[0]; ranks],
+            streams: vec![one.streams[0].clone(); ranks],
+            ..JobProfile::default()
+        }
+    }
+
+    #[test]
+    fn horizon_chunked_replay_is_bitwise_identical_to_batch() {
+        let p = uniform_profile(8, 0.25, 1.0);
+        let q = uniform_profile(6, 0.0, 1.5);
+        let jobs = [
+            FarmJob::new(1, &p),
+            FarmJob {
+                base: 0.7,
+                ..FarmJob::new(2, &q)
+            },
+        ];
+        for policy in [
+            Policy::Fifo,
+            Policy::Elevator,
+            Policy::Deadline,
+            Policy::FairShare,
+        ] {
+            let cfg = FarmConfig {
+                policy,
+                ..FarmConfig::default()
+            };
+            let batch = simulate(&jobs, &cfg);
+            let mut sim = FarmSim::new(1, cfg);
+            for j in &jobs {
+                sim.admit(j);
+            }
+            // Advance in awkward fractional steps, then drain.
+            let mut h = 0.3;
+            while h < 25.0 {
+                sim.run_until(h);
+                h += 0.7;
+            }
+            sim.run_to_end();
+            let chunked = sim.finish();
+            assert_eq!(batch.served.len(), chunked.served.len());
+            for (a, b) in batch.served.iter().zip(&chunked.served) {
+                assert_eq!(a.job, b.job, "{policy:?}");
+                assert_eq!(a.seq, b.seq, "{policy:?}");
+                assert_eq!(a.start.to_bits(), b.start.to_bits(), "{policy:?}");
+                assert_eq!(a.finish.to_bits(), b.finish.to_bits(), "{policy:?}");
+            }
+            for (a, b) in batch.jobs.iter().zip(&chunked.jobs) {
+                assert_eq!(a.completion.to_bits(), b.completion.to_bits(), "{policy:?}");
+                assert_eq!(a.total_wait.to_bits(), b.total_wait.to_bits(), "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn late_admission_uses_an_idle_disk_gap() {
+        // A lone early job drains by t=2; a job admitted later must start
+        // at its own base, not at some stale committed clock.
+        let early = uniform_profile(2, 0.0, 1.0);
+        let late = uniform_profile(2, 0.0, 1.0);
+        let cfg = FarmConfig {
+            policy: Policy::Fifo,
+            ..FarmConfig::default()
+        };
+        let mut sim = FarmSim::new(1, cfg);
+        sim.admit(&FarmJob::new(1, &early));
+        // Stop exactly at the horizon where the early job has fully drained.
+        sim.run_until(10.0);
+        let slot = sim.admit(&FarmJob {
+            base: 20.0,
+            ..FarmJob::new(2, &late)
+        });
+        sim.run_to_end();
+        assert!(sim.job_done(slot));
+        let c = sim.completion(slot).unwrap();
+        assert_eq!(
+            c.to_bits(),
+            (20.0 + late.makespan()).to_bits(),
+            "late job replays solo on the idle disk"
+        );
+    }
+
+    #[test]
+    fn killed_disk_migrates_streams_and_jobs_still_finish() {
+        let p = wide_profile(2, 6, 0.5, 1.0);
+        let cfg = FarmConfig {
+            policy: Policy::Fifo,
+            ..FarmConfig::default()
+        };
+        let mut sim = FarmSim::new(2, cfg);
+        let slot = sim.admit(&FarmJob::new(1, &p));
+        sim.run_until(2.0);
+        sim.kill_disk(1);
+        assert_eq!(sim.alive_disks(), 1);
+        sim.run_to_end();
+        assert!(sim.job_done(slot), "job survives the disk death");
+        let rep = sim.finish();
+        // Disk 1 served nothing after its death at t=2 (an in-flight
+        // request may finish at exactly 2.0 + service).
+        for sv in rep.served.iter().filter(|s| s.disk == 1) {
+            assert!(sv.start < 2.0 + 1.0);
+        }
+        // Every request was served exactly once.
+        assert_eq!(rep.served.len(), 12);
+        assert!(rep.jobs[0].completion >= p.makespan());
+    }
+
+    #[test]
+    fn resumed_job_replays_only_the_suffix() {
+        let p = uniform_profile(10, 0.25, 1.0);
+        let cfg = FarmConfig {
+            policy: Policy::Fifo,
+            ..FarmConfig::default()
+        };
+        let mut sim = FarmSim::new(1, cfg);
+        let slot = sim.admit_resumed(
+            &FarmJob {
+                base: 5.0,
+                ..FarmJob::new(3, &p)
+            },
+            &[4],
+        );
+        sim.run_to_end();
+        assert!(sim.job_done(slot));
+        let rep = sim.finish();
+        assert_eq!(rep.served.len(), 6, "the first 4 requests are skipped");
+        assert_eq!(rep.served[0].seq, 4);
+        // The watermark request is re-anchored to start at the new base.
+        assert_eq!(rep.served[0].start.to_bits(), 5.0f64.to_bits());
+        // Suffix solo gaps are preserved: completion = base + remaining tail.
+        let origin = p.streams[0][4].t0;
+        assert_eq!(
+            rep.jobs[0].completion.to_bits(),
+            (5.0 + (p.rank_finish[0] - origin)).to_bits()
+        );
+    }
+
+    #[test]
+    fn hung_stream_stalls_the_job_without_blocking_others() {
+        let p = uniform_profile(6, 0.0, 1.0);
+        let q = uniform_profile(6, 0.0, 1.0);
+        let cfg = FarmConfig {
+            policy: Policy::Fifo,
+            ..FarmConfig::default()
+        };
+        let mut sim = FarmSim::new(1, cfg);
+        let hung = sim.admit(&FarmJob::new(1, &p));
+        let fine = sim.admit(&FarmJob::new(2, &q));
+        // Requests at/past solo time 3.0 (seq >= 3) never arrive.
+        sim.hang(hung, 0, 3.0);
+        sim.run_to_end();
+        assert!(!sim.job_done(hung));
+        assert!(sim.stalled(hung), "all remaining requests are hung");
+        assert_eq!(sim.progress(hung), 3);
+        assert!(sim.job_done(fine), "the healthy job drains past the hang");
+        assert!(!sim.stalled(fine));
+        // Killing the hung job releases its slot; cursors reflect progress.
+        let cursors = sim.remove_job(hung);
+        assert_eq!(cursors, vec![3]);
+        assert!(!sim.job_done(hung));
     }
 }

@@ -48,18 +48,23 @@
 //!         max_concurrent: 2,
 //!         ..WorkloadConfig::default()
 //!     },
-//! );
+//! )
+//! .unwrap();
 //! assert!(report.jobs[0].completion >= report.jobs[0].solo_makespan);
 //! ```
 
 pub mod capture;
+pub mod domain;
 pub mod farm;
 pub mod live;
 pub mod policy;
 pub mod workload;
 
 pub use capture::{profile, IoReq, JobProfile};
-pub use farm::{simulate, FarmConfig, FarmJob, FarmReport, JobQueueStats, Served};
-pub use live::{profile_all_on, run_workload_live, ProgramJob};
+pub use domain::{run_workload_guarded, DomainConfig, GuardedJobReport, GuardedReport, JobOutcome};
+pub use farm::{simulate, FarmConfig, FarmJob, FarmReport, FarmSim, JobQueueStats, Served};
+pub use live::{profile_all_on, run_workload_live, ProgramJob, WorkloadError};
 pub use policy::Policy;
-pub use workload::{run_workload, JobReport, JobSpec, WorkloadConfig, WorkloadReport};
+pub use workload::{
+    run_workload, AdmissionError, JobReport, JobSpec, WorkloadConfig, WorkloadReport,
+};

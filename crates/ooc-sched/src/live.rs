@@ -20,7 +20,47 @@ use ooc_core::CompiledProgram;
 use ooc_trace::TraceConfig;
 
 use crate::capture::JobProfile;
-use crate::workload::{run_workload, JobSpec, WorkloadConfig, WorkloadReport};
+use crate::workload::{run_workload, AdmissionError, JobSpec, WorkloadConfig, WorkloadReport};
+
+/// Failure of a live workload: either the batch was refused at admission,
+/// or a capture run failed on the pool.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The batch was malformed; nothing ran.
+    Admission(AdmissionError),
+    /// A capture run failed (I/O, recovery exhaustion, hung run…).
+    Run(RunError),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Admission(e) => write!(f, "admission refused: {e}"),
+            WorkloadError::Run(e) => write!(f, "capture run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Admission(e) => Some(e),
+            WorkloadError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<AdmissionError> for WorkloadError {
+    fn from(e: AdmissionError) -> Self {
+        WorkloadError::Admission(e)
+    }
+}
+
+impl From<RunError> for WorkloadError {
+    fn from(e: RunError) -> Self {
+        WorkloadError::Run(e)
+    }
+}
 
 /// One program of a live workload: what to run, how, and its scheduling
 /// identity on the farm.
@@ -123,7 +163,7 @@ pub fn profile_all_on(jobs: &[ProgramJob], pool: &WorkerPool) -> Result<Vec<JobP
                 .iter()
                 .map(|p| p.finish_time)
                 .collect();
-            Ok(JobProfile::from_trace(&trace, rank_finish))
+            Ok(JobProfile::from_trace(&trace, rank_finish).with_counters(&out.report.totals()))
         })
         .collect()
 }
@@ -139,7 +179,18 @@ pub fn run_workload_live(
     jobs: &[ProgramJob],
     cfg: &WorkloadConfig,
     pool: &WorkerPool,
-) -> Result<WorkloadReport, RunError> {
+) -> Result<WorkloadReport, WorkloadError> {
+    // Refuse duplicate job tags up front: two jobs sharing a nonzero tag
+    // would draw from the same fault/RNG streams and their identities
+    // would collide in the report.
+    let mut tags: Vec<u32> = jobs.iter().map(|j| j.cfg.job).filter(|&t| t != 0).collect();
+    tags.sort_unstable();
+    if let Some(w) = tags.windows(2).find(|w| w[0] == w[1]) {
+        return Err(AdmissionError::DuplicateJobId {
+            job: format!("tag {}", w[0]),
+        }
+        .into());
+    }
     let profiles = profile_all_on(jobs, pool)?;
     let specs: Vec<JobSpec> = jobs
         .iter()
@@ -150,7 +201,7 @@ pub fn run_workload_live(
                 .with_weight(j.weight)
         })
         .collect();
-    Ok(run_workload(&specs, cfg))
+    Ok(run_workload(&specs, cfg)?)
 }
 
 #[cfg(test)]
@@ -202,7 +253,7 @@ mod tests {
                     .with_weight(j.weight)
             })
             .collect();
-        let precaptured = run_workload(&specs, &wcfg);
+        let precaptured = run_workload(&specs, &wcfg).unwrap();
         assert_eq!(live, precaptured);
     }
 }

@@ -12,9 +12,88 @@
 //! reproducible — the admit times are the runtime's view at decision time,
 //! exactly as a real batch scheduler's would be.
 
+use std::fmt;
+
 use crate::capture::JobProfile;
 use crate::farm::{simulate, FarmConfig, FarmJob, FarmReport};
 use crate::policy::Policy;
+
+/// A job submission the runtime refuses to admit. Raised by
+/// [`run_workload`], [`crate::run_workload_live`] and
+/// [`crate::run_workload_guarded`] before anything runs — a malformed
+/// batch never reaches the farm, and never panics the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The job's profile has zero ranks: there is nothing to schedule.
+    NoRanks { job: String },
+    /// The job wants more ranks (= logical disks) than the farm has
+    /// ([`WorkloadConfig::disks`] when nonzero).
+    CapacityExceeded {
+        job: String,
+        ranks: usize,
+        disks: usize,
+    },
+    /// Two jobs share an id; reports and fault streams would collide.
+    DuplicateJobId { job: String },
+    /// A submission time is NaN or infinite; admission order would be
+    /// undefined.
+    BadSubmitTime { job: String, submit: f64 },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::NoRanks { job } => {
+                write!(f, "job {job:?}: profile has zero ranks")
+            }
+            AdmissionError::CapacityExceeded { job, ranks, disks } => write!(
+                f,
+                "job {job:?}: wants {ranks} ranks but the farm has {disks} disks"
+            ),
+            AdmissionError::DuplicateJobId { job } => {
+                write!(f, "job id {job:?} submitted more than once")
+            }
+            AdmissionError::BadSubmitTime { job, submit } => {
+                write!(f, "job {job:?}: submit time {submit} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Validate a batch before admission: every job has at least one rank and
+/// a finite submit time, fits the farm, and carries a unique id.
+pub(crate) fn validate_specs(specs: &[JobSpec], disks: usize) -> Result<(), AdmissionError> {
+    let mut seen: Vec<&str> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if spec.profile.nprocs() == 0 {
+            return Err(AdmissionError::NoRanks {
+                job: spec.name.clone(),
+            });
+        }
+        if disks > 0 && spec.profile.nprocs() > disks {
+            return Err(AdmissionError::CapacityExceeded {
+                job: spec.name.clone(),
+                ranks: spec.profile.nprocs(),
+                disks,
+            });
+        }
+        if !spec.submit.is_finite() {
+            return Err(AdmissionError::BadSubmitTime {
+                job: spec.name.clone(),
+                submit: spec.submit,
+            });
+        }
+        if seen.contains(&spec.name.as_str()) {
+            return Err(AdmissionError::DuplicateJobId {
+                job: spec.name.clone(),
+            });
+        }
+        seen.push(&spec.name);
+    }
+    Ok(())
+}
 
 /// One job submitted to the workload runtime.
 #[derive(Debug, Clone)]
@@ -70,6 +149,10 @@ pub struct WorkloadConfig {
     pub seek_penalty: f64,
     /// Record the per-disk queue trace in the final replay.
     pub trace: bool,
+    /// Farm capacity in logical disks. Zero (the default) sizes the farm
+    /// to the widest job; nonzero makes a job wanting more ranks an
+    /// [`AdmissionError::CapacityExceeded`].
+    pub disks: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -79,6 +162,7 @@ impl Default for WorkloadConfig {
             max_concurrent: 0,
             seek_penalty: 0.0,
             trace: false,
+            disks: 0,
         }
     }
 }
@@ -105,6 +189,12 @@ pub struct JobReport {
     pub total_wait: f64,
     /// Largest single queueing wait.
     pub max_wait: f64,
+    /// Faults injected into the job's capture run (all kinds).
+    pub faults_injected: u64,
+    /// Disk requests the capture run re-issued under the retry policy.
+    pub io_retries: u64,
+    /// Message re-transmissions after injected drops in the capture run.
+    pub msg_retries: u64,
 }
 
 impl JobReport {
@@ -143,7 +233,15 @@ impl WorkloadReport {
 }
 
 /// Admit and run `specs` against the shared farm.
-pub fn run_workload(specs: &[JobSpec], cfg: &WorkloadConfig) -> WorkloadReport {
+///
+/// Malformed batches (zero-rank jobs, duplicate ids, non-finite submit
+/// times, jobs wider than [`WorkloadConfig::disks`]) are refused with a
+/// typed [`AdmissionError`] before anything runs.
+pub fn run_workload(
+    specs: &[JobSpec],
+    cfg: &WorkloadConfig,
+) -> Result<WorkloadReport, AdmissionError> {
+    validate_specs(specs, cfg.disks)?;
     // Deterministic admission order: submission time, then slice position.
     let mut order: Vec<usize> = (0..specs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -226,16 +324,19 @@ pub fn run_workload(specs: &[JobSpec], cfg: &WorkloadConfig) -> WorkloadReport {
             requests: qs.requests,
             total_wait: qs.total_wait,
             max_wait: qs.max_wait,
+            faults_injected: specs[i].profile.faults_injected,
+            io_retries: specs[i].profile.io_retries,
+            msg_retries: specs[i].profile.msg_retries,
         });
     }
-    WorkloadReport {
+    Ok(WorkloadReport {
         jobs: jobs_out
             .into_iter()
             .map(|j| j.expect("every spec admitted"))
             .collect(),
         farm,
         policy: cfg.policy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -257,6 +358,7 @@ mod tests {
         JobProfile {
             rank_finish: vec![n as f64 * service],
             streams: vec![reqs],
+            ..JobProfile::default()
         }
     }
 
@@ -266,7 +368,8 @@ mod tests {
         let rep = run_workload(
             &[JobSpec::new("solo", p.clone())],
             &WorkloadConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(rep.jobs[0].completion.to_bits(), p.makespan().to_bits());
         assert_eq!(rep.jobs[0].total_wait, 0.0);
         assert_eq!(rep.jobs[0].stretch(), 1.0);
@@ -285,7 +388,8 @@ mod tests {
                 max_concurrent: 1,
                 ..WorkloadConfig::default()
             },
-        );
+        )
+        .unwrap();
         // Serial admission: each job starts when the previous completes.
         assert_eq!(rep.jobs[0].admit, 0.0);
         assert_eq!(rep.jobs[1].admit, rep.jobs[0].completion);
@@ -306,7 +410,8 @@ mod tests {
                 policy: Policy::Fifo,
                 ..WorkloadConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(rep.jobs.iter().all(|j| j.admit == j.submit));
         assert!(
             rep.makespan() > p.makespan(),
@@ -325,8 +430,8 @@ mod tests {
             max_concurrent: 3,
             ..WorkloadConfig::default()
         };
-        let a = run_workload(&specs, &cfg);
-        let b = run_workload(&specs, &cfg);
+        let a = run_workload(&specs, &cfg).unwrap();
+        let b = run_workload(&specs, &cfg).unwrap();
         assert_eq!(a.jobs, b.jobs);
         assert_eq!(a.farm.served, b.farm.served);
     }

@@ -1,0 +1,169 @@
+//! Admission-error corpus: malformed or inadmissible job submissions must
+//! come back as typed [`AdmissionError`]s from every workload entry point
+//! — `run_workload`, `run_workload_live` and `run_workload_guarded` — and
+//! never as panics.
+
+use std::sync::Arc;
+
+use dmsim::WorkerPool;
+use ooc_sched::{
+    run_workload, run_workload_guarded, run_workload_live, AdmissionError, DomainConfig, IoReq,
+    JobProfile, JobSpec, ProgramJob, WorkloadConfig, WorkloadError,
+};
+
+fn tiny_profile() -> JobProfile {
+    JobProfile {
+        rank_finish: vec![2.0],
+        streams: vec![vec![IoReq {
+            t0: 0.0,
+            t1: 1.0,
+            requests: 1,
+            bytes: 64,
+            offset: Some(0),
+            write: false,
+        }]],
+        ..JobProfile::default()
+    }
+}
+
+fn wide_profile(ranks: usize) -> JobProfile {
+    JobProfile {
+        rank_finish: vec![1.0; ranks],
+        streams: vec![Vec::new(); ranks],
+        ..JobProfile::default()
+    }
+}
+
+#[test]
+fn zero_rank_job_is_refused() {
+    let specs = [JobSpec::new("empty", JobProfile::default())];
+    let err = run_workload(&specs, &WorkloadConfig::default()).unwrap_err();
+    assert_eq!(
+        err,
+        AdmissionError::NoRanks {
+            job: "empty".into()
+        }
+    );
+    assert!(err.to_string().contains("zero ranks"));
+}
+
+#[test]
+fn job_wider_than_the_farm_is_refused() {
+    let specs = [JobSpec::new("wide", wide_profile(8))];
+    let cfg = WorkloadConfig {
+        disks: 4,
+        ..WorkloadConfig::default()
+    };
+    let err = run_workload(&specs, &cfg).unwrap_err();
+    assert_eq!(
+        err,
+        AdmissionError::CapacityExceeded {
+            job: "wide".into(),
+            ranks: 8,
+            disks: 4,
+        }
+    );
+    // Zero (auto-sized) capacity admits any width.
+    assert!(run_workload(&specs, &WorkloadConfig::default()).is_ok());
+}
+
+#[test]
+fn duplicate_job_ids_are_refused() {
+    let specs = [
+        JobSpec::new("twin", tiny_profile()),
+        JobSpec::new("other", tiny_profile()),
+        JobSpec::new("twin", tiny_profile()),
+    ];
+    let err = run_workload(&specs, &WorkloadConfig::default()).unwrap_err();
+    assert_eq!(err, AdmissionError::DuplicateJobId { job: "twin".into() });
+}
+
+#[test]
+fn non_finite_submit_times_are_refused_not_panicked() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let specs = [
+            JobSpec::new("ok", tiny_profile()),
+            JobSpec::new("bad", tiny_profile()).with_submit(bad),
+        ];
+        let err = run_workload(&specs, &WorkloadConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, AdmissionError::BadSubmitTime { ref job, .. } if job == "bad"),
+            "submit {bad}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn the_guarded_runtime_shares_the_same_corpus() {
+    let cfg = DomainConfig::default();
+    assert!(matches!(
+        run_workload_guarded(&[JobSpec::new("e", JobProfile::default())], &cfg),
+        Err(AdmissionError::NoRanks { .. })
+    ));
+    assert!(matches!(
+        run_workload_guarded(
+            &[
+                JobSpec::new("x", tiny_profile()),
+                JobSpec::new("x", tiny_profile())
+            ],
+            &cfg
+        ),
+        Err(AdmissionError::DuplicateJobId { .. })
+    ));
+    let capped = DomainConfig {
+        disks: 1,
+        ..DomainConfig::default()
+    };
+    assert!(matches!(
+        run_workload_guarded(&[JobSpec::new("w", wide_profile(2))], &capped),
+        Err(AdmissionError::CapacityExceeded { .. })
+    ));
+}
+
+#[test]
+fn live_workload_refuses_duplicate_job_tags_before_running_anything() {
+    let compiled = Arc::new(
+        ooc_core::compile_source(hpf::GAXPY_SOURCE, &ooc_core::CompilerOptions::default()).unwrap(),
+    );
+    let pool = WorkerPool::new(1);
+    let jobs = [
+        ProgramJob::new("a", Arc::clone(&compiled)).with_job_tag(3),
+        ProgramJob::new("b", Arc::clone(&compiled)).with_job_tag(3),
+    ];
+    let err = run_workload_live(&jobs, &WorkloadConfig::default(), &pool).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WorkloadError::Admission(AdmissionError::DuplicateJobId { .. })
+        ),
+        "got {err:?}"
+    );
+    // Distinct tags (or untagged jobs) pass.
+    let jobs = [
+        ProgramJob::new("a", Arc::clone(&compiled)).with_job_tag(1),
+        ProgramJob::new("b", compiled).with_job_tag(2),
+    ];
+    assert!(run_workload_live(&jobs, &WorkloadConfig::default(), &pool).is_ok());
+}
+
+#[test]
+fn admission_errors_are_std_errors_with_readable_messages() {
+    let errors: Vec<AdmissionError> = vec![
+        AdmissionError::NoRanks { job: "j".into() },
+        AdmissionError::CapacityExceeded {
+            job: "j".into(),
+            ranks: 9,
+            disks: 2,
+        },
+        AdmissionError::DuplicateJobId { job: "j".into() },
+        AdmissionError::BadSubmitTime {
+            job: "j".into(),
+            submit: f64::NAN,
+        },
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        assert!(msg.contains('j'), "{msg}");
+        let _: &dyn std::error::Error = &e;
+    }
+}

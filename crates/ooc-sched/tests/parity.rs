@@ -72,7 +72,7 @@ fn single_job_workload_under_default_policy_is_bitwise_legacy() {
     let compiled = compiled_gaxpy();
     let baseline = run(&compiled, &RunConfig::default()).unwrap();
     let p = profile(&compiled, &RunConfig::default()).unwrap();
-    let rep = run_workload(&[JobSpec::new("solo", p)], &WorkloadConfig::default());
+    let rep = run_workload(&[JobSpec::new("solo", p)], &WorkloadConfig::default()).unwrap();
     assert_eq!(
         rep.policy,
         Policy::StaticShare,
@@ -97,7 +97,7 @@ fn static_share_stays_exact_even_with_prefetch_overlap() {
     };
     let baseline = run(&compiled, &cfg).unwrap();
     let p = profile(&compiled, &cfg).unwrap();
-    let rep = run_workload(&[JobSpec::new("pf", p)], &WorkloadConfig::default());
+    let rep = run_workload(&[JobSpec::new("pf", p)], &WorkloadConfig::default()).unwrap();
     assert_eq!(
         rep.jobs[0].completion.to_bits(),
         baseline.report.elapsed().to_bits()
@@ -154,7 +154,8 @@ fn contention_slows_jobs_and_fair_share_bounds_the_damage() {
                 trace: true,
                 ..WorkloadConfig::default()
             },
-        );
+        )
+        .unwrap();
         for j in &rep.jobs {
             assert!(
                 j.completion >= solo,

@@ -25,6 +25,7 @@ fn make_profile(n: usize, service: f64, gap: f64) -> JobProfile {
     JobProfile {
         rank_finish: vec![t],
         streams: vec![reqs],
+        ..JobProfile::default()
     }
 }
 
@@ -193,5 +194,94 @@ proptest! {
             prop_assert_eq!(x.finish.to_bits(), y.finish.to_bits());
         }
         prop_assert_eq!(a.jobs, b.jobs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guarded-runtime liveness: under arbitrary chaos (hang injection, tight
+// deadlines, overload-driven EDF preemption, bounded re-run budgets) the
+// fault-domain executive always terminates with a typed outcome per job —
+// a preempted job always eventually resumes or is quarantined, and
+// quarantine never deadlocks admission of the others.
+
+use ooc_sched::{run_workload_guarded, DomainConfig, JobOutcome, JobSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn guarded_chaos_always_reaches_typed_outcomes(
+        njobs in 2usize..6,
+        nreqs in 4usize..16,
+        hang10 in 0u32..8,
+        max_retries in 0u32..4,
+        cap in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let specs: Vec<JobSpec> = (0..njobs)
+            .map(|i| {
+                JobSpec::new(format!("j{i}"), make_profile(nreqs + i, 0.5, 0.1))
+                    .with_submit(i as f64 * 0.5)
+            })
+            .collect();
+        let cfg = DomainConfig {
+            policy: Policy::Fifo,
+            seed,
+            hang_chance: hang10 as f64 / 10.0,
+            watchdog_quantum: 2.0,
+            deadline_factor: 6.0,
+            max_retries,
+            backoff_base: 0.5,
+            checkpoint_every: 2,
+            max_concurrent: cap,
+            epoch: 0.5,
+            ..DomainConfig::default()
+        };
+        // Liveness is the return itself: the executive never spins on a
+        // hung, late or quarantined job.
+        let rep = run_workload_guarded(&specs, &cfg).unwrap();
+        prop_assert_eq!(rep.jobs.len(), njobs);
+        for j in &rep.jobs {
+            // Admission accounting: every admission is the first run, a
+            // post-kill resubmission, or a post-preemption resume — and a
+            // preempted job always came back (it cannot end waiting).
+            match &j.outcome {
+                JobOutcome::Done { .. } => {
+                    prop_assert_eq!(j.kills, 0);
+                    prop_assert_eq!(j.preemptions, 0);
+                    prop_assert_eq!(j.attempts, 1);
+                }
+                JobOutcome::Recovered { attempts, preemptions, .. } => {
+                    prop_assert_eq!(*attempts, 1 + j.kills + j.preemptions);
+                    prop_assert_eq!(*preemptions, j.preemptions);
+                    prop_assert!(j.kills <= max_retries);
+                }
+                JobOutcome::Killed { .. } => {
+                    prop_assert_eq!(max_retries, 0);
+                    prop_assert_eq!(j.kills, 1);
+                    prop_assert_eq!(j.attempts, 1 + j.preemptions);
+                }
+                JobOutcome::Quarantined { attempts, .. } => {
+                    prop_assert_eq!(j.kills, max_retries + 1);
+                    prop_assert_eq!(*attempts, j.kills + j.preemptions);
+                }
+            }
+        }
+        // Quarantine of some jobs never starves the rest: every job that
+        // kept its budget finished.
+        for j in &rep.jobs {
+            if j.kills <= max_retries || max_retries == 0 && j.kills == 0 {
+                prop_assert!(
+                    j.outcome.completed(),
+                    "job {} within budget but not complete: {:?}",
+                    &j.name,
+                    &j.outcome
+                );
+            }
+        }
+        // And the whole chaotic run is bitwise-reproducible.
+        let again = run_workload_guarded(&specs, &cfg).unwrap();
+        prop_assert_eq!(&rep.jobs, &again.jobs);
+        prop_assert_eq!(&rep.farm.served, &again.farm.served);
     }
 }

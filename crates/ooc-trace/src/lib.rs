@@ -121,6 +121,11 @@ pub enum Category {
     /// counters) emitted by the `ooc-sched` scheduling layer. Queueing is
     /// waiting, not transfer, so it joins no `ProcStats` time group.
     Queue,
+    /// Workload fault-domain executive event (admissions, watchdog kills,
+    /// deadline misses, preemptions, resumes, quarantines, disk deaths)
+    /// emitted by the `ooc-sched` guarded runtime. Control-plane actions
+    /// charge no simulated time, so the category joins no time group.
+    FaultDomain,
 }
 
 /// Which `ProcStats` time counter a category's span durations sum into.
@@ -138,7 +143,7 @@ pub enum TimeGroup {
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 17] = [
+    pub const ALL: [Category; 18] = [
         Category::Phase,
         Category::Slab,
         Category::Compute,
@@ -156,6 +161,7 @@ impl Category {
         Category::Checkpoint,
         Category::Redist,
         Category::Queue,
+        Category::FaultDomain,
     ];
 
     /// Stable lowercase label used in exported JSON.
@@ -178,6 +184,7 @@ impl Category {
             Category::Checkpoint => "checkpoint",
             Category::Redist => "redist",
             Category::Queue => "queue",
+            Category::FaultDomain => "fault_domain",
         }
     }
 

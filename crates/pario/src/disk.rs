@@ -48,6 +48,9 @@ pub(crate) fn backend_read(
     let Some(fi) = faults else {
         return backend.read_at(file, offset, buf);
     };
+    if fi.dead() {
+        return Err(IoError::DiskDown { file });
+    }
     if fi.hard_read() {
         fi.note_fault();
         return Err(IoError::PermanentFault {
@@ -94,6 +97,9 @@ pub(crate) fn backend_write(
     let Some(fi) = faults else {
         return backend.write_at(file, offset, data);
     };
+    if fi.dead() {
+        return Err(IoError::DiskDown { file });
+    }
     if fi.hard_write() {
         fi.note_fault();
         return Err(IoError::PermanentFault {
@@ -191,6 +197,14 @@ impl LogicalDisk {
     /// planners should re-plan slab sizes against reduced bandwidth.
     pub fn is_degraded(&self) -> bool {
         self.faults.as_ref().is_some_and(|f| f.degraded())
+    }
+
+    /// True when the disk's permanent-failure budget
+    /// ([`FaultConfig::fail_after`]) is exhausted: every subsequent access
+    /// returns [`IoError::DiskDown`] until the workload re-plans the job
+    /// onto surviving disks.
+    pub fn is_dead(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.dead())
     }
 
     /// Drain recovery charges accumulated by the fault layer into `charge`.
@@ -796,6 +810,38 @@ mod tests {
         // request succeed.
         d.fault_injector().unwrap().quiesce_hard();
         assert!(d.read_extent(f, 0, 8, &NoCharge).is_ok());
+    }
+
+    #[test]
+    fn disk_dies_permanently_after_its_fault_budget() {
+        // Every attempt is transient-faulted, and the second injected fault
+        // kills the disk for good.
+        let cfg = FaultConfig {
+            read_error: 1.0,
+            fail_after: 2,
+            ..FaultConfig::quiet(3)
+        };
+        let mut d = LogicalDisk::in_memory();
+        d.enable_faults(&cfg, 0);
+        let f = d.create_file(64).unwrap();
+        assert!(!d.is_dead());
+        // First access injects retries until the budget trips.
+        let r = d.read_extent(f, 0, 8, &NoCharge);
+        let died_immediately = r.is_err();
+        let mut hits = 0;
+        while !d.is_dead() && hits < 16 {
+            let _ = d.read_extent(f, 0, 8, &NoCharge);
+            hits += 1;
+        }
+        assert!(d.is_dead(), "fault budget of 2 must trip the death gate");
+        let err = d.read_extent(f, 0, 8, &NoCharge).unwrap_err();
+        assert!(matches!(err, IoError::DiskDown { .. }), "{err}");
+        let werr = d.write_extent(f, 0, &[1; 4], &NoCharge).unwrap_err();
+        assert!(matches!(werr, IoError::DiskDown { .. }), "{werr}");
+        // Unlike hard faults, quiescing does not resurrect a dead disk.
+        d.fault_injector().unwrap().quiesce_hard();
+        assert!(d.read_extent(f, 0, 8, &NoCharge).is_err());
+        let _ = died_immediately;
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub enum IoError {
         /// Whether the faulted access was a read or a write.
         op: FaultOp,
     },
+    /// The logical disk died permanently (its fault budget ran out); no
+    /// retry and no checkpoint/restart on the same disk can clear this.
+    /// Recovery means re-planning the job onto surviving disks.
+    DiskDown {
+        /// File whose access hit the dead disk.
+        file: u64,
+    },
 }
 
 /// The direction of a permanently faulted disk access.
@@ -75,6 +82,10 @@ impl fmt::Display for IoError {
             IoError::PermanentFault { file, offset, op } => write!(
                 f,
                 "permanent {op} fault on file {file} at byte {offset} (retries exhausted)"
+            ),
+            IoError::DiskDown { file } => write!(
+                f,
+                "logical disk died permanently; access to file {file} refused"
             ),
         }
     }
