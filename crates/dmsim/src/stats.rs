@@ -197,6 +197,22 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// A snapshot carrying only the chaos counters — the shape the workload
+    /// observatory accumulates when it aggregates per-job fault totals on a
+    /// sampling cadence (everything else stays zero so [`delta`] and
+    /// [`merge`] compose cleanly).
+    ///
+    /// [`delta`]: StatsSnapshot::delta
+    /// [`merge`]: StatsSnapshot::merge
+    pub fn fault_counts(faults_injected: u64, io_retries: u64, msg_retries: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            faults_injected,
+            io_retries,
+            msg_retries,
+            ..StatsSnapshot::default()
+        }
+    }
+
     /// Total I/O requests (reads + writes) — the paper's first metric.
     pub fn io_requests(&self) -> u64 {
         self.io_read_requests + self.io_write_requests
@@ -312,6 +328,46 @@ mod tests {
         // delta then merge round-trips.
         let back = before.merge(&d);
         assert_eq!(back, s.snapshot());
+    }
+
+    #[test]
+    fn delta_boundary_cases() {
+        // Empty vs empty: identically zero.
+        let zero = StatsSnapshot::default();
+        assert_eq!(zero.delta(&zero), zero);
+        // Single-sample: delta against empty is the snapshot itself, and
+        // delta against itself is zero.
+        let one = StatsSnapshot::fault_counts(1, 2, 3);
+        assert_eq!(one.delta(&zero), one);
+        assert_eq!(one.delta(&one), zero);
+        // Stale pair (before > after): u64 counters saturate at zero
+        // instead of wrapping to ~2^64.
+        let big = StatsSnapshot::fault_counts(u64::MAX, u64::MAX, 10);
+        let small = StatsSnapshot::fault_counts(5, 0, 10);
+        let d = small.delta(&big);
+        assert_eq!(d.faults_injected, 0);
+        assert_eq!(d.io_retries, 0);
+        assert_eq!(d.msg_retries, 0);
+        // Saturated counters still delta correctly from a nonzero base.
+        let d = big.delta(&small);
+        assert_eq!(d.faults_injected, u64::MAX - 5);
+        assert_eq!(d.io_retries, u64::MAX);
+        assert_eq!(d.msg_retries, 0);
+    }
+
+    #[test]
+    fn fault_counts_carries_only_chaos_counters() {
+        let s = StatsSnapshot::fault_counts(7, 8, 9);
+        assert_eq!(s.faults_injected, 7);
+        assert_eq!(s.io_retries, 8);
+        assert_eq!(s.msg_retries, 9);
+        // Everything else is zero, so merging into a real snapshot only
+        // moves the chaos counters.
+        assert_eq!(s.io_requests(), 0);
+        assert_eq!(s.flops, 0);
+        assert_eq!(s.time_faults, 0.0);
+        let m = s.merge(&StatsSnapshot::fault_counts(1, 1, 1));
+        assert_eq!((m.faults_injected, m.io_retries, m.msg_retries), (8, 9, 10));
     }
 
     #[test]

@@ -27,10 +27,11 @@
 //! times, and the sweep visits jobs in a fixed order — so the whole
 //! chaotic workload is bitwise-reproducible.
 
-use dmsim::FaultStream;
+use dmsim::{FaultStream, StatsSnapshot};
 use ooc_trace::{Args, Category, RankTrace, TraceConfig, Tracer};
 
 use crate::farm::{FarmConfig, FarmJob, FarmReport, FarmSim};
+use crate::obs::{FlightRecorder, ObsEvent, ObsKind, Sampler, WorkloadObserver};
 use crate::policy::Policy;
 use crate::workload::{validate_specs, AdmissionError, JobSpec};
 
@@ -136,6 +137,11 @@ pub struct DomainConfig {
     /// Scheduled permanent disk deaths: `(virtual time, disk index)`.
     /// Killing the last surviving disk is refused at validation.
     pub disk_deaths: Vec<(f64, usize)>,
+    /// Crash flight recorder depth: the last N bus events retained per
+    /// job, dumped into [`GuardedJobReport::postmortem`] when a job ends
+    /// [`JobOutcome::Killed`] or [`JobOutcome::Quarantined`]. 0 disables
+    /// the recorder.
+    pub flight_recorder_depth: usize,
 }
 
 impl Default for DomainConfig {
@@ -155,6 +161,7 @@ impl Default for DomainConfig {
             checkpoint_every: 4,
             epoch: 1.0,
             disk_deaths: Vec::new(),
+            flight_recorder_depth: 32,
         }
     }
 }
@@ -188,6 +195,11 @@ pub struct GuardedJobReport {
     pub io_retries: u64,
     /// Message re-transmissions after injected drops in the capture run.
     pub msg_retries: u64,
+    /// The crash flight recorder's dump — the last
+    /// [`DomainConfig::flight_recorder_depth`] bus events of this job —
+    /// when the outcome is [`JobOutcome::Killed`] or
+    /// [`JobOutcome::Quarantined`]; empty otherwise.
+    pub postmortem: Vec<ObsEvent>,
 }
 
 /// Result of a guarded workload run.
@@ -245,6 +257,10 @@ struct JobState {
     last_progress: u64,
     /// Workload time of the last watchdog reset.
     last_progress_t: f64,
+    /// First admission time, for the sampler's counter attribution.
+    first_admit: Option<f64>,
+    /// Flight-recorder dump captured when the fate sealed badly.
+    postmortem: Vec<ObsEvent>,
     outcome: Option<JobOutcome>,
 }
 
@@ -279,6 +295,32 @@ pub fn run_workload_guarded(
     specs: &[JobSpec],
     cfg: &DomainConfig,
 ) -> Result<GuardedReport, AdmissionError> {
+    run_guarded(specs, cfg, None)
+}
+
+/// [`run_workload_guarded`] with the observatory attached: the executive
+/// publishes every control-plane decision as an [`ObsEvent`] to
+/// `observer` (in non-decreasing time order) and samples the time series
+/// on the `sample_every` virtual-time cadence.
+///
+/// Observation is transparent: the farm advance is chunked at sample
+/// points (bitwise outcome-invariant), the flight recorder runs either
+/// way, and the returned report is identical to the unobserved one —
+/// asserted by the observer-transparency tests.
+pub fn run_workload_guarded_observed(
+    specs: &[JobSpec],
+    cfg: &DomainConfig,
+    sample_every: f64,
+    observer: &mut dyn WorkloadObserver,
+) -> Result<GuardedReport, AdmissionError> {
+    run_guarded(specs, cfg, Some((sample_every, observer)))
+}
+
+fn run_guarded(
+    specs: &[JobSpec],
+    cfg: &DomainConfig,
+    obs: Option<(f64, &mut dyn WorkloadObserver)>,
+) -> Result<GuardedReport, AdmissionError> {
     validate_specs(specs, cfg.disks)?;
     let ndisks = match cfg.disks {
         0 => specs
@@ -305,6 +347,10 @@ pub fn run_workload_guarded(
         policy: cfg.policy,
         seek_penalty: cfg.seek_penalty,
         trace: cfg.trace,
+        // Always collect dispatch events: the flight recorder runs with or
+        // without an observer, so postmortems (and thus the report) are
+        // identical either way.
+        observe: true,
     };
     let mut sim = FarmSim::new(ndisks, farm_cfg);
     let tracer = cfg
@@ -315,6 +361,14 @@ pub fn run_workload_guarded(
             tr.instant(Category::FaultDomain, name, t, Args::default());
         }
     };
+    let (mut sampler, mut observer) = match obs {
+        Some((every, o)) => (Some(Sampler::new(every, ndisks)), Some(o)),
+        None => (None, None),
+    };
+    let mut recorder = FlightRecorder::new(cfg.flight_recorder_depth);
+    // Events of the current epoch, stable-sorted by stamp before flushing
+    // so the published stream is globally non-decreasing in time.
+    let mut epoch_buf: Vec<ObsEvent> = Vec::new();
 
     let mut jobs: Vec<JobState> = specs
         .iter()
@@ -339,6 +393,8 @@ pub fn run_workload_guarded(
             hangs_injected: 0,
             last_progress: 0,
             last_progress_t: 0.0,
+            first_admit: None,
+            postmortem: Vec::new(),
             outcome: None,
         })
         .collect();
@@ -358,9 +414,14 @@ pub fn run_workload_guarded(
             let (at, disk) = deaths[next_death];
             next_death += 1;
             if sim.alive_disks() > 1 {
-                sim.kill_disk(disk);
+                let migrated = sim.kill_disk(disk);
                 deaths_fired += 1;
                 trace_instant(&format!("disk_death:d{disk}"), at);
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: 0,
+                    kind: ObsKind::DiskDeath { disk, migrated, at },
+                });
             }
         }
 
@@ -404,6 +465,18 @@ pub fn run_workload_guarded(
                 let cursors = sim.remove_job(slot);
                 let resume = checkpoint_watermark(&cursors, cfg.checkpoint_every);
                 jobs[victim].preemptions += 1;
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: victim as u32 + 1,
+                    kind: ObsKind::Preempted,
+                });
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: victim as u32 + 1,
+                    kind: ObsKind::Checkpoint {
+                        watermark: resume.iter().map(|&c| c as u64).sum(),
+                    },
+                });
                 jobs[victim].st = St::Waiting {
                     at: t,
                     resume: Some(resume),
@@ -423,6 +496,7 @@ pub fn run_workload_guarded(
                 weight: specs[j].weight,
                 qos_slack: specs[j].qos_slack,
             };
+            let resumed = matches!(&resume, Some(w) if w.iter().any(|&c| c > 0));
             let slot = match &resume {
                 Some(w) if w.iter().any(|&c| c > 0) => sim.admit_resumed(&fj, w),
                 _ => sim.admit(&fj),
@@ -434,8 +508,19 @@ pub fn run_workload_guarded(
             jobs[j].attempts += 1;
             jobs[j].last_progress = sim.progress(slot);
             jobs[j].last_progress_t = t;
+            if jobs[j].first_admit.is_none() {
+                jobs[j].first_admit = Some(t);
+            }
             jobs[j].st = St::Running { slot };
             trace_instant(&format!("admit:{}:a{}", specs[j].name, jobs[j].attempts), t);
+            epoch_buf.push(ObsEvent {
+                t,
+                job: j as u32 + 1,
+                kind: ObsKind::Admitted {
+                    attempt: jobs[j].attempts,
+                    resumed,
+                },
+            });
             // Chaos: this attempt may hang, per the seeded per-(job,
             // attempt) stream. The hang pins one rank's remaining requests
             // past a fraction of its solo life.
@@ -449,14 +534,44 @@ pub fn run_workload_guarded(
                 sim.hang(slot, rank, at_solo);
                 jobs[j].hangs_injected += 1;
                 trace_instant(&format!("hang_injected:{}:r{rank}", specs[j].name), t);
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: j as u32 + 1,
+                    kind: ObsKind::HangInjected { rank },
+                });
             }
         }
 
-        // 3. Advance the farm one epoch.
+        // 3. Advance the farm one epoch, chunking at sample grid points
+        // when the observatory is attached (chunked replay is bitwise
+        // outcome-invariant, so sampling never perturbs the run).
         t += cfg.epoch;
+        if let Some(sampler) = sampler.as_mut() {
+            while let Some(s) = sampler.due(t) {
+                sim.run_until(s);
+                // Chaos counters attributable so far: the capture counters
+                // of every job first admitted by the sample time.
+                let mut cum = StatsSnapshot::default();
+                for (spec, st) in specs.iter().zip(&jobs) {
+                    if st.first_admit.is_some_and(|fa| fa <= s) {
+                        cum = cum.merge(&StatsSnapshot::fault_counts(
+                            spec.profile.faults_injected,
+                            spec.profile.io_retries,
+                            spec.profile.msg_retries,
+                        ));
+                    }
+                }
+                let sample = sampler.take(&sim, cum);
+                if let Some(o) = observer.as_mut() {
+                    o.sample(&sample);
+                }
+            }
+        }
         sim.run_until(t);
+        epoch_buf.extend(sim.drain_obs());
 
         // 4. Sweep running jobs: completion, then deadline, then watchdog.
+        let mut sealed_badly: Vec<usize> = Vec::new();
         for j in 0..jobs.len() {
             let St::Running { slot } = jobs[j].st else {
                 continue;
@@ -476,6 +591,17 @@ pub fn run_workload_guarded(
                 jobs[j].st = St::Terminal;
                 sim.remove_job(slot);
                 trace_instant(&format!("complete:{}", specs[j].name), completion);
+                epoch_buf.push(ObsEvent {
+                    // Stamped at the detecting sweep; the actual
+                    // completion (≤ t, or past it for a rigid compute
+                    // tail) rides in the payload.
+                    t,
+                    job: j as u32 + 1,
+                    kind: ObsKind::Completed {
+                        completion,
+                        recovered,
+                    },
+                });
                 continue;
             }
             let late = t > jobs[j].deadline;
@@ -494,9 +620,24 @@ pub fn run_workload_guarded(
             jobs[j].kills += 1;
             let why = if late { "deadline" } else { "watchdog" };
             trace_instant(&format!("kill:{}:{}", specs[j].name, why), t);
+            epoch_buf.push(ObsEvent {
+                t,
+                job: j as u32 + 1,
+                kind: if late {
+                    ObsKind::DeadlineKill
+                } else {
+                    ObsKind::WatchdogKill
+                },
+            });
             if cfg.max_retries == 0 {
                 jobs[j].outcome = Some(JobOutcome::Killed { at: t });
                 jobs[j].st = St::Terminal;
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: j as u32 + 1,
+                    kind: ObsKind::Killed,
+                });
+                sealed_badly.push(j);
             } else if jobs[j].kills > cfg.max_retries {
                 jobs[j].outcome = Some(JobOutcome::Quarantined {
                     at: t,
@@ -504,6 +645,14 @@ pub fn run_workload_guarded(
                 });
                 jobs[j].st = St::Terminal;
                 trace_instant(&format!("quarantine:{}", specs[j].name), t);
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: j as u32 + 1,
+                    kind: ObsKind::Quarantined {
+                        attempts: jobs[j].attempts,
+                    },
+                });
+                sealed_badly.push(j);
             } else {
                 let resume = checkpoint_watermark(&cursors, cfg.checkpoint_every);
                 let backoff = cfg.backoff_base * f64::powi(2.0, jobs[j].kills as i32 - 1);
@@ -518,11 +667,44 @@ pub fn run_workload_guarded(
                         f64::INFINITY
                     };
                 }
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: j as u32 + 1,
+                    kind: ObsKind::Checkpoint {
+                        watermark: resume.iter().map(|&c| c as u64).sum(),
+                    },
+                });
+                epoch_buf.push(ObsEvent {
+                    t,
+                    job: j as u32 + 1,
+                    kind: ObsKind::RetryScheduled {
+                        attempt: jobs[j].attempts + 1,
+                        backoff,
+                        resume_at: at,
+                    },
+                });
                 jobs[j].st = St::Waiting {
                     at,
                     resume: Some(resume),
                 };
             }
+        }
+
+        // 5. Flush the epoch's events: stable-sort by stamp (control
+        // events at the epoch edges, dispatches in between), feed the
+        // flight recorder, publish to the observer — then capture
+        // postmortems for jobs whose fate just sealed badly, so the dump
+        // includes their terminal events.
+        epoch_buf.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        for e in &epoch_buf {
+            recorder.push(e);
+            if let Some(o) = observer.as_mut() {
+                o.event(e);
+            }
+        }
+        epoch_buf.clear();
+        for j in sealed_badly {
+            jobs[j].postmortem = recorder.dump(j as u32 + 1);
         }
 
         if jobs.iter().all(|s| matches!(s.st, St::Terminal)) {
@@ -565,6 +747,7 @@ pub fn run_workload_guarded(
                 faults_injected: s.profile.faults_injected,
                 io_retries: s.profile.io_retries,
                 msg_retries: s.profile.msg_retries,
+                postmortem: st.postmortem.clone(),
             })
             .collect(),
         farm,

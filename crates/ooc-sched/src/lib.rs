@@ -22,6 +22,10 @@
 //!   streams derive from the `(job, rank)` pair via
 //!   [`noderun::RunConfig::job`]) and per-job queue-depth / wait-time
 //!   metrics, exportable as a Perfetto timeline.
+//! * [`obs`] — the workload observatory: a typed, time-ordered event bus
+//!   ([`WorkloadObserver`]), a deterministic fixed-cadence sampler, a
+//!   bounded crash flight recorder, and SLO scorecards — all guaranteed
+//!   never to perturb the replay they watch.
 //!
 //! The compiler side of the story is
 //! [`ooc_core::CompilerOptions::background`] /
@@ -57,14 +61,25 @@ pub mod capture;
 pub mod domain;
 pub mod farm;
 pub mod live;
+pub mod obs;
 pub mod policy;
 pub mod workload;
 
 pub use capture::{profile, IoReq, JobProfile};
-pub use domain::{run_workload_guarded, DomainConfig, GuardedJobReport, GuardedReport, JobOutcome};
+pub use domain::{
+    run_workload_guarded, run_workload_guarded_observed, DomainConfig, GuardedJobReport,
+    GuardedReport, JobOutcome,
+};
 pub use farm::{simulate, FarmConfig, FarmJob, FarmReport, FarmSim, JobQueueStats, Served};
-pub use live::{profile_all_on, run_workload_live, ProgramJob, WorkloadError};
+pub use live::{
+    profile_all_on, run_workload_live, run_workload_live_observed, ProgramJob, WorkloadError,
+};
+pub use obs::{
+    EventLog, FlightRecorder, NullObserver, ObsEvent, ObsKind, Sample, Sampler, SloScorecard,
+    WorkloadObserver,
+};
 pub use policy::Policy;
 pub use workload::{
-    run_workload, AdmissionError, JobReport, JobSpec, WorkloadConfig, WorkloadReport,
+    run_workload, run_workload_observed, AdmissionError, JobReport, JobSpec, WorkloadConfig,
+    WorkloadReport,
 };

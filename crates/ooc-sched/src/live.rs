@@ -180,6 +180,35 @@ pub fn run_workload_live(
     cfg: &WorkloadConfig,
     pool: &WorkerPool,
 ) -> Result<WorkloadReport, WorkloadError> {
+    let specs = capture_specs(jobs, pool)?;
+    Ok(run_workload(&specs, cfg)?)
+}
+
+/// [`run_workload_live`] with the workload observatory attached: the replay
+/// publishes admissions, dispatches, and completions to `observer` and
+/// samples farm state every `sample_every` simulated seconds.
+///
+/// The report is bit-identical to [`run_workload_live`]'s — observation
+/// never perturbs the replay.
+pub fn run_workload_live_observed(
+    jobs: &[ProgramJob],
+    cfg: &WorkloadConfig,
+    pool: &WorkerPool,
+    sample_every: f64,
+    observer: &mut dyn crate::obs::WorkloadObserver,
+) -> Result<WorkloadReport, WorkloadError> {
+    let specs = capture_specs(jobs, pool)?;
+    Ok(crate::workload::run_workload_observed(
+        &specs,
+        cfg,
+        sample_every,
+        observer,
+    )?)
+}
+
+/// Capture the fleet concurrently and assemble the [`JobSpec`]s the
+/// admission machinery consumes.
+fn capture_specs(jobs: &[ProgramJob], pool: &WorkerPool) -> Result<Vec<JobSpec>, WorkloadError> {
     // Refuse duplicate job tags up front: two jobs sharing a nonzero tag
     // would draw from the same fault/RNG streams and their identities
     // would collide in the report.
@@ -192,7 +221,7 @@ pub fn run_workload_live(
         .into());
     }
     let profiles = profile_all_on(jobs, pool)?;
-    let specs: Vec<JobSpec> = jobs
+    Ok(jobs
         .iter()
         .zip(profiles)
         .map(|(j, p)| {
@@ -200,8 +229,7 @@ pub fn run_workload_live(
                 .with_submit(j.submit)
                 .with_weight(j.weight)
         })
-        .collect();
-    Ok(run_workload(&specs, cfg)?)
+        .collect())
 }
 
 #[cfg(test)]

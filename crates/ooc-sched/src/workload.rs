@@ -14,8 +14,11 @@
 
 use std::fmt;
 
+use dmsim::StatsSnapshot;
+
 use crate::capture::JobProfile;
-use crate::farm::{simulate, FarmConfig, FarmJob, FarmReport};
+use crate::farm::{simulate, FarmConfig, FarmJob, FarmReport, FarmSim};
+use crate::obs::{ObsEvent, ObsKind, Sampler, WorkloadObserver};
 use crate::policy::Policy;
 
 /// A job submission the runtime refuses to admit. Raised by
@@ -242,6 +245,24 @@ pub fn run_workload(
     cfg: &WorkloadConfig,
 ) -> Result<WorkloadReport, AdmissionError> {
     validate_specs(specs, cfg.disks)?;
+    let admitted = admission_schedule(specs, cfg);
+    // Final replay, with tracing if requested.
+    let farm = simulate(
+        &farm_jobs(specs, &admitted),
+        &FarmConfig {
+            policy: cfg.policy,
+            seek_penalty: cfg.seek_penalty,
+            trace: cfg.trace,
+            observe: false,
+        },
+    );
+    Ok(build_report(specs, &admitted, farm, cfg.policy))
+}
+
+/// The deterministic admission schedule: `(spec index, admit time)` in
+/// admission order. Shared by the plain and observed runtimes so both
+/// replay the exact same farm input.
+fn admission_schedule(specs: &[JobSpec], cfg: &WorkloadConfig) -> Vec<(usize, f64)> {
     // Deterministic admission order: submission time, then slice position.
     let mut order: Vec<usize> = (0..specs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -256,6 +277,7 @@ pub fn run_workload(
         policy: cfg.policy,
         seek_penalty: cfg.seek_penalty,
         trace: false,
+        observe: false,
     };
     // (spec index, admit time) of everything admitted so far.
     let mut admitted: Vec<(usize, f64)> = Vec::new();
@@ -278,21 +300,14 @@ pub fn run_workload(
             spec.submit.max(slot_free)
         };
         admitted.push((idx, admit));
-        let jobs: Vec<FarmJob> = admitted
-            .iter()
-            .map(|&(i, base)| FarmJob {
-                job: i as u32 + 1,
-                profile: &specs[i].profile,
-                base,
-                weight: specs[i].weight,
-                qos_slack: specs[i].qos_slack,
-            })
-            .collect();
-        last_report = Some(simulate(&jobs, &farm_cfg));
+        last_report = Some(simulate(&farm_jobs(specs, &admitted), &farm_cfg));
     }
+    admitted
+}
 
-    // Final replay, with tracing if requested.
-    let jobs: Vec<FarmJob> = admitted
+/// The farm's job slice for an admission schedule.
+fn farm_jobs<'a>(specs: &'a [JobSpec], admitted: &[(usize, f64)]) -> Vec<FarmJob<'a>> {
+    admitted
         .iter()
         .map(|&(i, base)| FarmJob {
             job: i as u32 + 1,
@@ -301,16 +316,16 @@ pub fn run_workload(
             weight: specs[i].weight,
             qos_slack: specs[i].qos_slack,
         })
-        .collect();
-    let farm = simulate(
-        &jobs,
-        &FarmConfig {
-            trace: cfg.trace,
-            ..farm_cfg
-        },
-    );
+        .collect()
+}
 
-    // Report in original spec order.
+/// Assemble the report in original spec order.
+fn build_report(
+    specs: &[JobSpec],
+    admitted: &[(usize, f64)],
+    farm: FarmReport,
+    policy: Policy,
+) -> WorkloadReport {
     let mut jobs_out: Vec<Option<JobReport>> = vec![None; specs.len()];
     for (pos, &(i, admit)) in admitted.iter().enumerate() {
         let qs = &farm.jobs[pos];
@@ -329,14 +344,113 @@ pub fn run_workload(
             msg_retries: specs[i].profile.msg_retries,
         });
     }
-    Ok(WorkloadReport {
+    WorkloadReport {
         jobs: jobs_out
             .into_iter()
             .map(|j| j.expect("every spec admitted"))
             .collect(),
         farm,
-        policy: cfg.policy,
-    })
+        policy,
+    }
+}
+
+/// [`run_workload`] with the observatory attached: the same admission
+/// schedule and a bitwise-identical report, but the final replay streams
+/// [`ObsEvent`]s (admissions, dispatches, completions) to `observer` and
+/// samples the time series on the `sample_every` virtual-time cadence.
+///
+/// The replay advances the resumable farm chunk by chunk on the sample
+/// grid; chunked replay is bitwise outcome-invariant, so observation is
+/// transparent — asserted by tests comparing against [`run_workload`].
+pub fn run_workload_observed(
+    specs: &[JobSpec],
+    cfg: &WorkloadConfig,
+    sample_every: f64,
+    observer: &mut dyn WorkloadObserver,
+) -> Result<WorkloadReport, AdmissionError> {
+    validate_specs(specs, cfg.disks)?;
+    let admitted = admission_schedule(specs, cfg);
+    let jobs = farm_jobs(specs, &admitted);
+    // Size the farm exactly as `simulate` would, so traces match bitwise.
+    let ndisks = jobs.iter().map(|j| j.profile.nprocs()).max().unwrap_or(0);
+    let mut sim = FarmSim::new(
+        ndisks,
+        FarmConfig {
+            policy: cfg.policy,
+            seek_penalty: cfg.seek_penalty,
+            trace: cfg.trace,
+            observe: true,
+        },
+    );
+    let slots: Vec<usize> = jobs.iter().map(|j| sim.admit(j)).collect();
+
+    // Admission events, stamped at the granted admit time.
+    let mut admits: Vec<ObsEvent> = admitted
+        .iter()
+        .map(|&(i, base)| ObsEvent {
+            t: base,
+            job: i as u32 + 1,
+            kind: ObsKind::Admitted {
+                attempt: 1,
+                resumed: false,
+            },
+        })
+        .collect();
+    admits.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap().then(a.job.cmp(&b.job)));
+    let mut next_admit = 0usize;
+
+    let mut sampler = Sampler::new(sample_every, ndisks);
+    let mut reported = vec![false; slots.len()];
+    loop {
+        let t = sampler.due(f64::INFINITY).expect("the grid is unbounded");
+        sim.run_until(t);
+        let mut batch: Vec<ObsEvent> = Vec::new();
+        while next_admit < admits.len() && admits[next_admit].t <= t {
+            batch.push(admits[next_admit].clone());
+            next_admit += 1;
+        }
+        batch.extend(sim.drain_obs());
+        for (pos, &slot) in slots.iter().enumerate() {
+            if !reported[pos] && sim.job_done(slot) {
+                reported[pos] = true;
+                batch.push(ObsEvent {
+                    // Stamped at the detecting grid point; the actual
+                    // completion rides in the payload.
+                    t,
+                    job: admitted[pos].0 as u32 + 1,
+                    kind: ObsKind::Completed {
+                        completion: sim.completion(slot).expect("job is done"),
+                        recovered: false,
+                    },
+                });
+            }
+        }
+        batch.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        for e in &batch {
+            observer.event(e);
+        }
+        // Chaos counters attributable to the workload so far: the capture
+        // counters of every job admitted by `t` (the sampler stores the
+        // delta between consecutive samples).
+        let mut cum = StatsSnapshot::default();
+        for &(i, base) in &admitted {
+            if base <= t {
+                let p = &specs[i].profile;
+                cum = cum.merge(&StatsSnapshot::fault_counts(
+                    p.faults_injected,
+                    p.io_retries,
+                    p.msg_retries,
+                ));
+            }
+        }
+        let s = sampler.take(&sim, cum);
+        observer.sample(&s);
+        if reported.iter().all(|&r| r) {
+            break;
+        }
+    }
+    let farm = sim.finish();
+    Ok(build_report(specs, &admitted, farm, cfg.policy))
 }
 
 #[cfg(test)]

@@ -61,12 +61,30 @@ proptest! {
             })
             .collect();
         let threaded = run_workload(&specs, &wcfg).unwrap();
+        // Observer streams are part of the parity contract: the threaded
+        // observed run is the baseline the pooled engines must reproduce
+        // byte for byte.
+        let cadence = specs[0].profile.makespan() / 4.0;
+        let mut baseline_log = ooc_sched::EventLog::default();
+        let observed =
+            ooc_sched::run_workload_observed(&specs, &wcfg, cadence, &mut baseline_log).unwrap();
+        prop_assert_eq!(&observed, &threaded, "observation perturbed the workload");
+        let baseline_stream = baseline_log.render();
         for workers in [1usize, 2, 8] {
             let pool = WorkerPool::new(workers);
             let pooled = run_workload_live(&jobs, &wcfg, &pool).unwrap();
             prop_assert_eq!(
                 &pooled, &threaded,
                 "Pool({}) chaos workload diverged from Threads", workers
+            );
+            let mut log = ooc_sched::EventLog::default();
+            let pooled_obs =
+                ooc_sched::run_workload_live_observed(&jobs, &wcfg, &pool, cadence, &mut log)
+                    .unwrap();
+            prop_assert_eq!(&pooled_obs, &threaded, "Pool({}) observed run diverged", workers);
+            prop_assert_eq!(
+                &log.render(), &baseline_stream,
+                "Pool({}) event stream diverged from Threads", workers
             );
         }
     }

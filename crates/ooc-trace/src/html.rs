@@ -1,0 +1,373 @@
+//! Self-contained HTML report writer: a span timeline plus time-series
+//! charts, rendered as inline SVG with no external assets, scripts, or
+//! stylesheets beyond an embedded `<style>` block.
+//!
+//! The workload observatory emits one of these per service bench run so a
+//! scheduling decision can be inspected in a browser without Perfetto.
+//! Rendering is byte-deterministic: fixed `{:.2}` coordinate formatting,
+//! iteration in input order, and a stable color palette keyed by lane and
+//! series index — two identical runs produce byte-identical files, which CI
+//! `cmp`s. [`validate`] is the matching structural checker.
+
+use std::fmt::Write as _;
+
+use crate::perfetto::escape_json;
+
+/// One horizontal band of the timeline: a label plus its spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lane {
+    /// Row label drawn in the left gutter (e.g. a job or disk name).
+    pub label: String,
+    /// Spans as `(t0, t1, text)` in simulated seconds.
+    pub spans: Vec<(f64, f64, String)>,
+    /// Instant markers as `(t, text)`; drawn as ticks.
+    pub marks: Vec<(f64, String)>,
+}
+
+impl Lane {
+    /// An empty lane with the given label.
+    pub fn new(label: &str) -> Lane {
+        Lane {
+            label: label.to_string(),
+            spans: Vec::new(),
+            marks: Vec::new(),
+        }
+    }
+}
+
+/// One polyline chart series: a label plus `(t, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points as `(t, value)` in simulated seconds.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A series from points.
+    pub fn new(label: &str, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.to_string(),
+            points,
+        }
+    }
+}
+
+const LANE_H: f64 = 26.0;
+const GUTTER: f64 = 160.0;
+const PLOT_W: f64 = 860.0;
+const CHART_H: f64 = 180.0;
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+];
+
+/// Fixed-precision coordinate, so output bytes never depend on host float
+/// formatting.
+fn px(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn escape_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn time_extent(lanes: &[Lane], series: &[Series]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for l in lanes {
+        for &(t0, t1, _) in &l.spans {
+            lo = lo.min(t0);
+            hi = hi.max(t1);
+        }
+        for &(t, _) in &l.marks {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    for s in series {
+        for &(t, _) in &s.points {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else if hi <= lo {
+        (lo, lo + 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn render_timeline(out: &mut String, lanes: &[Lane], t_lo: f64, t_hi: f64) {
+    let scale = PLOT_W / (t_hi - t_lo);
+    let x = |t: f64| GUTTER + (t - t_lo) * scale;
+    let h = lanes.len() as f64 * LANE_H + 24.0;
+    let w = GUTTER + PLOT_W + 8.0;
+    let _ = writeln!(
+        out,
+        "<svg class=\"timeline\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        px(w),
+        px(h),
+        px(w),
+        px(h)
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        let y = i as f64 * LANE_H + 18.0;
+        let _ = writeln!(
+            out,
+            "<text x=\"4\" y=\"{}\" class=\"lane\">{}</text>",
+            px(y + LANE_H * 0.55),
+            escape_html(&lane.label)
+        );
+        let _ = writeln!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"rule\"/>",
+            px(GUTTER),
+            px(y + LANE_H - 2.0),
+            px(GUTTER + PLOT_W),
+            px(y + LANE_H - 2.0)
+        );
+        let fill = PALETTE[i % PALETTE.len()];
+        for (t0, t1, text) in &lane.spans {
+            let x0 = x(*t0);
+            let wd = ((t1 - t0) * scale).max(0.5);
+            let _ = writeln!(
+                out,
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\">\
+                 <title>{}</title></rect>",
+                px(x0),
+                px(y + 3.0),
+                px(wd),
+                px(LANE_H - 8.0),
+                fill,
+                escape_html(text)
+            );
+        }
+        for (t, text) in &lane.marks {
+            let xm = x(*t);
+            let _ = writeln!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"mark\">\
+                 <title>{}</title></line>",
+                px(xm),
+                px(y + 1.0),
+                px(xm),
+                px(y + LANE_H - 3.0),
+                escape_html(text)
+            );
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+}
+
+fn render_chart(out: &mut String, series: &[Series], t_lo: f64, t_hi: f64) {
+    let mut v_hi = f64::NEG_INFINITY;
+    for s in series {
+        for &(_, v) in &s.points {
+            v_hi = v_hi.max(v);
+        }
+    }
+    if !v_hi.is_finite() || v_hi <= 0.0 {
+        v_hi = 1.0;
+    }
+    let xscale = PLOT_W / (t_hi - t_lo);
+    let yscale = (CHART_H - 24.0) / v_hi;
+    let x = |t: f64| GUTTER + (t - t_lo) * xscale;
+    let y = |v: f64| CHART_H - 12.0 - v * yscale;
+    let w = GUTTER + PLOT_W + 8.0;
+    let _ = writeln!(
+        out,
+        "<svg class=\"chart\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        px(w),
+        px(CHART_H),
+        px(w),
+        px(CHART_H)
+    );
+    let _ = writeln!(
+        out,
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"rule\"/>",
+        px(GUTTER),
+        px(y(0.0)),
+        px(GUTTER + PLOT_W),
+        px(y(0.0))
+    );
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for &(t, v) in &s.points {
+            if path.is_empty() {
+                let _ = write!(path, "M{} {}", px(x(t)), px(y(v)));
+            } else {
+                let _ = write!(path, " L{} {}", px(x(t)), px(y(v)));
+            }
+        }
+        if !path.is_empty() {
+            let _ = writeln!(
+                out,
+                "<path d=\"{path}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"4\" y=\"{}\" class=\"legend\" fill=\"{}\">{}</text>",
+            px(16.0 + i as f64 * 14.0),
+            color,
+            escape_html(&s.label)
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+}
+
+/// Render a self-contained HTML report: a header, the span timeline, one
+/// chart per series group, and a footer carrying the raw extent. Output is
+/// byte-deterministic for identical input.
+pub fn render(title: &str, lanes: &[Lane], charts: &[(&str, Vec<Series>)]) -> String {
+    let all_series: Vec<Series> = charts.iter().flat_map(|(_, s)| s.iter().cloned()).collect();
+    let (t_lo, t_hi) = time_extent(lanes, &all_series);
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n");
+    let _ = writeln!(out, "<title>{}</title>", escape_html(title));
+    out.push_str(
+        "<style>\nbody{font-family:monospace;background:#fafafa;color:#222;margin:16px}\n\
+         h1{font-size:18px}h2{font-size:14px;margin:18px 0 4px}\n\
+         svg{background:#fff;border:1px solid #ddd}\n\
+         text.lane{font-size:11px}text.legend{font-size:11px}\n\
+         line.rule{stroke:#eee;stroke-width:1}\n\
+         line.mark{stroke:#e15759;stroke-width:1.5}\n\
+         </style>\n</head>\n<body>\n",
+    );
+    let _ = writeln!(out, "<h1>{}</h1>", escape_html(title));
+    let _ = writeln!(
+        out,
+        "<p>window: [{} s, {} s] &middot; lanes: {} &middot; charts: {}</p>",
+        px(t_lo),
+        px(t_hi),
+        lanes.len(),
+        charts.len()
+    );
+    if !lanes.is_empty() {
+        out.push_str("<h2>timeline</h2>\n");
+        render_timeline(&mut out, lanes, t_lo, t_hi);
+    }
+    for (name, series) in charts {
+        let _ = writeln!(out, "<h2>{}</h2>", escape_html(name));
+        render_chart(&mut out, series, t_lo, t_hi);
+    }
+    // The extent comment lets the validator and tests confirm the document
+    // is complete without parsing SVG geometry.
+    let _ = writeln!(
+        out,
+        "<!-- extent {} {} -->",
+        escape_json(&px(t_lo)),
+        escape_json(&px(t_hi))
+    );
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Validate a report produced by [`render`]: doctype present, `<html>` /
+/// `<body>` / every `<svg>` closed, the extent comment present, and no
+/// `NaN` / `inf` leaked into coordinates.
+pub fn validate(text: &str) -> Result<(), String> {
+    if !text.starts_with("<!DOCTYPE html>") {
+        return Err("missing <!DOCTYPE html> prologue".into());
+    }
+    for (open, close) in [
+        ("<html>", "</html>"),
+        ("<head>", "</head>"),
+        ("<body>", "</body>"),
+    ] {
+        let n_open = text.matches(open).count();
+        let n_close = text.matches(close).count();
+        if n_open != 1 || n_close != 1 {
+            return Err(format!("expected exactly one {open}/{close} pair"));
+        }
+    }
+    let n_svg_open = text.matches("<svg").count();
+    let n_svg_close = text.matches("</svg>").count();
+    if n_svg_open != n_svg_close {
+        return Err(format!(
+            "unbalanced svg tags: {n_svg_open} open vs {n_svg_close} close"
+        ));
+    }
+    if !text.contains("<!-- extent ") {
+        return Err("missing extent comment".into());
+    }
+    for bad in ["NaN", "inf\"", "-inf"] {
+        if text.contains(bad) {
+            return Err(format!("non-finite value leaked into report: {bad:?}"));
+        }
+    }
+    if let Some(body_end) = text.find("</body>") {
+        if text[body_end..].contains("<svg") {
+            return Err("svg content after </body>".into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let mut lane = Lane::new("job j0");
+        lane.spans.push((0.0, 1.5, "attempt 1".into()));
+        lane.spans.push((2.0, 3.0, "attempt 2".into()));
+        lane.marks.push((1.75, "preempt".into()));
+        let series = vec![
+            Series::new("disk0 depth", vec![(0.0, 0.0), (1.0, 3.0), (2.0, 1.0)]),
+            Series::new("disk1 depth", vec![(0.0, 1.0), (1.0, 1.0), (2.0, 0.0)]),
+        ];
+        render("service run", &[lane], &[("queue depth", series)])
+    }
+
+    #[test]
+    fn report_is_deterministic_and_validates() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a, b);
+        validate(&a).unwrap();
+        assert!(a.contains("job j0"));
+        assert!(a.contains("queue depth"));
+        assert!(a.contains("<title>service run</title>"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let lane = Lane::new("a<b>&\"c\"");
+        let out = render("t<&>", &[lane], &[]);
+        validate(&out).unwrap();
+        assert!(out.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(!out.contains("<b>&"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let good = sample();
+        assert!(validate(&good.replace("</html>", "")).is_err());
+        assert!(validate(&good.replace("</svg>", "</sgv>")).is_err());
+        assert!(validate(&good.replace("<!DOCTYPE html>", "")).is_err());
+        assert!(validate(&good.replace("<!-- extent ", "<!-- extnt ")).is_err());
+        assert!(validate(&good.replace("0.00", "NaN")).is_err());
+    }
+
+    #[test]
+    fn empty_input_still_renders_a_valid_shell() {
+        let out = render("empty", &[], &[]);
+        validate(&out).unwrap();
+        assert!(out.contains("window: [0.00 s, 1.00 s]"));
+    }
+}

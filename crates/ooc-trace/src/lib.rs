@@ -25,9 +25,11 @@ use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
+pub mod html;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod prom;
 
 /// Tracing configuration, threaded `CompilerOptions` → `RunConfig` →
 /// `MachineConfig`. Default is fully off: with `enabled == false` no
@@ -206,13 +208,19 @@ impl Category {
 /// Timeline track within a rank's process. Charged operations normally run
 /// sequentially on [`Track::Main`]; prefetched reads overlap compute, so
 /// their I/O spans live on [`Track::Overlap`] to keep every track
-/// well-nested and non-overlapping.
+/// well-nested and non-overlapping. Queueing spans (waits of competing
+/// requests, static-share services) overlap each other *by design*, so they
+/// live on [`Track::Queue`], the one track exempt from nesting checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Track {
     /// The rank's main sequential timeline.
     Main,
     /// Prefetch I/O overlapped with main-track compute.
     Overlap,
+    /// Disk-farm queueing spans (request waits, static-share services).
+    /// Waits of different requests overlap freely; this track is exempt
+    /// from [`check_well_nested`].
+    Queue,
 }
 
 impl Track {
@@ -221,8 +229,19 @@ impl Track {
         match self {
             Track::Main => 0,
             Track::Overlap => 1,
+            Track::Queue => 2,
         }
     }
+
+    /// Whether spans on this track must be well-nested and non-overlapping.
+    /// [`Track::Queue`] carries inherently overlapping queueing spans and is
+    /// exempt; every other track is checked by [`check_well_nested`].
+    pub fn requires_nesting(&self) -> bool {
+        !matches!(self, Track::Queue)
+    }
+
+    /// All tracks, in tid order.
+    pub const ALL: [Track; 3] = [Track::Main, Track::Overlap, Track::Queue];
 }
 
 /// Optional structured payload attached to an event. All fields are
@@ -571,12 +590,13 @@ impl Tracer {
     }
 }
 
-/// Check that every track of `rt` is well-nested and non-overlapping:
-/// any two proper spans on the same track are either disjoint or one
-/// contains the other (shared endpoints allowed). Returns a description of
-/// the first violation.
+/// Check that every nesting-checked track of `rt` is well-nested and
+/// non-overlapping: any two proper spans on the same track are either
+/// disjoint or one contains the other (shared endpoints allowed).
+/// [`Track::Queue`] is exempt ([`Track::requires_nesting`]) — queueing
+/// waits overlap by nature. Returns a description of the first violation.
 pub fn check_well_nested(rt: &RankTrace) -> Result<(), String> {
-    for track in [Track::Main, Track::Overlap] {
+    for track in Track::ALL.into_iter().filter(Track::requires_nesting) {
         let mut spans: Vec<&Event> = rt
             .events
             .iter()
@@ -670,6 +690,34 @@ mod tests {
         tr.span(Category::Recv, "b", 1.0, 3.0, Track::Main, Args::default());
         let rt = tr.finish();
         assert!(check_well_nested(&rt).is_err());
+    }
+
+    #[test]
+    fn queue_track_is_exempt_from_nesting() {
+        // Queueing waits of competing requests overlap by nature; the same
+        // pair of spans that fails on Main must pass on Queue.
+        let tr = Tracer::new(0, TraceConfig::on());
+        tr.span(
+            Category::Queue,
+            "w1",
+            0.0,
+            2.0,
+            Track::Queue,
+            Args::default(),
+        );
+        tr.span(
+            Category::Queue,
+            "w2",
+            1.0,
+            3.0,
+            Track::Queue,
+            Args::default(),
+        );
+        let rt = tr.finish();
+        assert!(!Track::Queue.requires_nesting());
+        assert!(Track::Main.requires_nesting());
+        assert!(Track::Overlap.requires_nesting());
+        check_well_nested(&rt).unwrap();
     }
 
     #[test]

@@ -96,6 +96,66 @@ impl Histogram {
         }
     }
 
+    /// Nearest-rank percentile over the bucketed samples, reported as the
+    /// lower bound of the bucket holding the rank. `q` is clamped to
+    /// `[0, 1]`; an empty histogram reports 0. Because samples are
+    /// log2-bucketed, the answer is exact to within one power of two —
+    /// enough for SLO scorecards, deterministic by construction.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r with r >= ceil(q * n), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << 63
+    }
+
+    /// Fold `other` into `self`: bucket-wise sum, moments combined. Merging
+    /// an empty histogram is the identity in either direction.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, cumulative)` pairs over
+    /// the non-empty prefix, ending with the total — the shape a Prometheus
+    /// histogram exposition wants (`le` buckets plus `+Inf == count`).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        let last = (0..64).rev().find(|&i| self.buckets[i] > 0);
+        if let Some(last) = last {
+            for i in 0..=last {
+                cum += self.buckets[i];
+                // Bucket i holds values in [2^i, 2^(i+1)); its inclusive
+                // upper bound saturates at u64::MAX for the top bucket.
+                let hi = if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                out.push((hi, cum));
+            }
+        }
+        out
+    }
+
     /// Non-empty buckets as `(low_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -330,6 +390,99 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.nonzero_buckets(), vec![(1, 2), (1024, 3)]);
         assert!(h.render("io", 20).contains("n=5"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_over_buckets() {
+        // Empty: every quantile is 0.
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 0);
+        }
+        // Single sample: every quantile is its bucket's low bound.
+        let mut h = Histogram::default();
+        h.record(100); // bucket [64, 128)
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), 64);
+        }
+        // Skewed distribution: the tail only shows up past its rank.
+        let mut h = Histogram::default();
+        h.record_n(8, 90); // bucket low bound 8
+        h.record_n(4096, 10); // bucket low bound 4096
+        assert_eq!(h.percentile(0.50), 8);
+        assert_eq!(h.percentile(0.90), 8);
+        assert_eq!(h.percentile(0.91), 4096);
+        assert_eq!(h.percentile(0.99), 4096);
+        assert_eq!(h.percentile(1.0), 4096);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.percentile(-1.0), 8);
+        assert_eq!(h.percentile(2.0), 4096);
+        // Value 0 lands in bucket 0, reported as low bound 1.
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.percentile(0.5), 1);
+        // Saturating top bucket: u64::MAX is representable.
+        let mut h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(1.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn merge_combines_buckets_and_moments() {
+        let mut a = Histogram::default();
+        a.record_n(16, 3);
+        let mut b = Histogram::default();
+        b.record(2);
+        b.record(1 << 40);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 3 * 16 + 2 + (1 << 40));
+        assert_eq!(a.min(), 2);
+        assert_eq!(a.max(), 1 << 40);
+        assert_eq!(a.percentile(0.5), 16);
+        // Merging empty in either direction is the identity.
+        let snapshot = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, snapshot);
+        let mut empty = Histogram::default();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_of_extreme_singletons_keeps_boundaries_exact() {
+        // Two single-sample histograms at the value domain's edges merge
+        // into a well-formed two-bucket distribution.
+        let mut lo = Histogram::default();
+        lo.record(0); // bucket 0, reported low bound 1
+        let mut hi = Histogram::default();
+        hi.record(u64::MAX); // saturating top bucket
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 2);
+        assert_eq!(lo.min(), 0);
+        assert_eq!(lo.max(), u64::MAX);
+        assert_eq!(lo.percentile(0.5), 1);
+        assert_eq!(lo.percentile(1.0), 1u64 << 63);
+        // The cumulative exposition spans every bucket up to the top one,
+        // ends at the total count, and its last upper bound saturates.
+        let cum = lo.cumulative_buckets();
+        assert_eq!(cum.len(), 64);
+        assert_eq!(cum.first(), Some(&(1, 1)));
+        assert_eq!(cum.last(), Some(&(u64::MAX, 2)));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let h = Histogram::default();
+        assert!(h.cumulative_buckets().is_empty());
+        let mut h = Histogram::default();
+        h.record_n(1, 2);
+        h.record_n(100, 3);
+        let cum = h.cumulative_buckets();
+        // Every bucket up to the last non-empty one appears, cumulative.
+        assert_eq!(cum.first(), Some(&(1, 2)));
+        assert_eq!(cum.last(), Some(&(127, 5)));
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
     }
 
     #[test]

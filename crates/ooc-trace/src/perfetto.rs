@@ -2,9 +2,11 @@
 //! and `chrome://tracing`.
 //!
 //! Layout: one *process* per rank (`pid == rank`), with the rank's main
-//! timeline on `tid 0`, the prefetch-overlap track on `tid 1`, and counter
-//! tracks (`cache_used`, `cache_dirty`) as process-level `"C"` events.
-//! Spans are `"X"` complete events, annotations are `"i"` instants.
+//! timeline on `tid 0`, the prefetch-overlap track on `tid 1`, the
+//! disk-farm queueing track on `tid 2` (present only when a rank recorded
+//! queue events), and counter tracks (`cache_used`, `cache_dirty`,
+//! per-disk `queue_depth:dN`) as process-level `"C"` events. Spans are
+//! `"X"` complete events, annotations are `"i"` instants.
 //!
 //! Determinism: timestamps are simulated seconds converted to *integer
 //! nanoseconds* before formatting (printed as microseconds with three
@@ -112,6 +114,17 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                  \"args\":{{\"name\":\"prefetch\"}}}}"
             ),
         );
+        // The queue track exists only in farm traces; emitting its thread
+        // name unconditionally would perturb byte-stable rank exports.
+        if rt.events.iter().any(|e| e.track == crate::Track::Queue) {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":2,\
+                     \"args\":{{\"name\":\"queue\"}}}}"
+                ),
+            );
+        }
         for ev in &rt.events {
             let name = escape_json(&ev.name);
             let cat = ev.cat.label();

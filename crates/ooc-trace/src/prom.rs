@@ -1,0 +1,504 @@
+//! Deterministic Prometheus-text-format exposition writer and checker.
+//!
+//! The workload observatory publishes its SLO scorecards in the Prometheus
+//! text format (version 0.0.4) so the simulated service can be scraped like
+//! a real one. Rendering is byte-deterministic: metrics render in the order
+//! given, labels in the order given, floats with a fixed `{:.9}` format —
+//! two identical runs produce identical expositions, which CI `cmp`s.
+//!
+//! [`validate`] is the matching checker used by the `obs-smoke` job: it
+//! re-parses an exposition and enforces the structural rules that matter
+//! (name/label syntax, `# HELP`/`# TYPE` preceding samples, histogram `le`
+//! buckets cumulative and ending in `+Inf`, finite sample values).
+
+use std::fmt::Write as _;
+
+/// Metric kind, mirroring the Prometheus `# TYPE` vocabulary we emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Cumulative `le` buckets plus `_sum` / `_count`.
+    Histogram,
+}
+
+impl MetricKind {
+    fn label(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sample of a counter or gauge metric: label pairs plus the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label `(name, value)` pairs, rendered in order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One histogram series: label pairs plus cumulative buckets and moments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSeries {
+    /// Label `(name, value)` pairs shared by every bucket line.
+    pub labels: Vec<(String, String)>,
+    /// Cumulative `(upper_bound, count)` buckets in increasing bound order.
+    /// The writer appends the mandatory `+Inf` bucket itself.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Total observations (the `+Inf` cumulative count).
+    pub count: u64,
+}
+
+/// A metric family: name, help text, kind and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Counter/gauge samples (ignored for histograms).
+    pub samples: Vec<Sample>,
+    /// Histogram series (ignored for counters/gauges).
+    pub histograms: Vec<HistogramSeries>,
+}
+
+impl Metric {
+    /// A gauge family with no samples yet.
+    pub fn gauge(name: &str, help: &str) -> Metric {
+        Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Gauge,
+            samples: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// A counter family with no samples yet.
+    pub fn counter(name: &str, help: &str) -> Metric {
+        Metric {
+            kind: MetricKind::Counter,
+            ..Metric::gauge(name, help)
+        }
+    }
+
+    /// A histogram family with no series yet.
+    pub fn histogram(name: &str, help: &str) -> Metric {
+        Metric {
+            kind: MetricKind::Histogram,
+            ..Metric::gauge(name, help)
+        }
+    }
+
+    /// Append a sample with the given labels.
+    pub fn sample(mut self, labels: &[(&str, &str)], value: f64) -> Metric {
+        self.samples.push(Sample {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+        self
+    }
+
+    /// Append a histogram series with the given labels.
+    pub fn series(
+        mut self,
+        labels: &[(&str, &str)],
+        buckets: Vec<(f64, u64)>,
+        sum: f64,
+        count: u64,
+    ) -> Metric {
+        self.histograms.push(HistogramSeries {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            buckets,
+            sum,
+            count,
+        });
+        self
+    }
+}
+
+/// Fixed-format float: `{:.9}` everywhere, so expositions never depend on
+/// shortest-round-trip formatting details and stay byte-stable.
+fn num(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render metric families as a Prometheus text exposition. Deterministic:
+/// byte-identical output for identical input.
+pub fn render(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+        let _ = writeln!(out, "# TYPE {} {}", m.name, m.kind.label());
+        match m.kind {
+            MetricKind::Counter | MetricKind::Gauge => {
+                for s in &m.samples {
+                    out.push_str(&m.name);
+                    render_labels(&mut out, &s.labels, None);
+                    let _ = writeln!(out, " {}", num(s.value));
+                }
+            }
+            MetricKind::Histogram => {
+                for h in &m.histograms {
+                    for &(le, c) in &h.buckets {
+                        let _ = write!(out, "{}_bucket", m.name);
+                        render_labels(&mut out, &h.labels, Some(("le", &num(le))));
+                        let _ = writeln!(out, " {c}");
+                    }
+                    let _ = write!(out, "{}_bucket", m.name);
+                    render_labels(&mut out, &h.labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, " {}", h.count);
+                    let _ = write!(out, "{}_sum", m.name);
+                    render_labels(&mut out, &h.labels, None);
+                    let _ = writeln!(out, " {}", num(h.sum));
+                    let _ = write!(out, "{}_count", m.name);
+                    render_labels(&mut out, &h.labels, None);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed sample line: metric name, label pairs, value.
+type ParsedSample = (String, Vec<(String, String)>, f64);
+
+/// Split `name{labels} value` into its parts; labels may be absent.
+fn split_sample(line: &str) -> Result<ParsedSample, String> {
+    let (head, value) = match line.find('}') {
+        Some(close) => {
+            let v = line[close + 1..].trim();
+            (&line[..=close], v)
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
+            (&line[..sp], line[sp + 1..].trim())
+        }
+    };
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            let body = head[open + 1..head.len() - 1].trim_end_matches(',');
+            let mut pairs = Vec::new();
+            if !body.is_empty() {
+                for part in split_label_pairs(body)? {
+                    let eq = part
+                        .find('=')
+                        .ok_or_else(|| format!("label without '=': {part:?}"))?;
+                    let k = part[..eq].to_string();
+                    let v = part[eq + 1..].trim_matches('"').to_string();
+                    pairs.push((k, v));
+                }
+            }
+            (head[..open].to_string(), pairs)
+        }
+        None => (head.to_string(), Vec::new()),
+    };
+    let v = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable sample value {value:?}"))?
+    };
+    Ok((name, labels, v))
+}
+
+/// Split a label body on commas that sit outside quoted values.
+fn split_label_pairs(body: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if in_quotes && !escaped => {
+                escaped = true;
+                cur.push(c);
+            }
+            '"' if !escaped => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut cur));
+            }
+            c => {
+                escaped = false;
+                cur.push(c);
+            }
+        }
+    }
+    if in_quotes {
+        return Err(format!("unterminated label value in {body:?}"));
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Validate a Prometheus text exposition: every sample's family has `# HELP`
+/// and `# TYPE` lines before it, names and labels are well-formed, sample
+/// values are finite (except histogram `+Inf` bounds), and each histogram
+/// series has cumulative bucket counts ending in a `+Inf` bucket that
+/// matches its `_count`.
+pub fn validate(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeMap<String, bool> = BTreeMap::new();
+    // (family, labels-without-le) -> (bucket cumulative counts in order,
+    // +Inf count, _count value)
+    type SeriesKey = (String, String);
+    let mut buckets: BTreeMap<SeriesKey, Vec<(f64, u64)>> = BTreeMap::new();
+    let mut inf: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {ln}: bad metric name in HELP: {name:?}"));
+            }
+            helped.insert(name.to_string(), true);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {ln}: bad metric name in TYPE: {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {ln}: unknown metric type {kind:?}"));
+            }
+            typed.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let (name, labels, value) = split_sample(line).map_err(|e| format!("line {ln}: {e}"))?;
+        if !valid_name(&name) {
+            return Err(format!("line {ln}: bad sample name {name:?}"));
+        }
+        for (k, _) in &labels {
+            if !valid_label_name(k) {
+                return Err(format!("line {ln}: bad label name {k:?}"));
+            }
+        }
+        // Resolve the family: histogram samples use _bucket/_sum/_count.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                name.strip_suffix(suf)
+                    .filter(|f| typed.get(*f).map(String::as_str) == Some("histogram"))
+            })
+            .unwrap_or(&name)
+            .to_string();
+        if !typed.contains_key(&family) {
+            return Err(format!(
+                "line {ln}: sample {name:?} precedes its # TYPE line"
+            ));
+        }
+        if !helped.contains_key(&family) {
+            return Err(format!(
+                "line {ln}: sample {name:?} precedes its # HELP line"
+            ));
+        }
+        let le = labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.clone());
+        let others: Vec<String> = labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let key = (family.clone(), others.join(","));
+        if name.ends_with("_bucket") && typed.get(&family).map(String::as_str) == Some("histogram")
+        {
+            let le = le.ok_or_else(|| format!("line {ln}: histogram bucket without le"))?;
+            if le == "+Inf" {
+                inf.insert(key, value as u64);
+            } else {
+                let bound = le
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {ln}: unparseable le bound {le:?}"))?;
+                buckets.entry(key).or_default().push((bound, value as u64));
+            }
+            continue;
+        }
+        if name.ends_with("_count") && typed.get(&family).map(String::as_str) == Some("histogram") {
+            counts.insert(key, value as u64);
+        }
+        if !value.is_finite() {
+            return Err(format!("line {ln}: non-finite sample value in {name:?}"));
+        }
+    }
+
+    // Histogram structure: bounds strictly increasing, counts cumulative,
+    // +Inf present and equal to _count.
+    for (key, bs) in &buckets {
+        for w in bs.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!(
+                    "histogram {key:?}: le bounds not strictly increasing"
+                ));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {key:?}: bucket counts not cumulative"));
+            }
+        }
+        let total = inf
+            .get(key)
+            .ok_or_else(|| format!("histogram {key:?}: missing +Inf bucket"))?;
+        if let Some(last) = bs.last() {
+            if last.1 > *total {
+                return Err(format!("histogram {key:?}: +Inf below last bucket"));
+            }
+        }
+        if let Some(c) = counts.get(key) {
+            if c != total {
+                return Err(format!("histogram {key:?}: _count != +Inf bucket"));
+            }
+        }
+    }
+    for key in inf.keys() {
+        if !counts.contains_key(key) {
+            return Err(format!("histogram {key:?}: missing _count sample"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorecard() -> Vec<Metric> {
+        vec![
+            Metric::gauge("ooc_service_turnaround_seconds", "Turnaround quantiles")
+                .sample(&[("policy", "fifo"), ("quantile", "0.5")], 12.25)
+                .sample(&[("policy", "fifo"), ("quantile", "0.95")], 30.5),
+            Metric::counter("ooc_service_completed_total", "Completed jobs")
+                .sample(&[("policy", "fifo")], 14.0),
+            Metric::histogram("ooc_service_wait_seconds", "Queue wait").series(
+                &[("policy", "fifo")],
+                vec![(0.001, 3), (0.01, 7), (0.1, 9)],
+                0.345,
+                9,
+            ),
+        ]
+    }
+
+    #[test]
+    fn render_is_deterministic_and_validates() {
+        let a = render(&scorecard());
+        let b = render(&scorecard());
+        assert_eq!(a, b);
+        validate(&a).unwrap();
+        assert!(a.contains("# TYPE ooc_service_wait_seconds histogram"));
+        assert!(a.contains("le=\"+Inf\"} 9"));
+        assert!(a.contains("ooc_service_turnaround_seconds{policy=\"fifo\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn validator_rejects_structural_violations() {
+        // Sample before its TYPE line.
+        assert!(validate("foo 1.0\n# HELP foo x\n# TYPE foo gauge\n").is_err());
+        // Bad metric name.
+        assert!(validate("# HELP 9foo x\n# TYPE 9foo gauge\n9foo 1\n").is_err());
+        // Non-cumulative histogram buckets.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1.0\"} 5\nh_bucket{le=\"2.0\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1.0\nh_count 5\n";
+        assert!(validate(bad).is_err());
+        // Missing +Inf bucket.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1.0\"} 5\nh_sum 1.0\nh_count 5\n";
+        assert!(validate(bad).is_err());
+        // _count disagreeing with +Inf.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1.0\"} 5\nh_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 1.0\nh_count 7\n";
+        assert!(validate(bad).is_err());
+        // NaN sample value.
+        assert!(validate("# HELP g x\n# TYPE g gauge\ng NaN\n").is_err());
+        // A well-formed minimal exposition passes.
+        validate("# HELP g x\n# TYPE g gauge\ng{a=\"b\"} 1.5\n").unwrap();
+    }
+}
