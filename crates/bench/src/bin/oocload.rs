@@ -1,0 +1,356 @@
+//! `oocload` — seeded multi-tenant load generator for the `oocd` daemon.
+//!
+//! Replays a deterministic bursty arrival trace against a running daemon
+//! (or an embedded one when `--connect` is absent): by default 1000 job
+//! submissions from 100 simulated tenants, delivered racily from 8
+//! concurrent submitter connections. The trace is a pure function of the
+//! seed, and the daemon is a virtual-time service, so the artifacts —
+//! `BENCH_daemon.json` (drain summary + scorecard) and
+//! `BENCH_daemon.prom` (SLO exposition) — are byte-identical across
+//! invocations and across embedded/external daemons, no matter how the
+//! submitter threads interleave on the wire. CI's daemon-smoke job `cmp`s
+//! exactly that.
+//!
+//! Unless `--no-abuse` is given, the run also attacks the protocol the
+//! way a buggy tenant would — an oversized frame announcement, a
+//! truncated frame followed by a hangup, invalid JSON, an unknown op, a
+//! structurally malformed profile, a duplicate job id, and subscribers
+//! that disconnect mid-stream — and asserts the daemon shrugs all of it
+//! off with typed errors while the accepted session stays intact.
+//!
+//! Usage: `cargo run --release -p ooc-bench --bin oocload --
+//! [--connect ADDR] [--jobs N] [--tenants T] [--threads K] [--seed S]
+//! [--out FILE] [--no-abuse] [--no-shutdown]`
+//! (defaults: 1000 jobs, 100 tenants, 8 threads, seed 2026,
+//! FILE = BENCH_daemon.json; ADDR is a socket path or host:port).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use dmsim::FaultStream;
+use ooc_sched::serve::{serve, submit_json, Client, Listener, ProtoError};
+use ooc_sched::{IoReq, JobProfile, JobSpec};
+use ooc_trace::json::{self, Json};
+
+struct Opts {
+    connect: Option<String>,
+    jobs: usize,
+    tenants: u64,
+    threads: usize,
+    seed: u64,
+    out: String,
+    abuse: bool,
+    shutdown: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        connect: None,
+        jobs: 1000,
+        tenants: 100,
+        threads: 8,
+        seed: 2026,
+        out: "BENCH_daemon.json".to_string(),
+        abuse: true,
+        shutdown: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--connect" => o.connect = Some(val()),
+            "--jobs" => o.jobs = val().parse().expect("--jobs N"),
+            "--tenants" => o.tenants = val().parse().expect("--tenants T"),
+            "--threads" => o.threads = val().parse().expect("--threads K"),
+            "--seed" => o.seed = val().parse().expect("--seed S"),
+            "--out" => o.out = val(),
+            "--no-abuse" => o.abuse = false,
+            "--no-shutdown" => o.shutdown = false,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(o.jobs > 0 && o.threads > 0 && o.tenants > 0);
+    o
+}
+
+struct Submission {
+    tenant: String,
+    spec: JobSpec,
+}
+
+/// The arrival trace: bursts of 1–12 jobs landing together after quiet
+/// gaps, each job a small randomized replay profile owned by a random
+/// tenant. A pure function of `(seed, jobs, tenants)`.
+fn arrival_trace(opts: &Opts) -> Vec<Submission> {
+    let r = FaultStream::derive(opts.seed, 0x0a11);
+    let mut t = 0.0;
+    let mut out = Vec::with_capacity(opts.jobs);
+    while out.len() < opts.jobs {
+        t += 1.0 + 9.0 * r.next_f64();
+        let burst = 1 + (r.next_u64() % 12) as usize;
+        for k in 0..burst.min(opts.jobs - out.len()) {
+            let i = out.len();
+            let tenant = format!("t{:03}", r.next_u64() % opts.tenants);
+            let ranks = 1 + (r.next_u64() % 2) as usize;
+            let reqs = 2 + (r.next_u64() % 6) as usize;
+            let dt = 0.5 + r.next_f64();
+            let stream: Vec<IoReq> = (0..reqs)
+                .map(|q| IoReq {
+                    t0: q as f64 * dt,
+                    t1: q as f64 * dt + 0.6 * dt,
+                    requests: 1 + r.next_u64() % 4,
+                    bytes: 1 << (10 + r.next_u64() % 6),
+                    offset: Some(r.next_u64() % (1 << 30)),
+                    write: r.chance(0.3),
+                })
+                .collect();
+            let profile = JobProfile {
+                rank_finish: vec![reqs as f64 * dt; ranks],
+                streams: vec![stream; ranks],
+                ..JobProfile::default()
+            };
+            let spec = JobSpec::new(format!("{tenant}-j{i:04}"), profile)
+                .with_submit(t + 0.05 * k as f64)
+                .with_weight(1.0 + (r.next_u64() % 4) as f64);
+            out.push(Submission { tenant, spec });
+        }
+    }
+    out
+}
+
+/// Connect with retries — the CI smoke job launches `oocd` in the
+/// background and the socket may not be bound yet.
+fn connect_retry(addr: &str) -> Client {
+    for _ in 0..50 {
+        if let Ok(c) = Client::connect(addr) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("could not connect to {addr}");
+}
+
+/// The abuse battery: every malformed interaction must come back as a
+/// typed error (or a dropped connection) and leave the session intact.
+fn abuse(addr: &str, known_good: &str) {
+    // Oversized frame announcement: typed error, then the server hangs up.
+    let mut c = connect_retry(addr);
+    c.send_raw(&u32::MAX.to_le_bytes()).unwrap();
+    let err = c.next_frame().unwrap().expect("error frame");
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("frame_too_large")
+    );
+    assert!(c.next_frame().unwrap().is_none());
+
+    // Truncated frame, then hangup: the daemon just drops us.
+    let mut c = connect_retry(addr);
+    c.send_raw(&512u32.to_le_bytes()).unwrap();
+    c.send_raw(b"not five hundred twelve bytes").unwrap();
+    drop(c);
+
+    // Invalid JSON, unknown op, malformed profile: typed errors on a
+    // connection that keeps serving.
+    let mut c = connect_retry(addr);
+    assert!(matches!(
+        c.request("}{").unwrap_err(),
+        ProtoError::BadJson { .. }
+    ));
+    assert!(matches!(
+        c.request("{\"op\":\"frobnicate\"}").unwrap_err(),
+        ProtoError::BadRequest { .. }
+    ));
+    let poison = "{\"op\":\"submit\",\"job\":{\"name\":\"poison\",\"submit\":0,\"profile\":\
+                  {\"rank_finish\":[1.0,2.0],\"streams\":[[[0.0,0.5,1,64,null,false]]]}}}";
+    assert!(matches!(
+        c.request(poison).unwrap_err(),
+        ProtoError::Refused { ref kind, .. } if kind == "admission"
+    ));
+    // Duplicate of an already-accepted job id.
+    let dup = format!(
+        "{{\"op\":\"submit\",\"job\":{{\"name\":\"{known_good}\",\"submit\":0,\"profile\":\
+         {{\"rank_finish\":[1.0],\"streams\":[[[0.0,0.5,1,64,null,false]]]}}}}}}"
+    );
+    assert!(matches!(
+        c.request(&dup).unwrap_err(),
+        ProtoError::Refused { ref kind, .. } if kind == "admission"
+    ));
+    // The session survived all of it.
+    let st = c.request("{\"op\":\"status\"}").unwrap();
+    assert_eq!(st.get("phase").and_then(Json::as_str), Some("accepting"));
+}
+
+fn main() {
+    let opts = parse_opts();
+    let trace = arrival_trace(&opts);
+    let expected_tenants: BTreeSet<&str> = trace.iter().map(|s| s.tenant.as_str()).collect();
+
+    // Embedded daemon when no --connect: same shared config as `oocd`.
+    let (addr, embedded) = match &opts.connect {
+        Some(a) => (a.clone(), None),
+        None => {
+            let d = serve(
+                Listener::bind_tcp("127.0.0.1:0").expect("bind"),
+                ooc_bench::daemon_serve_config(opts.seed),
+            );
+            (d.addr.clone(), Some(d))
+        }
+    };
+    println!(
+        "oocload: {} jobs from {} tenants over {} connections -> {}",
+        trace.len(),
+        expected_tenants.len(),
+        opts.threads,
+        addr
+    );
+
+    // A full subscriber, registered before anything is published.
+    let mut sub = connect_retry(&addr);
+    sub.request("{\"op\":\"subscribe\"}").unwrap();
+    // A doomed subscriber that vanishes immediately: the fan-out must
+    // drop it without stalling anyone.
+    if opts.abuse {
+        let mut doomed = connect_retry(&addr);
+        doomed.request("{\"op\":\"subscribe\"}").unwrap();
+        drop(doomed);
+    }
+
+    // Racy delivery: thread k submits indices k, k+K, k+2K… in trace
+    // order on its own connection. The wire interleaving is
+    // nondeterministic; the drained run must not care.
+    std::thread::scope(|scope| {
+        for k in 0..opts.threads {
+            let addr = &addr;
+            let slice: Vec<&Submission> = trace.iter().skip(k).step_by(opts.threads).collect();
+            scope.spawn(move || {
+                let mut c = connect_retry(addr);
+                for s in slice {
+                    let resp = c
+                        .request(&submit_json(&s.tenant, &s.spec))
+                        .unwrap_or_else(|e| panic!("submit {}: {e}", s.spec.name));
+                    assert!(matches!(resp.get("ok"), Some(Json::Bool(true))));
+                }
+            });
+        }
+    });
+
+    if opts.abuse {
+        abuse(&addr, &trace[0].spec.name);
+    }
+
+    let mut c = connect_retry(&addr);
+    let st = c.request("{\"op\":\"status\"}").unwrap();
+    assert_eq!(
+        st.get("jobs").and_then(Json::as_num),
+        Some(trace.len() as f64),
+        "every submission must be admitted"
+    );
+    assert_eq!(
+        st.get("tenants").and_then(Json::as_num),
+        Some(expected_tenants.len() as f64)
+    );
+
+    // A mid-stream deserter: reads a prefix of the live stream during the
+    // drain, then hangs up. Runs concurrently with the drain below.
+    let deserter = opts.abuse.then(|| {
+        let mut d = connect_retry(&addr);
+        d.request("{\"op\":\"subscribe\"}").unwrap();
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                if !matches!(d.next_frame(), Ok(Some(f)) if f.get("line").is_some()) {
+                    break;
+                }
+            }
+            drop(d);
+        })
+    });
+
+    // Seal the timeline and run. The raw response text is the artifact.
+    let summary_raw = c.request_raw("{\"op\":\"drain\"}").unwrap();
+    let summary = json::parse(&summary_raw).expect("summary parses");
+    assert!(
+        matches!(summary.get("ok"), Some(Json::Bool(true))),
+        "{summary_raw}"
+    );
+    let fnv = summary
+        .get("stream_fnv")
+        .and_then(Json::as_str)
+        .expect("summary carries the stream digest")
+        .to_string();
+    if let Some(d) = deserter {
+        d.join().unwrap();
+    }
+
+    // Drain the subscriber stream to its end frame and cross-check the
+    // digest the daemon advertised.
+    let mut lines = 0usize;
+    let end = loop {
+        let frame = sub
+            .next_frame()
+            .unwrap()
+            .expect("subscriber stream ends with an end frame");
+        if matches!(frame.get("end"), Some(Json::Bool(true))) {
+            break frame;
+        }
+        assert!(frame.get("line").is_some());
+        lines += 1;
+    };
+    assert_eq!(
+        end.get("stream_fnv").and_then(Json::as_str),
+        Some(fnv.as_str()),
+        "subscriber stream digest must match the drain summary"
+    );
+    let events = end.get("events").and_then(Json::as_num).unwrap() as usize;
+    let samples = end.get("samples").and_then(Json::as_num).unwrap() as usize;
+    assert_eq!(lines, events + samples);
+
+    // Scorecard + Prometheus exposition.
+    let card_raw = c.request_raw("{\"op\":\"scorecard\"}").unwrap();
+    let card = json::parse(&card_raw).expect("scorecard parses");
+    let prom = card
+        .get("prom")
+        .and_then(Json::as_str)
+        .expect("scorecard carries the exposition")
+        .to_string();
+    ooc_trace::prom::validate(&prom).expect("exposition validates");
+
+    // Artifacts: the JSON summary embeds the raw daemon responses so the
+    // byte-comparison covers the whole protocol surface.
+    let json_out = format!(
+        "{{\n  \"bench\": \"daemon\",\n  \"seed\": {},\n  \"jobs\": {},\n  \"tenants\": {},\n  \
+         \"subscriber_lines\": {},\n  \"summary\": {},\n  \"scorecard\": {}\n}}\n",
+        opts.seed,
+        trace.len(),
+        expected_tenants.len(),
+        lines,
+        summary_raw,
+        card_raw,
+    );
+    std::fs::write(&opts.out, &json_out).expect("write json artifact");
+    let stem = opts.out.strip_suffix(".json").unwrap_or(&opts.out);
+    std::fs::write(format!("{stem}.prom"), &prom).expect("write prom artifact");
+
+    println!(
+        "oocload: drained {} jobs, {} events + {} samples, stream fnv {}",
+        trace.len(),
+        events,
+        samples,
+        fnv
+    );
+    println!("oocload: wrote {} and {stem}.prom", opts.out);
+
+    if opts.shutdown {
+        let resp = c.request("{\"op\":\"shutdown\"}").unwrap();
+        assert!(matches!(resp.get("stopping"), Some(Json::Bool(true))));
+    }
+    drop(c);
+    drop(sub);
+    if let Some(d) = embedded {
+        if !opts.shutdown {
+            d.shutdown();
+        }
+        d.join().expect("daemon accept loop");
+    }
+}

@@ -187,6 +187,16 @@ fn run_policy(specs: &[JobSpec], cfg: &DomainConfig) -> PolicyRun {
 }
 
 /// Deterministic JSON summary: one scorecard and stream digest per policy.
+/// Zero-sample quantiles are absent, not zero: `null` in JSON, `-` in the
+/// console table.
+fn opt_num(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| format!("{v:.9}"))
+}
+
+fn opt_cell(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"))
+}
+
 fn summarize(runs: &[PolicyRun], opts: &Opts, sample_every: f64) -> String {
     let mut json = String::from("{\n  \"bench\": \"service\",\n");
     json.push_str(&format!(
@@ -205,8 +215,8 @@ fn summarize(runs: &[PolicyRun], opts: &Opts, sample_every: f64) -> String {
         json.push_str(&format!(
             "    {{\"policy\": \"{}\", \"completed\": {}, \"recovered\": {}, \
              \"killed\": {}, \"quarantined\": {}, \"deadline_hit_rate\": {:.9}, \
-             \"p50_turnaround\": {:.9}, \"p95_turnaround\": {:.9}, \
-             \"p99_turnaround\": {:.9}, \"mean_slowdown\": {:.9}, \"makespan\": {:.9}, \
+             \"p50_turnaround\": {}, \"p95_turnaround\": {}, \
+             \"p99_turnaround\": {}, \"mean_slowdown\": {:.9}, \"makespan\": {:.9}, \
              \"events\": {}, \"samples\": {}, \"postmortems\": {}, \
              \"stream_fnv\": \"{:016x}\"}}{}\n",
             c.policy,
@@ -215,9 +225,9 @@ fn summarize(runs: &[PolicyRun], opts: &Opts, sample_every: f64) -> String {
             c.killed,
             c.quarantined,
             c.deadline_hit_rate(),
-            c.p50_turnaround,
-            c.p95_turnaround,
-            c.p99_turnaround,
+            opt_num(c.p50_turnaround),
+            opt_num(c.p95_turnaround),
+            opt_num(c.p99_turnaround),
             c.mean_slowdown,
             c.makespan,
             r.log.events.len(),
@@ -356,8 +366,8 @@ fn main() {
             format!("{}/{}", c.completed, c.jobs),
             c.quarantined.to_string(),
             format!("{:.2}", c.deadline_hit_rate()),
-            format!("{:.3}", c.p50_turnaround),
-            format!("{:.3}", c.p95_turnaround),
+            opt_cell(c.p50_turnaround),
+            opt_cell(c.p95_turnaround),
             format!("{:.2}", c.mean_slowdown),
             r.log.events.len().to_string(),
         ]);

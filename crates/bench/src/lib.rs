@@ -23,3 +23,25 @@ pub use harness::{
     gaxpy_hir, peak_rss_bytes, run_incore_matmul, run_matmul, ExperimentRow, MatmulSetup,
 };
 pub use table::TextTable;
+
+/// The guarded-runtime shape the `oocd` / `oocload` bench pair run under.
+/// Both binaries build their [`ooc_sched::ServeConfig`] from this one
+/// function so an `oocload`-embedded daemon and an externally launched
+/// `oocd` fed the same trace produce byte-identical artifacts.
+pub fn daemon_serve_config(seed: u64) -> ooc_sched::ServeConfig {
+    ooc_sched::ServeConfig {
+        domain: ooc_sched::DomainConfig {
+            policy: ooc_sched::Policy::FairShare,
+            seed,
+            hang_chance: 0.1,
+            watchdog_quantum: 4.0,
+            deadline_factor: 6.0,
+            max_retries: 2,
+            backoff_base: 0.5,
+            ..ooc_sched::DomainConfig::default()
+        },
+        sample_every: 5.0,
+        read_timeout: Some(std::time::Duration::from_secs(5)),
+        ..ooc_sched::ServeConfig::default()
+    }
+}

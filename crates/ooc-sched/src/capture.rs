@@ -73,6 +73,38 @@ impl JobProfile {
         self.streams.iter().map(|s| s.len()).sum()
     }
 
+    /// Structural soundness of a profile that arrived from outside the
+    /// capture pipeline (a replay file, a daemon submission): every rank
+    /// has a finite non-negative finish time and a matching stream, and
+    /// every request span is finite, non-negative and well-ordered. A NaN
+    /// smuggled into a request poisons the farm's time comparisons, so
+    /// this is the admission gate that keeps a long-lived server alive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.streams.len() != self.rank_finish.len() {
+            return Err(format!(
+                "{} request streams for {} ranks",
+                self.streams.len(),
+                self.rank_finish.len()
+            ));
+        }
+        for (rank, &f) in self.rank_finish.iter().enumerate() {
+            if !f.is_finite() || f < 0.0 {
+                return Err(format!("rank {rank}: bad finish time {f}"));
+            }
+        }
+        for (rank, stream) in self.streams.iter().enumerate() {
+            for (i, r) in stream.iter().enumerate() {
+                if !r.t0.is_finite() || !r.t1.is_finite() || r.t0 < 0.0 || r.t1 < r.t0 {
+                    return Err(format!(
+                        "rank {rank} request {i}: bad span [{}, {}]",
+                        r.t0, r.t1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Extract the disk-transfer spans of `trace` into per-rank streams.
     /// `rank_finish` is the solo run's per-rank finish times, index = rank.
     pub fn from_trace(trace: &Trace, rank_finish: Vec<f64>) -> JobProfile {
@@ -102,11 +134,7 @@ impl JobProfile {
             }
             // Main-track and overlap-track (prefetch) spans interleave in
             // emission order; the disk serves them in time order.
-            stream.sort_by(|a, b| {
-                a.t0.partial_cmp(&b.t0)
-                    .unwrap()
-                    .then(a.t1.partial_cmp(&b.t1).unwrap())
-            });
+            stream.sort_by(|a, b| a.t0.total_cmp(&b.t0).then(a.t1.total_cmp(&b.t1)));
         }
         JobProfile {
             rank_finish,

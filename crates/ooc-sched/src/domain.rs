@@ -125,8 +125,13 @@ pub struct DomainConfig {
     /// before quarantine. 0 means a killed job dies terminally.
     pub max_retries: u32,
     /// Backoff base: resubmission `k` waits `backoff_base * 2^(k-1)`
-    /// virtual seconds after the kill.
+    /// virtual seconds after the kill, clamped to
+    /// [`DomainConfig::backoff_cap`].
     pub backoff_base: f64,
+    /// Upper bound on a single backoff wait. Without it, large retry
+    /// budgets overflow `2^(k-1)` to infinity and the virtual clock never
+    /// reaches the resubmission — the executive would sweep forever.
+    pub backoff_cap: f64,
     /// Checkpoint granularity in requests per rank: a killed or preempted
     /// job resumes from `floor(cursor / every) * every`. 0 restarts every
     /// attempt from scratch.
@@ -158,6 +163,7 @@ impl Default for DomainConfig {
             deadline_factor: 0.0,
             max_retries: 2,
             backoff_base: 1.0,
+            backoff_cap: 1e6,
             checkpoint_every: 4,
             epoch: 1.0,
             disk_deaths: Vec::new(),
@@ -339,6 +345,10 @@ fn run_guarded(
     }
     assert!(cfg.epoch > 0.0, "the control-plane epoch must be positive");
     assert!(
+        cfg.backoff_cap >= 0.0,
+        "the backoff cap must be non-negative (and not NaN)"
+    );
+    assert!(
         cfg.hang_chance <= 0.0 || cfg.watchdog_quantum > 0.0,
         "hang injection without a watchdog would stall the executive forever"
     );
@@ -401,7 +411,7 @@ fn run_guarded(
     // slot -> job index, for farm slots admitted so far.
     let mut slot_owner: Vec<usize> = Vec::new();
     let mut deaths: Vec<(f64, usize)> = cfg.disk_deaths.clone();
-    deaths.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    deaths.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut next_death = 0usize;
     let mut deaths_fired = 0u32;
 
@@ -655,7 +665,11 @@ fn run_guarded(
                 sealed_badly.push(j);
             } else {
                 let resume = checkpoint_watermark(&cursors, cfg.checkpoint_every);
-                let backoff = cfg.backoff_base * f64::powi(2.0, jobs[j].kills as i32 - 1);
+                // Exponent clamped below f64 overflow (2^1023 is finite) so
+                // the product never goes 0 * inf = NaN; the cap then bounds
+                // the wait itself for large retry budgets.
+                let exp = f64::powi(2.0, (jobs[j].kills as i32 - 1).min(1023));
+                let backoff = (cfg.backoff_base * exp).min(cfg.backoff_cap);
                 let at = t + backoff;
                 if late {
                     // A renegotiated deadline for the retry; keeping the
@@ -695,7 +709,7 @@ fn run_guarded(
         // flight recorder, publish to the observer — then capture
         // postmortems for jobs whose fate just sealed badly, so the dump
         // includes their terminal events.
-        epoch_buf.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        epoch_buf.sort_by(|a, b| a.t.total_cmp(&b.t));
         for e in &epoch_buf {
             recorder.push(e);
             if let Some(o) = observer.as_mut() {
@@ -879,6 +893,49 @@ mod tests {
                 assert!(matches!(j.outcome, JobOutcome::Recovered { .. }));
             }
         }
+    }
+
+    #[test]
+    fn huge_retry_budgets_terminate_under_the_backoff_cap() {
+        // Regression: `backoff_base * 2^(kills-1)` overflows f64 to
+        // infinity near kill 1075, so with an 1100-retry budget the
+        // resubmission time becomes `t + inf` and the virtual clock can
+        // never reach it — the executive used to sweep forever. The cap
+        // bounds every wait, so the run must now terminate with finite
+        // times after exhausting the whole budget.
+        let specs = vec![JobSpec::new("stubborn", profile(8, 1.0, 0.0))];
+        let cfg = DomainConfig {
+            hang_chance: 1.0, // every attempt hangs; all 1100 retries burn
+            seed: 5,
+            watchdog_quantum: 2.0,
+            max_retries: 1100,
+            backoff_base: 0.5,
+            backoff_cap: 4.0,
+            ..quiet_cfg()
+        };
+        let rep = run_workload_guarded(&specs, &cfg).unwrap();
+        let j = &rep.jobs[0];
+        assert!(
+            matches!(j.outcome, JobOutcome::Quarantined { at, .. } if at.is_finite()),
+            "budget exhaustion must quarantine at a finite time: {:?}",
+            j.outcome
+        );
+        assert_eq!(j.kills, cfg.max_retries + 1);
+        // Every wait was capped: 1101 attempts, each costing at most the
+        // solo makespan (the hang can land anywhere in it) plus a watchdog
+        // round, the capped backoff, and epoch slop — linear in the retry
+        // budget, where the uncapped backoff alone would be 2^1100.
+        let bound = (cfg.max_retries + 1) as f64
+            * (specs[0].profile.makespan()
+                + 2.0 * cfg.watchdog_quantum
+                + cfg.backoff_cap
+                + 2.0 * cfg.epoch);
+        assert!(
+            rep.makespan() <= bound,
+            "makespan {} exceeds the capped-backoff bound {}",
+            rep.makespan(),
+            bound
+        );
     }
 
     #[test]

@@ -517,7 +517,7 @@ impl<'a> FarmSim<'a> {
     /// strictly before it from the rest on every disk alike.
     pub fn drain_obs(&mut self) -> Vec<ObsEvent> {
         let mut out = std::mem::take(&mut self.obs);
-        out.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+        out.sort_by(|a, b| a.t.total_cmp(&b.t));
         out
     }
 
@@ -737,7 +737,12 @@ impl<'a> FarmSim<'a> {
                     }
                 }
             }
-            let i = pick.expect("an armed stream exists at `now`");
+            // An armed stream must exist at `now` for well-formed
+            // profiles; a NaN-poisoned arrival could fail every `<=`
+            // comparison above, so degrade to an idle disk instead of
+            // panicking (profiles are validated at admission, this is
+            // defense in depth for a long-lived daemon).
+            let Some(i) = pick else { break };
             let s = &mut streams[i];
             let r = s.reqs[s.cursor];
             let seq = s.cursor;

@@ -26,6 +26,13 @@
 //!   ([`WorkloadObserver`]), a deterministic fixed-cadence sampler, a
 //!   bounded crash flight recorder, and SLO scorecards — all guaranteed
 //!   never to perturb the replay they watch.
+//! * [`serve`] — `oocd`, the persistent multi-tenant I/O daemon: it owns
+//!   the farm, accepts length-prefixed JSON submissions over Unix-domain
+//!   or TCP sockets from many tenants, seals the virtual timeline on
+//!   `drain`, maps the session onto the guarded observed runtime, and
+//!   streams the observatory to subscribers — deterministically, so two
+//!   daemons fed the same logical submissions emit byte-identical
+//!   artifacts.
 //!
 //! The compiler side of the story is
 //! [`ooc_core::CompilerOptions::background`] /
@@ -63,6 +70,7 @@ pub mod farm;
 pub mod live;
 pub mod obs;
 pub mod policy;
+pub mod serve;
 pub mod workload;
 
 pub use capture::{profile, IoReq, JobProfile};
@@ -79,6 +87,10 @@ pub use obs::{
     WorkloadObserver,
 };
 pub use policy::Policy;
+pub use serve::{
+    read_frame, serve, submit_json, write_frame, Client, Conn, DaemonHandle, Listener, ProtoError,
+    ServeConfig, DEFAULT_MAX_FRAME,
+};
 pub use workload::{
     run_workload, run_workload_observed, AdmissionError, JobReport, JobSpec, WorkloadConfig,
     WorkloadReport,

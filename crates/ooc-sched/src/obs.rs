@@ -282,7 +282,7 @@ pub fn render_event(e: &ObsEvent) -> String {
     line
 }
 
-fn render_sample(s: &Sample) -> String {
+pub(crate) fn render_sample(s: &Sample) -> String {
     let mut line = format!("{:.9} sample in_flight={}", s.t, s.in_flight);
     line.push_str(" disks=[");
     for (i, d) in s.disks.iter().enumerate() {
@@ -464,25 +464,29 @@ pub struct SloScorecard {
     pub quarantined: usize,
     /// Completed jobs that made their enforced deadline.
     pub deadline_hits: usize,
-    /// Median turnaround (submit to completion) among completed jobs.
-    pub p50_turnaround: f64,
-    /// 95th-percentile turnaround (nearest rank).
-    pub p95_turnaround: f64,
-    /// 99th-percentile turnaround (nearest rank).
-    pub p99_turnaround: f64,
+    /// Median turnaround (submit to completion) among completed jobs;
+    /// `None` when nothing completed — a zero-sample quantile is
+    /// "unknown", not 0 (which would read as a perfect SLO).
+    pub p50_turnaround: Option<f64>,
+    /// 95th-percentile turnaround (nearest rank); `None` on no samples.
+    pub p95_turnaround: Option<f64>,
+    /// 99th-percentile turnaround (nearest rank); `None` on no samples.
+    pub p99_turnaround: Option<f64>,
     /// Mean of turnaround / solo makespan over completed jobs.
     pub mean_slowdown: f64,
     /// Latest completion on the workload clock.
     pub makespan: f64,
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice (0.0 on empty).
-fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted slice. `None` on an
+/// empty slice: there is no value every sample is below, and reporting
+/// 0.0 would make a run that completed nothing look like a perfect SLO.
+fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 impl SloScorecard {
@@ -512,7 +516,7 @@ impl SloScorecard {
                 JobOutcome::Quarantined { .. } => quarantined += 1,
             }
         }
-        turnarounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        turnarounds.sort_by(|a, b| a.total_cmp(b));
         let mean_slowdown = if slowdowns.is_empty() {
             0.0
         } else {
@@ -565,12 +569,17 @@ impl SloScorecard {
             "Latest completion on the workload clock",
         );
         for c in cards {
+            // Zero-sample quantiles are omitted rather than exported as a
+            // misleading 0.0; scrapers see an absent series, not a perfect
+            // turnaround.
             for (q, v) in [
                 ("0.5", c.p50_turnaround),
                 ("0.95", c.p95_turnaround),
                 ("0.99", c.p99_turnaround),
             ] {
-                turnaround = turnaround.sample(&[("policy", c.policy), ("quantile", q)], v);
+                if let Some(v) = v {
+                    turnaround = turnaround.sample(&[("policy", c.policy), ("quantile", q)], v);
+                }
             }
             for (outcome, n) in [
                 ("completed", c.completed),
@@ -797,16 +806,48 @@ mod tests {
         assert_eq!(card.deadline_hits, 3);
         assert_eq!(card.deadline_hit_rate(), 0.5);
         // Nearest rank over [10, 20, 30, 40].
-        assert_eq!(card.p50_turnaround, 20.0);
-        assert_eq!(card.p95_turnaround, 40.0);
-        assert_eq!(card.p99_turnaround, 40.0);
+        assert_eq!(card.p50_turnaround, Some(20.0));
+        assert_eq!(card.p95_turnaround, Some(40.0));
+        assert_eq!(card.p99_turnaround, Some(40.0));
         assert_eq!(card.mean_slowdown, (2.0 + 4.0 + 6.0 + 8.0) / 4.0);
         assert_eq!(card.makespan, 40.0);
         // Degenerate: an empty batch scores cleanly.
         let empty = card_from(Vec::new());
-        assert_eq!(empty.p50_turnaround, 0.0);
+        assert_eq!(empty.p50_turnaround, None);
         assert_eq!(empty.deadline_hit_rate(), 1.0);
         assert_eq!(empty.mean_slowdown, 0.0);
+    }
+
+    #[test]
+    fn zero_completions_scorecard_has_no_quantiles_not_perfect_ones() {
+        // Every job died: a 0.0 percentile here would read as "all jobs
+        // turned around instantly", i.e. a perfect SLO from a run that
+        // completed nothing. The quantiles must be absent instead.
+        let card = card_from(vec![
+            (JobOutcome::Killed { at: 2.0 }, 0.0, 1.0, 5.0),
+            (
+                JobOutcome::Quarantined {
+                    at: 9.0,
+                    attempts: 3,
+                },
+                0.0,
+                1.0,
+                5.0,
+            ),
+        ]);
+        assert_eq!(card.jobs, 2);
+        assert_eq!(card.completed, 0);
+        assert_eq!(card.p50_turnaround, None);
+        assert_eq!(card.p95_turnaround, None);
+        assert_eq!(card.p99_turnaround, None);
+        assert_eq!(card.deadline_hits, 0);
+        // The prom export stays structurally valid and simply omits the
+        // turnaround series instead of inventing zeros.
+        let metrics = SloScorecard::prom(&[card]);
+        let text = ooc_trace::prom::render(&metrics);
+        ooc_trace::prom::validate(&text).unwrap();
+        assert!(!text.contains("ooc_slo_turnaround_seconds{"));
+        assert!(text.contains("ooc_slo_jobs{policy=\"fifo\",outcome=\"killed\"} 1.000000000"));
     }
 
     #[test]

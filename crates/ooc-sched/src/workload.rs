@@ -41,6 +41,11 @@ pub enum AdmissionError {
     /// A submission time is NaN or infinite; admission order would be
     /// undefined.
     BadSubmitTime { job: String, submit: f64 },
+    /// The job's profile is structurally unsound (non-finite or negative
+    /// request spans, stream/rank count mismatch) — replaying it would
+    /// poison the farm's time arithmetic. See
+    /// [`JobProfile::validate`](crate::capture::JobProfile::validate).
+    MalformedProfile { job: String, reason: String },
 }
 
 impl fmt::Display for AdmissionError {
@@ -59,14 +64,18 @@ impl fmt::Display for AdmissionError {
             AdmissionError::BadSubmitTime { job, submit } => {
                 write!(f, "job {job:?}: submit time {submit} is not finite")
             }
+            AdmissionError::MalformedProfile { job, reason } => {
+                write!(f, "job {job:?}: malformed profile: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for AdmissionError {}
 
-/// Validate a batch before admission: every job has at least one rank and
-/// a finite submit time, fits the farm, and carries a unique id.
+/// Validate a batch before admission: every job has at least one rank, a
+/// finite submit time and a structurally sound profile, fits the farm, and
+/// carries a unique id.
 pub(crate) fn validate_specs(specs: &[JobSpec], disks: usize) -> Result<(), AdmissionError> {
     let mut seen: Vec<&str> = Vec::with_capacity(specs.len());
     for spec in specs {
@@ -86,6 +95,12 @@ pub(crate) fn validate_specs(specs: &[JobSpec], disks: usize) -> Result<(), Admi
             return Err(AdmissionError::BadSubmitTime {
                 job: spec.name.clone(),
                 submit: spec.submit,
+            });
+        }
+        if let Err(reason) = spec.profile.validate() {
+            return Err(AdmissionError::MalformedProfile {
+                job: spec.name.clone(),
+                reason,
             });
         }
         if seen.contains(&spec.name.as_str()) {

@@ -94,6 +94,62 @@ fn non_finite_submit_times_are_refused_not_panicked() {
 }
 
 #[test]
+fn structurally_unsound_profiles_are_refused_not_replayed() {
+    // Each mutation yields a profile whose replay would poison the farm's
+    // time arithmetic (NaN comparisons, -inf arrivals) or index out of
+    // bounds — precisely what a truncated or hand-corrupted replay file
+    // submitted to the daemon looks like.
+    let poison: Vec<(&str, JobProfile)> = vec![
+        ("nan_t0", {
+            let mut p = tiny_profile();
+            p.streams[0][0].t0 = f64::NAN;
+            p
+        }),
+        ("inf_t1", {
+            let mut p = tiny_profile();
+            p.streams[0][0].t1 = f64::INFINITY;
+            p
+        }),
+        ("negative_span", {
+            let mut p = tiny_profile();
+            p.streams[0][0].t1 = -1.0;
+            p
+        }),
+        ("negative_t0", {
+            let mut p = tiny_profile();
+            p.streams[0][0].t0 = -2.0;
+            p.streams[0][0].t1 = -1.0;
+            p
+        }),
+        ("nan_rank_finish", {
+            let mut p = tiny_profile();
+            p.rank_finish[0] = f64::NAN;
+            p
+        }),
+        ("truncated_streams", {
+            let mut p = tiny_profile();
+            p.rank_finish.push(3.0); // two ranks, one stream
+            p
+        }),
+    ];
+    for (label, profile) in poison {
+        let specs = [JobSpec::new(label, profile)];
+        let err = run_workload(&specs, &WorkloadConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, AdmissionError::MalformedProfile { ref job, .. } if job == label),
+            "{label}: got {err:?}"
+        );
+        assert!(
+            matches!(
+                run_workload_guarded(&specs, &DomainConfig::default()),
+                Err(AdmissionError::MalformedProfile { .. })
+            ),
+            "{label}: the guarded runtime must refuse it too"
+        );
+    }
+}
+
+#[test]
 fn the_guarded_runtime_shares_the_same_corpus() {
     let cfg = DomainConfig::default();
     assert!(matches!(
@@ -159,6 +215,10 @@ fn admission_errors_are_std_errors_with_readable_messages() {
         AdmissionError::BadSubmitTime {
             job: "j".into(),
             submit: f64::NAN,
+        },
+        AdmissionError::MalformedProfile {
+            job: "j".into(),
+            reason: "rank 0: bad finish time NaN".into(),
         },
     ];
     for e in errors {

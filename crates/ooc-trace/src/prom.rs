@@ -227,22 +227,32 @@ fn valid_label_name(s: &str) -> bool {
 type ParsedSample = (String, Vec<(String, String)>, f64);
 
 /// Split `name{labels} value` into its parts; labels may be absent.
+///
+/// The close brace is found with a quote-aware scan — `}` (and `{`) are
+/// legal inside quoted label values — and each label value is unescaped,
+/// so `render` ∘ `split_sample` round-trips arbitrary values.
 fn split_sample(line: &str) -> Result<ParsedSample, String> {
-    let (head, value) = match line.find('}') {
-        Some(close) => {
-            let v = line[close + 1..].trim();
-            (&line[..=close], v)
-        }
-        None => {
-            let sp = line
-                .find(' ')
-                .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
-            (&line[..sp], line[sp + 1..].trim())
-        }
-    };
-    let (name, labels) = match head.find('{') {
+    let (name, labels, value) = match line.find('{') {
         Some(open) => {
-            let body = head[open + 1..head.len() - 1].trim_end_matches(',');
+            let mut in_quotes = false;
+            let mut escaped = false;
+            let mut close = None;
+            for (i, c) in line[open + 1..].char_indices() {
+                match c {
+                    '\\' if in_quotes && !escaped => escaped = true,
+                    '"' if !escaped => {
+                        in_quotes = !in_quotes;
+                    }
+                    '}' if !in_quotes => {
+                        close = Some(open + 1 + i);
+                        break;
+                    }
+                    _ => escaped = false,
+                }
+            }
+            let close =
+                close.ok_or_else(|| format!("sample line without a closing '}}': {line:?}"))?;
+            let body = line[open + 1..close].trim_end_matches(',');
             let mut pairs = Vec::new();
             if !body.is_empty() {
                 for part in split_label_pairs(body)? {
@@ -250,13 +260,22 @@ fn split_sample(line: &str) -> Result<ParsedSample, String> {
                         .find('=')
                         .ok_or_else(|| format!("label without '=': {part:?}"))?;
                     let k = part[..eq].to_string();
-                    let v = part[eq + 1..].trim_matches('"').to_string();
-                    pairs.push((k, v));
+                    let quoted = &part[eq + 1..];
+                    let inner = quoted
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| format!("label value not quoted: {part:?}"))?;
+                    pairs.push((k, unescape_label(inner)?));
                 }
             }
-            (head[..open].to_string(), pairs)
+            (line[..open].to_string(), pairs, line[close + 1..].trim())
         }
-        None => (head.to_string(), Vec::new()),
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
+            (line[..sp].to_string(), Vec::new(), line[sp + 1..].trim())
+        }
     };
     let v = if value == "+Inf" {
         f64::INFINITY
@@ -266,6 +285,27 @@ fn split_sample(line: &str) -> Result<ParsedSample, String> {
             .map_err(|_| format!("unparseable sample value {value:?}"))?
     };
     Ok((name, labels, v))
+}
+
+/// Undo [`escape_label`]: `\\` → `\`, `\"` → `"`, `\n` → newline. Any
+/// other escape (or a dangling backslash) is a malformed exposition.
+fn unescape_label(v: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(c) => return Err(format!("unknown label escape '\\{c}' in {v:?}")),
+            None => return Err(format!("dangling backslash in label value {v:?}")),
+        }
+    }
+    Ok(out)
 }
 
 /// Split a label body on commas that sit outside quoted values.
@@ -303,7 +343,9 @@ fn split_label_pairs(body: &str) -> Result<Vec<String>, String> {
 }
 
 /// Validate a Prometheus text exposition: every sample's family has `# HELP`
-/// and `# TYPE` lines before it, names and labels are well-formed, sample
+/// and `# TYPE` lines before it (each declared exactly once — a duplicated
+/// family is how two expositions accidentally concatenated look), names and
+/// labels are well-formed, sample
 /// values are finite (except histogram `+Inf` bounds), and each histogram
 /// series has cumulative bucket counts ending in a `+Inf` bucket that
 /// matches its `_count`.
@@ -329,7 +371,9 @@ pub fn validate(text: &str) -> Result<(), String> {
             if !valid_name(name) {
                 return Err(format!("line {ln}: bad metric name in HELP: {name:?}"));
             }
-            helped.insert(name.to_string(), true);
+            if helped.insert(name.to_string(), true).is_some() {
+                return Err(format!("line {ln}: duplicate # HELP for family {name:?}"));
+            }
             continue;
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -345,7 +389,9 @@ pub fn validate(text: &str) -> Result<(), String> {
             ) {
                 return Err(format!("line {ln}: unknown metric type {kind:?}"));
             }
-            typed.insert(name.to_string(), kind.to_string());
+            if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {ln}: duplicate # TYPE for family {name:?}"));
+            }
             continue;
         }
         if line.starts_with('#') {
@@ -500,5 +546,59 @@ mod tests {
         assert!(validate("# HELP g x\n# TYPE g gauge\ng NaN\n").is_err());
         // A well-formed minimal exposition passes.
         validate("# HELP g x\n# TYPE g gauge\ng{a=\"b\"} 1.5\n").unwrap();
+    }
+
+    #[test]
+    fn adversarial_label_values_round_trip_exactly() {
+        // Values chosen to break naive parsers: embedded and trailing
+        // quotes, backslashes, newlines, close braces, commas, '=' signs,
+        // non-ASCII, and the empty string.
+        let nasty: &[(&str, &str)] = &[
+            ("quote_end", "ends with \""),
+            ("quote_only", "\""),
+            ("backslash_end", "trailing \\"),
+            ("backslash_quote", "\\\""),
+            ("newline", "line1\nline2"),
+            ("non_ascii", "disque-Platte-ディスク-号"),
+            ("braces", "a{b}c"),
+            ("comma_eq", "k=\"v\",w=\"x\""),
+            ("empty", ""),
+        ];
+        let mut g = Metric::gauge("adv", "adversarial label values");
+        for (case, v) in nasty {
+            g = g.sample(&[("case", case), ("value", v)], 1.0);
+        }
+        let text = render(&[g]);
+        validate(&text).unwrap();
+        // Parse every sample line back and compare the recovered label
+        // value byte-for-byte with the original.
+        let mut recovered = 0;
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, labels, value) = split_sample(line).unwrap();
+            assert_eq!(name, "adv");
+            assert_eq!(value, 1.0);
+            let case = &labels.iter().find(|(k, _)| k == "case").unwrap().1;
+            let got = &labels.iter().find(|(k, _)| k == "value").unwrap().1;
+            let want = nasty.iter().find(|(c, _)| c == case).unwrap().1;
+            assert_eq!(got, want, "case {case}: label value did not round-trip");
+            recovered += 1;
+        }
+        assert_eq!(recovered, nasty.len());
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_families_and_malformed_samples() {
+        // The same family declared twice — two expositions concatenated.
+        let dup = "# HELP g x\n# TYPE g gauge\ng 1.0\n\
+                   # HELP g x\n# TYPE g gauge\ng 2.0\n";
+        assert!(validate(dup).unwrap_err().contains("duplicate"));
+        // Unterminated label block: the '}' sits inside the quoted value.
+        assert!(validate("# HELP g x\n# TYPE g gauge\ng{a=\"}\" 1.0\n").is_err());
+        // Unquoted label value.
+        assert!(validate("# HELP g x\n# TYPE g gauge\ng{a=b} 1.0\n").is_err());
+        // Unknown escape sequence.
+        assert!(validate("# HELP g x\n# TYPE g gauge\ng{a=\"\\t\"} 1.0\n").is_err());
+        // Dangling backslash swallows the closing quote.
+        assert!(validate("# HELP g x\n# TYPE g gauge\ng{a=\"\\\"} 1.0\n").is_err());
     }
 }
