@@ -30,6 +30,11 @@ pub enum CommRequirement {
     Ghost(Vec<GhostSpec>),
     /// Full data remapping (every processor may send to every other).
     Remap,
+    /// A runtime-determined gather/scatter exchange: the pattern depends on
+    /// an indirection array, so the inspector discovers the actual peers
+    /// and volumes; statically every processor may send to every other,
+    /// plus a reduction of partial results to the owners.
+    Irregular,
 }
 
 /// Analyze one statement. Errors describe distribution mismatches the
@@ -39,6 +44,7 @@ pub fn analyze_stmt(stmt: &HirStmt, prog: &HirProgram) -> Result<CommRequirement
         HirStmt::Gaxpy { n, .. } => Ok(CommRequirement::GlobalSum { length: *n }),
         HirStmt::Transpose { .. } => Ok(CommRequirement::Remap),
         HirStmt::Elementwise(e) => analyze_elw(e, prog),
+        HirStmt::Spmv { .. } => Ok(CommRequirement::Irregular),
     }
 }
 

@@ -76,6 +76,26 @@ pub enum HirStmt {
         /// Destination array.
         dst: String,
     },
+    /// Out-of-core CSR sparse matrix–vector product: a `do i` loop over
+    /// rows accumulating `y(i) = Σ vals(k)·x(colidx(k))` for `k` in
+    /// `rowptr(i)..rowptr(i+1)`. The `x(colidx(k))` indirection is the
+    /// irregular access the inspector–executor subsystem services.
+    Spmv {
+        /// Result vector, length `n`.
+        y: String,
+        /// CSR row pointers, length `n + 1` (1-based values in source).
+        rowptr: String,
+        /// CSR column indices, length `nnz` — the indirection array.
+        colidx: String,
+        /// CSR stored values, length `nnz`.
+        vals: String,
+        /// Gathered vector, length `n`.
+        x: String,
+        /// Matrix order (rows of A, length of `x` and `y`).
+        n: usize,
+        /// Stored nonzeros.
+        nnz: usize,
+    },
 }
 
 /// An elementwise forall: `lhs(i₀, i₁, …) = expr` for all indices in

@@ -34,6 +34,7 @@ pub mod comm;
 pub mod cost;
 pub mod hir;
 pub mod ir;
+pub mod irreg;
 pub mod lower;
 pub mod memory;
 pub mod nodegen;
@@ -49,4 +50,4 @@ pub use hir::{ElwExpr, ElwStmt, HirProgram, HirStmt};
 pub use ir::NestNode;
 pub use memory::MemoryPolicy;
 pub use pipeline::{compile_hir, compile_source, CompileError, CompiledProgram, CompilerOptions};
-pub use plan::{ExecPlan, GaxpyPlan, SlabStrategy};
+pub use plan::{ExecPlan, GaxpyPlan, SlabStrategy, SpmvPlan};

@@ -44,6 +44,9 @@ fn lower_stmt_seq(s: &Stmt, info: &ProgramInfo) -> LowerResult<Vec<HirStmt>> {
     if let Some(e) = try_elementwise(s, info)? {
         return Ok(vec![HirStmt::Elementwise(e)]);
     }
+    if let Some(m) = try_spmv(s, info)? {
+        return Ok(vec![m]);
+    }
     // Iteration: a constant-trip do loop whose body does not reference the
     // loop variable unrolls into the repeated body (e.g. relaxation sweeps
     // alternating between two arrays).
@@ -102,7 +105,7 @@ fn stmt_uses_var(s: &Stmt, var: &str) -> bool {
                 || (!indices.iter().any(|(v, _, _)| v == var)
                     && body.iter().any(|b| stmt_uses_var(b, var)))
         }
-        Stmt::Assign { lhs, rhs } => expr_uses_var(lhs, var) || expr_uses_var(rhs, var),
+        Stmt::Assign { lhs, rhs, .. } => expr_uses_var(lhs, var) || expr_uses_var(rhs, var),
     }
 }
 
@@ -144,7 +147,7 @@ fn try_gaxpy(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<HirStmt>> {
         return Ok(None);
     }
     let (k, klo, khi) = &indices[0];
-    let Stmt::Assign { lhs, rhs } = &fb[0] else {
+    let Stmt::Assign { lhs, rhs, .. } = &fb[0] else {
         return Ok(None);
     };
     // temp(1:n, k) = b(k, j) * a(1:n, k)  (either multiplication order)
@@ -181,6 +184,7 @@ fn try_gaxpy(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<HirStmt>> {
     let Stmt::Assign {
         lhs: clhs,
         rhs: crhs,
+        ..
     } = &body[1]
     else {
         return Ok(None);
@@ -286,7 +290,7 @@ fn try_transpose(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<HirStmt>> {
     if indices.len() != 2 || body.len() != 1 {
         return Ok(None);
     }
-    let Stmt::Assign { lhs, rhs } = &body[0] else {
+    let Stmt::Assign { lhs, rhs, .. } = &body[0] else {
         return Ok(None);
     };
     let (
@@ -345,7 +349,7 @@ fn try_elementwise(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<ElwStmt>>
     if body.len() != 1 {
         return Ok(None);
     }
-    let Stmt::Assign { lhs, rhs } = &body[0] else {
+    let Stmt::Assign { lhs, rhs, .. } = &body[0] else {
         return Ok(None);
     };
     let Expr::ArrayRef { name, subs } = lhs else {
@@ -386,6 +390,215 @@ fn try_elementwise(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<ElwStmt>>
         lhs: name.clone(),
         region: Section::new(ranges),
         rhs,
+    }))
+}
+
+/// Recognize out-of-core CSR sparse matrix–vector multiplication:
+///
+/// ```text
+/// do i = 1, n
+///   y(i) = 0.0
+///   do k = rowptr(i), rowptr(i+1) - 1
+///     y(i) = y(i) + vals(k) * x(colidx(k))
+///   end do
+/// end do
+/// ```
+///
+/// The trigger is the inner loop's array-valued lower bound — `do k =
+/// rowptr(i), …` — which no other supported pattern produces; once
+/// triggered, deviations are hard errors so the user learns why the
+/// irregular translation does not apply.
+fn try_spmv(s: &Stmt, info: &ProgramInfo) -> LowerResult<Option<HirStmt>> {
+    let Stmt::Do {
+        var: i,
+        lo,
+        hi,
+        body,
+    } = s
+    else {
+        return Ok(None);
+    };
+    if body.len() != 2 {
+        return Ok(None);
+    }
+    let Stmt::Do {
+        var: k,
+        lo: klo,
+        hi: khi,
+        body: kbody,
+    } = &body[1]
+    else {
+        return Ok(None);
+    };
+    let Expr::ArrayRef {
+        name: rowptr,
+        subs: rp_lo,
+    } = klo
+    else {
+        return Ok(None);
+    };
+    let err = |msg: String| format!("spmv: {msg}");
+    if !(rp_lo.len() == 1 && is_index_var(&rp_lo[0], i)) {
+        return Err(err(format!("inner loop must start at `{rowptr}({i})`")));
+    }
+    let hi_matches = || -> bool {
+        let Expr::Bin(BinOp::Sub, l, r) = khi else {
+            return false;
+        };
+        if !matches!(r.as_ref(), Expr::Int(1)) {
+            return false;
+        }
+        let Expr::ArrayRef { name, subs } = l.as_ref() else {
+            return false;
+        };
+        name == rowptr && subs.len() == 1 && affine_offset(&subs[0], i) == Some(1)
+    };
+    if !hi_matches() {
+        return Err(err(format!("inner loop must end at `{rowptr}({i}+1) - 1`")));
+    }
+    // y(i) = 0.0
+    let Stmt::Assign { lhs, rhs, .. } = &body[0] else {
+        return Err(err(
+            "the row loop must clear the result first, `y(i) = 0.0`".into(),
+        ));
+    };
+    let Expr::ArrayRef { name: y, subs: ys } = lhs else {
+        return Err(err(
+            "the row loop must clear the result first, `y(i) = 0.0`".into(),
+        ));
+    };
+    if !(ys.len() == 1 && is_index_var(&ys[0], i)) {
+        return Err(err(format!("the cleared element must be `{y}({i})`")));
+    }
+    match rhs {
+        Expr::Real(v) if *v == 0.0 => {}
+        Expr::Int(0) => {}
+        _ => return Err(err(format!("`{y}({i})` must be cleared to zero"))),
+    }
+    // y(i) = y(i) + vals(k) * x(colidx(k))  (either multiplication order)
+    let is_y_i = |e: &Expr| {
+        matches!(e, Expr::ArrayRef { name, subs }
+            if name == y && subs.len() == 1 && is_index_var(&subs[0], i))
+    };
+    let acc_err = || {
+        err(format!(
+            "inner body must be `{y}({i}) = {y}({i}) + vals({k}) * x(colidx({k}))`"
+        ))
+    };
+    if kbody.len() != 1 {
+        return Err(acc_err());
+    }
+    let Stmt::Assign {
+        lhs: alhs,
+        rhs: arhs,
+        ..
+    } = &kbody[0]
+    else {
+        return Err(acc_err());
+    };
+    if !is_y_i(alhs) {
+        return Err(acc_err());
+    }
+    let Expr::Bin(BinOp::Add, al, ar) = arhs else {
+        return Err(acc_err());
+    };
+    if !is_y_i(al) {
+        return Err(acc_err());
+    }
+    let Expr::Bin(BinOp::Mul, f1, f2) = ar.as_ref() else {
+        return Err(acc_err());
+    };
+    // vals(k): a direct reference through the nonzero index.
+    fn direct_ref<'a>(e: &'a Expr, k: &str) -> Option<&'a str> {
+        match e {
+            Expr::ArrayRef { name, subs } if subs.len() == 1 && is_index_var(&subs[0], k) => {
+                Some(name.as_str())
+            }
+            _ => None,
+        }
+    }
+    // x(colidx(k)): the irregular indirection the inspector services.
+    fn indirect_ref<'a>(e: &'a Expr, k: &str) -> Option<(&'a str, &'a str)> {
+        let Expr::ArrayRef { name, subs } = e else {
+            return None;
+        };
+        if subs.len() != 1 {
+            return None;
+        }
+        let Subscript::Index(Expr::ArrayRef {
+            name: idx,
+            subs: isubs,
+        }) = &subs[0]
+        else {
+            return None;
+        };
+        (isubs.len() == 1 && is_index_var(&isubs[0], k)).then_some((name.as_str(), idx.as_str()))
+    }
+    let (vals, x, colidx) =
+        if let (Some(v), Some((x, c))) = (direct_ref(f1, k), indirect_ref(f2, k)) {
+            (v, x, c)
+        } else if let (Some(v), Some((x, c))) = (direct_ref(f2, k), indirect_ref(f1, k)) {
+            (v, x, c)
+        } else {
+            return Err(acc_err());
+        };
+
+    // Pattern matched — validate bounds, shapes and distributions.
+    let lo_v = info
+        .eval_const(lo)
+        .map_err(|e| err(format!("non-constant row bound: {e}")))?;
+    let n = info
+        .eval_const(hi)
+        .map_err(|e| err(format!("non-constant row bound: {e}")))? as usize;
+    if lo_v != 1 {
+        return Err(err("the row loop must start at 1".into()));
+    }
+    let arr = |name: &str| {
+        info.array(name)
+            .ok_or_else(|| err(format!("undeclared array `{name}`")))
+    };
+    use ooc_array::{DimDist, DistKind};
+    for name in [y, rowptr, colidx, vals, x] {
+        let a = arr(name)?;
+        if a.shape.extents().len() != 1 {
+            return Err(err(format!("`{name}` must be a vector")));
+        }
+        if !matches!(
+            a.dist.dims()[0],
+            DimDist::Distributed {
+                kind: DistKind::Block,
+                ..
+            }
+        ) {
+            return Err(err(format!(
+                "`{name}` must be distributed (block): the inspector bins \
+                 gather targets by block owner"
+            )));
+        }
+    }
+    if arr(y)?.shape.extents() != [n] {
+        return Err(err(format!("`{y}` must have length {n}")));
+    }
+    if arr(x)?.shape.extents() != [n] {
+        return Err(err(format!("`{x}` must have length {n}")));
+    }
+    if arr(rowptr)?.shape.extents() != [n + 1] {
+        return Err(err(format!("`{rowptr}` must have length {}", n + 1)));
+    }
+    let nnz = arr(colidx)?.shape.extent(0);
+    if arr(vals)?.shape.extents() != [nnz] {
+        return Err(err(format!(
+            "`{vals}` must match `{colidx}` (length {nnz})"
+        )));
+    }
+    Ok(Some(HirStmt::Spmv {
+        y: y.to_string(),
+        rowptr: rowptr.clone(),
+        colidx: colidx.to_string(),
+        vals: vals.to_string(),
+        x: x.to_string(),
+        n,
+        nnz,
     }))
 }
 
@@ -700,6 +913,87 @@ mod tests {
         );
         let err = lower_src(&src).unwrap_err();
         assert!(err.contains("(block, *)"), "{err}");
+    }
+
+    #[test]
+    fn csr_spmv_lowers_to_spmv() {
+        let hir = lower_src(hpf::SPMV_SOURCE).unwrap();
+        assert_eq!(hir.stmts.len(), 1);
+        match &hir.stmts[0] {
+            HirStmt::Spmv {
+                y,
+                rowptr,
+                colidx,
+                vals,
+                x,
+                n,
+                nnz,
+            } => {
+                assert_eq!(
+                    (
+                        y.as_str(),
+                        rowptr.as_str(),
+                        colidx.as_str(),
+                        vals.as_str(),
+                        x.as_str()
+                    ),
+                    ("y", "rowptr", "colidx", "vals", "x")
+                );
+                assert_eq!((*n, *nnz), (64, 512));
+            }
+            other => panic!("expected spmv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spmv_with_swapped_multiplication_order() {
+        let src = hpf::SPMV_SOURCE.replace("vals(k) * x(colidx(k))", "x(colidx(k)) * vals(k)");
+        let hir = lower_src(&src).unwrap();
+        assert!(matches!(hir.stmts[0], HirStmt::Spmv { .. }));
+    }
+
+    #[test]
+    fn spmv_without_clearing_the_result_is_reported() {
+        let src = hpf::SPMV_SOURCE.replace("y(i) = 0.0", "y(i) = 1.0");
+        let err = lower_src(&src).unwrap_err();
+        assert!(err.contains("cleared to zero"), "{err}");
+    }
+
+    #[test]
+    fn spmv_with_undistributed_indirection_array_is_reported() {
+        // The indirection array itself is checked upstream in sema (with a
+        // source line); the lowering still rejects it for callers that skip
+        // the frontend, and rejects non-block *data* arrays itself.
+        let src = hpf::SPMV_SOURCE.replace(
+            "distribute colidx(block) on pr",
+            "distribute colidx(cyclic) on pr",
+        );
+        let prog = parse_program(&src).expect("parse");
+        let err = analyze(&prog).unwrap_err();
+        assert!(
+            err.message.contains("colidx") && err.message.contains("block"),
+            "{err}"
+        );
+        assert!(err.line > 0, "sema diagnostic should carry a line: {err}");
+
+        let src =
+            hpf::SPMV_SOURCE.replace("distribute x(block) on pr", "distribute x(cyclic) on pr");
+        let err = lower_src(&src).unwrap_err();
+        assert!(err.contains("`x`") && err.contains("block"), "{err}");
+    }
+
+    #[test]
+    fn spmv_with_mismatched_vals_length_is_reported() {
+        let src = hpf::SPMV_SOURCE.replace("vals(nnz)", "vals(nnz + 1)");
+        let err = lower_src(&src).unwrap_err();
+        assert!(err.contains("must match"), "{err}");
+    }
+
+    #[test]
+    fn spmv_with_wrong_upper_bound_is_reported() {
+        let src = hpf::SPMV_SOURCE.replace("rowptr(i+1) - 1", "rowptr(i+1)");
+        let err = lower_src(&src).unwrap_err();
+        assert!(err.contains("rowptr(i+1) - 1"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub fn nest_of(plan: &ExecPlan) -> Vec<NestNode> {
         ExecPlan::Gaxpy(g) => gaxpy_nest(g),
         ExecPlan::Elementwise(e) => elw_nest(e, 0),
         ExecPlan::Transpose(t) => transpose_nest(t),
+        ExecPlan::Spmv(s) => crate::irreg::spmv_nest(s),
     }
 }
 

@@ -21,7 +21,7 @@ use crate::hir::{HirProgram, HirStmt};
 use crate::ir::{render, NestNode};
 use crate::lower::lower;
 use crate::nodegen::nest_of;
-use crate::plan::{ElwPlan, ExecPlan, SlabStrategy, TransposePlan};
+use crate::plan::{ElwPlan, ExecPlan, SlabStrategy, SpmvPlan, TransposePlan};
 use crate::reorg::{choose_gaxpy, GaxpyChoice, GaxpySelection};
 use crate::stripmine::SlabSizing;
 
@@ -288,6 +288,19 @@ impl CompiledProgram {
                         t.src.name,
                         t.slab_thickness,
                         t.method.label()
+                    );
+                }
+                ExecPlan::Spmv(s) => {
+                    let _ = writeln!(
+                        out,
+                        "statement {}: spmv {} = A * {} (n={}, {} nonzeros, \
+                         inspector-executor, {} gather I/O)",
+                        i + 1,
+                        s.y.name,
+                        s.x.name,
+                        s.n,
+                        s.nnz,
+                        s.method.label()
                     );
                 }
             }
@@ -663,6 +676,46 @@ pub fn compile_hir(
                 alternatives.push(None);
                 io_choices.push(vec![choice]);
             }
+            HirStmt::Spmv {
+                y,
+                rowptr,
+                colidx,
+                vals,
+                x,
+                n,
+                nnz,
+            } => {
+                let mut plan = SpmvPlan {
+                    y: descs[id_of(y)?.0 as usize].clone(),
+                    rowptr: descs[id_of(rowptr)?.0 as usize].clone(),
+                    colidx: descs[id_of(colidx)?.0 as usize].clone(),
+                    vals: descs[id_of(vals)?.0 as usize].clone(),
+                    x: descs[id_of(x)?.0 as usize].clone(),
+                    n: *n,
+                    nnz: *nnz,
+                    nprocs: p,
+                    method: pario::IoMethod::Direct,
+                };
+                // The index set is unknown at compile time: price the gather
+                // over the fully-scattered member of the irregular cost-term
+                // family. The executor re-selects at run time from the
+                // inspected schedule's measured statistics.
+                let stats = crate::irreg::scattered_stats(*n, *nnz, p, 4, 1);
+                let choice = crate::reorg::choose_io_method(
+                    format!("gather {x}({colidx}(k))"),
+                    &model,
+                    options.io_method,
+                    |m| crate::irreg::spmv_nest_with(&plan, m, &stats, 0),
+                );
+                plan.method = choice.chosen;
+                let nest = nest_of(&ExecPlan::Spmv(Box::new(plan.clone())));
+                let est = CostEstimate::from_nest(&nest, &model, 4);
+                plans.push(ExecPlan::Spmv(Box::new(plan)));
+                nests.push(nest);
+                estimates.push(est);
+                alternatives.push(None);
+                io_choices.push(vec![choice]);
+            }
         }
     }
 
@@ -822,6 +875,39 @@ mod tests {
             base.estimates[0].io_requests(),
             "the paper's metrics are load-blind"
         );
+    }
+
+    #[test]
+    fn spmv_compiles_and_selects_two_phase_unforced() {
+        let compiled = compile_source(hpf::SPMV_SOURCE, &CompilerOptions::default()).unwrap();
+        assert_eq!(compiled.plans.len(), 1);
+        let ExecPlan::Spmv(s) = &compiled.plans[0] else {
+            panic!("expected spmv plan, got {:?}", compiled.plans[0]);
+        };
+        // A scattered index set with heavy requester overlap: the deduped
+        // two-phase union read must win on cost, not by force.
+        assert_eq!(s.method, pario::IoMethod::TwoPhase);
+        let choice = &compiled.io_choices[0][0];
+        assert!(!choice.forced);
+        assert_eq!(choice.estimates.len(), 3, "all three methods priced");
+        let report = compiled.report();
+        assert!(report.contains("spmv"), "{report}");
+        assert!(report.contains("two-phase"), "{report}");
+        assert!(compiled.estimates[0].io_requests() > 0);
+    }
+
+    #[test]
+    fn spmv_gather_method_can_be_forced() {
+        let opts = CompilerOptions {
+            io_method: Some(pario::IoMethod::Sieved),
+            ..CompilerOptions::default()
+        };
+        let compiled = compile_source(hpf::SPMV_SOURCE, &opts).unwrap();
+        let ExecPlan::Spmv(s) = &compiled.plans[0] else {
+            panic!()
+        };
+        assert_eq!(s.method, pario::IoMethod::Sieved);
+        assert!(compiled.io_choices[0][0].forced);
     }
 
     #[test]

@@ -184,6 +184,36 @@ pub struct TransposePlan {
     pub method: pario::IoMethod,
 }
 
+/// Out-of-core CSR SpMV `y = A·x`, where the `x(colidx(k))` gather runs
+/// through the inspector–executor subsystem ([`ooc_array::irreg`]): the
+/// inspector reads the indirection array once and caches an
+/// [`ooc_array::IrregSchedule`]; the executor drives the schedule through
+/// the chosen access method every iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpmvPlan {
+    /// Result vector (block distributed, length `n`).
+    pub y: ArrayDesc,
+    /// CSR row pointers (block distributed, length `n + 1`).
+    pub rowptr: ArrayDesc,
+    /// CSR column indices — the indirection array (block, length `nnz`).
+    pub colidx: ArrayDesc,
+    /// CSR stored values (block distributed, length `nnz`).
+    pub vals: ArrayDesc,
+    /// Gathered vector (block distributed, length `n`).
+    pub x: ArrayDesc,
+    /// Matrix order.
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Processors.
+    pub nprocs: usize,
+    /// Access method for the executor's gather of `x`, cost-selected over
+    /// the compiler's scattered-index statistics
+    /// ([`crate::irreg::scattered_stats`]). The runtime re-selects from the
+    /// inspected schedule's real, allreduced statistics unless overridden.
+    pub method: pario::IoMethod,
+}
+
 /// One compiled statement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ExecPlan {
@@ -193,6 +223,9 @@ pub enum ExecPlan {
     Elementwise(ElwPlan),
     /// Transpose.
     Transpose(TransposePlan),
+    /// CSR sparse matrix–vector product (irregular gather). Boxed: the
+    /// five descriptors make this variant far larger than the others.
+    Spmv(Box<SpmvPlan>),
 }
 
 impl ExecPlan {
@@ -210,6 +243,7 @@ impl ExecPlan {
                 v
             }
             ExecPlan::Transpose(t) => vec![&t.src, &t.dst],
+            ExecPlan::Spmv(s) => vec![&s.y, &s.rowptr, &s.colidx, &s.vals, &s.x],
         }
     }
 }

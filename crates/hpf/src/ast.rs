@@ -172,6 +172,8 @@ pub enum Stmt {
         lhs: Expr,
         /// Right-hand side.
         rhs: Expr,
+        /// 1-based source line, for diagnostics.
+        line: usize,
     },
 }
 

@@ -51,6 +51,29 @@ pub const GAXPY_SOURCE: &str = r#"
       end
 "#;
 
+/// Out-of-core CSR sparse matrix–vector multiplication: the irregular
+/// `x(colidx(k))` gather drives the inspector–executor subsystem. The
+/// bounds of the inner loop come from the `rowptr` array, so neither the
+/// iteration counts nor the access pattern are compile-time affine.
+pub const SPMV_SOURCE: &str = r#"
+      parameter (n=64, nnz=512, nprocs=4)
+      real y(n), x(n), rowptr(n+1)
+      real colidx(nnz), vals(nnz)
+!hpf$ processors pr(nprocs)
+!hpf$ distribute y(block) on pr
+!hpf$ distribute x(block) on pr
+!hpf$ distribute rowptr(block) on pr
+!hpf$ distribute colidx(block) on pr
+!hpf$ distribute vals(block) on pr
+      do i = 1, n
+        y(i) = 0.0
+        do k = rowptr(i), rowptr(i+1) - 1
+          y(i) = y(i) + vals(k) * x(colidx(k))
+        end do
+      end do
+      end
+"#;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -155,7 +155,15 @@ pub fn parse_program(source: &str) -> FrontResult<Program> {
                         ))
                     }
                 }
-                push_stmt(&mut stack, &mut prog, Stmt::Assign { lhs, rhs });
+                push_stmt(
+                    &mut stack,
+                    &mut prog,
+                    Stmt::Assign {
+                        lhs,
+                        rhs,
+                        line: line.line,
+                    },
+                );
             }
         }
     }

@@ -118,7 +118,7 @@ fn stmt(out: &mut String, s: &Stmt, indent: usize) {
             }
             let _ = writeln!(out, "{pad}end forall");
         }
-        Stmt::Assign { lhs, rhs } => {
+        Stmt::Assign { lhs, rhs, .. } => {
             let _ = writeln!(out, "{pad}{} = {}", expr(lhs), expr(rhs));
         }
     }
@@ -190,7 +190,7 @@ pub fn expr_of_stmt_head(s: &Stmt) -> String {
                 .collect();
             format!("forall ({})", is.join(", "))
         }
-        Stmt::Assign { lhs, rhs } => format!("{} = {}", expr(lhs), expr(rhs)),
+        Stmt::Assign { lhs, rhs, .. } => format!("{} = {}", expr(lhs), expr(rhs)),
     }
 }
 
@@ -213,11 +213,24 @@ mod tests {
     use super::*;
     use crate::parser::parse_program;
 
+    /// Zero out source locations: a round trip preserves structure, not
+    /// the line layout of the original file.
+    fn strip_lines(stmts: &mut [Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { line, .. } => *line = 0,
+                Stmt::Do { body, .. } | Stmt::Forall { body, .. } => strip_lines(body),
+            }
+        }
+    }
+
     fn roundtrip(src: &str) {
-        let p1 = parse_program(src).expect("first parse");
+        let mut p1 = parse_program(src).expect("first parse");
         let printed = pretty_print(&p1);
-        let p2 = parse_program(&printed)
+        let mut p2 = parse_program(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        strip_lines(&mut p1.stmts);
+        strip_lines(&mut p2.stmts);
         assert_eq!(p1, p2, "round trip changed the AST:\n{printed}");
     }
 

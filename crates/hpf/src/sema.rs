@@ -287,12 +287,142 @@ pub fn analyze(prog: &Program) -> FrontResult<ProgramInfo> {
         });
     }
 
-    Ok(ProgramInfo {
+    let info = ProgramInfo {
         params,
         arrays,
         nprocs,
         stmts: prog.stmts.clone(),
-    })
+    };
+    for stmt in &info.stmts {
+        check_indirect_stmt(stmt, 0, &info)?;
+    }
+    Ok(info)
+}
+
+/// Walk one statement checking every indirect subscript (`a(idx(i))`).
+///
+/// `line` is the nearest enclosing source line known for this statement
+/// (assignments carry their own; do/forall bounds inherit).
+fn check_indirect_stmt(stmt: &Stmt, line: usize, info: &ProgramInfo) -> FrontResult<()> {
+    match stmt {
+        Stmt::Assign { lhs, rhs, line } => {
+            check_indirect_expr(lhs, None, *line, info)?;
+            check_indirect_expr(rhs, None, *line, info)
+        }
+        Stmt::Do { lo, hi, body, .. } => {
+            check_indirect_expr(lo, None, line, info)?;
+            check_indirect_expr(hi, None, line, info)?;
+            body.iter()
+                .try_for_each(|s| check_indirect_stmt(s, line, info))
+        }
+        Stmt::Forall { indices, body } => {
+            for (_, lo, hi) in indices {
+                check_indirect_expr(lo, None, line, info)?;
+                check_indirect_expr(hi, None, line, info)?;
+            }
+            body.iter()
+                .try_for_each(|s| check_indirect_stmt(s, line, info))
+        }
+    }
+}
+
+/// Walk an expression; `encl` is `Some(outer)` while inside a subscript of
+/// array `outer`, so any array reference found there is an indirection
+/// array and must be inspector-compatible: declared, one-dimensional, and
+/// block-distributed (the runtime inspector bins gather targets by block
+/// owner, so any other layout would make the owner computation wrong).
+fn check_indirect_expr(
+    e: &Expr,
+    encl: Option<&str>,
+    line: usize,
+    info: &ProgramInfo,
+) -> FrontResult<()> {
+    match e {
+        Expr::Int(_) | Expr::Real(_) | Expr::Var(_) => Ok(()),
+        Expr::Neg(inner) => check_indirect_expr(inner, encl, line, info),
+        Expr::Bin(_, l, r) => {
+            check_indirect_expr(l, encl, line, info)?;
+            check_indirect_expr(r, encl, line, info)
+        }
+        // Intrinsic arguments are value context, not subscripts.
+        Expr::Call { args, .. } => args
+            .iter()
+            .try_for_each(|a| check_indirect_expr(a, None, line, info)),
+        Expr::ArrayRef { name, subs } => {
+            if let Some(outer) = encl {
+                check_indirection_array(name, outer, line, info)?;
+            }
+            for s in subs {
+                let parts: [&Option<Expr>; 3] = match s {
+                    Subscript::Index(idx) => {
+                        check_indirect_expr(idx, Some(name), line, info)?;
+                        continue;
+                    }
+                    Subscript::Triplet { lo, hi, step } => [lo, hi, step],
+                };
+                for part in parts.into_iter().flatten() {
+                    check_indirect_expr(part, Some(name), line, info)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validate one indirection array `idx` used as `outer(… idx(…) …)`.
+fn check_indirection_array(
+    idx: &str,
+    outer: &str,
+    line: usize,
+    info: &ProgramInfo,
+) -> FrontResult<()> {
+    let Some(arr) = info.array(idx) else {
+        return Err(FrontError::new(
+            line,
+            format!("indirection array `{idx}` in subscript of `{outer}` is not a declared array"),
+        ));
+    };
+    if arr.shape.ndims() != 1 {
+        return Err(FrontError::new(
+            line,
+            format!(
+                "indirection array `{idx}` in subscript of `{outer}` must be one-dimensional, \
+                 has {} dimensions",
+                arr.shape.ndims()
+            ),
+        ));
+    }
+    match arr.dist.dims()[0] {
+        DimDist::Distributed {
+            kind: DistKind::Block,
+            ..
+        } => Ok(()),
+        ref other => {
+            let found = match other {
+                DimDist::Collapsed => "collapsed (replicated)".to_string(),
+                DimDist::Distributed {
+                    kind: DistKind::Cyclic,
+                    ..
+                } => "cyclic".to_string(),
+                DimDist::Distributed {
+                    kind: DistKind::BlockCyclic(b),
+                    ..
+                } => format!("cyclic({b})"),
+                DimDist::Distributed {
+                    kind: DistKind::Block,
+                    ..
+                } => unreachable!("handled above"),
+            };
+            Err(FrontError::new(
+                line,
+                format!(
+                    "indirection array `{idx}` in subscript of `{outer}` is not \
+                     distribution-compatible: the inspector bins gather targets by block \
+                     owner, so `{idx}` must be block-distributed, found {found}"
+                ),
+            ))
+        }
+    }
 }
 
 fn check_grid(procs: &str, grids: &HashMap<String, Vec<usize>>) -> FrontResult<()> {
@@ -502,6 +632,92 @@ mod tests {
             eval_const(&Expr::Neg(Box::new(Expr::Int(5))), &params).unwrap(),
             -5
         );
+    }
+
+    #[test]
+    fn block_indirection_array_is_accepted() {
+        // The shipped SpMV example indexes x through colidx; colidx is
+        // block-distributed, so the whole program must pass sema.
+        let info = analyze_src(crate::SPMV_SOURCE).unwrap();
+        assert_eq!(info.nprocs, 4);
+    }
+
+    #[test]
+    fn cyclic_indirection_array_is_rejected_with_its_line() {
+        let err = analyze_src(
+            "
+      parameter (n=8)
+      real a(n), idx(n)
+!hpf$ processors pr(2)
+!hpf$ distribute a(block) on pr
+!hpf$ distribute idx(cyclic) on pr
+      do i = 1, n
+        a(i) = a(idx(i))
+      end do
+      end
+",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("`idx`") && err.message.contains("block-distributed"),
+            "{err}"
+        );
+        assert_eq!(err.line, 8, "diagnostic should carry the assignment line");
+    }
+
+    #[test]
+    fn undeclared_indirection_array_is_rejected() {
+        let err = analyze_src(
+            "
+      parameter (n=8)
+      real a(n)
+!hpf$ processors pr(2)
+!hpf$ distribute a(block) on pr
+      a(1) = a(ghost(1))
+      end
+",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("`ghost`") && err.message.contains("not a declared array"),
+            "{err}"
+        );
+        assert_eq!(err.line, 6);
+    }
+
+    #[test]
+    fn two_dimensional_indirection_array_is_rejected() {
+        let err = analyze_src(
+            "
+      parameter (n=8)
+      real a(n), idx(n, n)
+!hpf$ processors pr(2)
+!hpf$ distribute a(block) on pr
+!hpf$ distribute idx(*, block) on pr
+      a(1) = a(idx(1, 2))
+      end
+",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("one-dimensional"), "{err}");
+    }
+
+    #[test]
+    fn indirection_inside_arithmetic_subscript_is_still_checked() {
+        // `a(idx(i) + 1)` is just as indirect as `a(idx(i))`.
+        let err = analyze_src(
+            "
+      parameter (n=8)
+      real a(n), idx(n)
+!hpf$ processors pr(2)
+!hpf$ distribute a(block) on pr
+!hpf$ distribute idx(cyclic) on pr
+      a(1) = a(idx(1) + 1)
+      end
+",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("distribution-compatible"), "{err}");
     }
 
     #[test]

@@ -165,6 +165,46 @@ fn semantic_violations_are_diagnosed_not_panicked() {
 }
 
 #[test]
+fn incompatible_indirect_subscripts_are_diagnosed() {
+    // Indirection arrays (`a(idx(i))`) feed the runtime inspector, which
+    // bins gather targets by block owner — anything else must come back as
+    // a located diagnostic, not a wrong answer at runtime.
+    let cases: &[(&str, &str)] = &[
+        // Indirection array distributed cyclic.
+        (
+            "real a(8), idx(8)\n!hpf$ processors p(2)\n!hpf$ distribute a(block) on p\n!hpf$ distribute idx(cyclic) on p\na(1) = a(idx(1))\nend\n",
+            "block-distributed",
+        ),
+        // Indirection array never declared.
+        (
+            "real a(8)\n!hpf$ processors p(2)\n!hpf$ distribute a(block) on p\na(1) = a(q(1))\nend\n",
+            "not a declared array",
+        ),
+        // Two-dimensional indirection array.
+        (
+            "real a(8), idx(8, 8)\n!hpf$ processors p(2)\n!hpf$ distribute a(block) on p\n!hpf$ distribute idx(*, block) on p\na(1) = a(idx(1, 1))\nend\n",
+            "one-dimensional",
+        ),
+        // Indirect subscript nested in a do-loop body.
+        (
+            "real a(8), idx(8)\n!hpf$ processors p(2)\n!hpf$ distribute a(block) on p\n!hpf$ distribute idx(cyclic(2)) on p\ndo i = 1, 8\na(i) = a(idx(i))\nend do\nend\n",
+            "distribution-compatible",
+        ),
+    ];
+    for (src, needle) in cases {
+        let diag = rejects(src);
+        assert!(
+            diag.contains(needle),
+            "diagnostic for\n{src}\nshould mention {needle:?}, got: {diag}"
+        );
+        assert!(
+            !diag.starts_with("line 0:"),
+            "indirect-subscript diagnostic lost its source line: {diag}"
+        );
+    }
+}
+
+#[test]
 fn garbage_bytes_do_not_panic() {
     for src in [
         "\u{0}\u{1}\u{2}",

@@ -509,6 +509,7 @@ pub(crate) fn phase_label(i: usize, plan: &ExecPlan) -> String {
         ExecPlan::Gaxpy(g) => format!("s{i}:gaxpy({})", g.c.name),
         ExecPlan::Elementwise(e) => format!("s{i}:forall({})", e.lhs.name),
         ExecPlan::Transpose(t) => format!("s{i}:transpose({})", t.dst.name),
+        ExecPlan::Spmv(s) => format!("s{i}:spmv({})", s.y.name),
     }
 }
 
@@ -613,6 +614,23 @@ fn execute_rank(
                     None => t,
                 };
                 crate::transpose::execute(ctx, &mut env, t)?
+            }
+            ExecPlan::Spmv(s) => {
+                // A forced method (run config or compile-time forcing)
+                // pins the gather; otherwise the executor re-selects from
+                // the inspected schedule's allreduced statistics.
+                let plan;
+                let (s, model) = match cfg.io_method {
+                    Some(m) => {
+                        plan = ooc_core::plan::SpmvPlan {
+                            method: m,
+                            ..(**s).clone()
+                        };
+                        (&plan, None)
+                    }
+                    None => (&**s, Some(&compiled.model)),
+                };
+                crate::spmv::execute(ctx, &mut env, s, model)?
             }
         };
         peak = peak.max(used);

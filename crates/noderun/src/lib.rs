@@ -28,6 +28,7 @@ pub mod elementwise;
 pub mod exec;
 pub mod gaxpy;
 pub mod kernels;
+pub mod spmv;
 pub mod trace;
 pub mod transpose;
 pub mod verify;

@@ -30,6 +30,38 @@ fn gaxpy() -> (CompiledProgram, RunConfig) {
     (compiled, cfg)
 }
 
+// CSR fixture matching SPMV_SOURCE (n=64, nnz=512): rowptr holds 0-based
+// half-open nonzero offsets, colidx 0-based scattered column indices.
+const SN: usize = 64;
+const SNNZ: usize = 512;
+fn f_rowptr(g: &[usize]) -> f32 {
+    (g[0] * (SNNZ / SN)) as f32
+}
+fn f_colidx(g: &[usize]) -> f32 {
+    ((g[0] * 37 + (g[0] / 3) * 11) % SN) as f32
+}
+fn f_vals(g: &[usize]) -> f32 {
+    ((g[0] % 89) as f32) * 0.25 + 1.0
+}
+fn f_x(g: &[usize]) -> f32 {
+    (g[0] % 17) as f32 * 0.5 + 0.125
+}
+
+fn spmv() -> (CompiledProgram, RunConfig) {
+    let options = CompilerOptions {
+        trace: TraceConfig::detailed(),
+        ..CompilerOptions::default()
+    };
+    let compiled = compile_source(hpf::SPMV_SOURCE, &options).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.init.insert("rowptr".into(), init_fn(f_rowptr));
+    cfg.init.insert("colidx".into(), init_fn(f_colidx));
+    cfg.init.insert("vals".into(), init_fn(f_vals));
+    cfg.init.insert("x".into(), init_fn(f_x));
+    cfg.collect.push("y".into());
+    (compiled, cfg)
+}
+
 fn assert_same_outcome(a: &mut RunOutcome, b: &mut RunOutcome, what: &str) {
     assert_eq!(a.report.per_proc(), b.report.per_proc(), "{what}: per-proc");
     assert_eq!(
@@ -69,6 +101,36 @@ fn pooled_run_with_faults_is_bit_identical_to_threaded_run() {
     };
     let mut pooled = run(&compiled, &pooled_cfg).unwrap();
     assert_same_outcome(&mut pooled, &mut threaded, "gaxpy under chaos faults");
+}
+
+#[test]
+fn spmv_pooled_run_is_bit_identical_to_threaded_run() {
+    // The inspector–executor path — inspection, runtime method
+    // re-selection from allreduced stats, gather, reduce — is part of the
+    // engine-parity contract like every affine plan.
+    let (compiled, cfg) = spmv();
+    let mut threaded = run(&compiled, &cfg).unwrap();
+    let pooled_cfg = RunConfig {
+        engine: Some(Engine::Pool(3)),
+        ..cfg.clone()
+    };
+    let mut pooled = run(&compiled, &pooled_cfg).unwrap();
+    assert_same_outcome(&mut pooled, &mut threaded, "spmv");
+    let (_, y) = &threaded.collected["y"];
+    assert!(y.iter().any(|v| *v != 0.0), "product is non-trivial");
+}
+
+#[test]
+fn spmv_pooled_run_under_chaos_is_bit_identical_to_threaded_run() {
+    let (compiled, mut cfg) = spmv();
+    cfg.fault = Some(FaultConfig::chaos(11));
+    let mut threaded = run(&compiled, &cfg).unwrap();
+    let pooled_cfg = RunConfig {
+        engine: Some(Engine::Pool(2)),
+        ..cfg.clone()
+    };
+    let mut pooled = run(&compiled, &pooled_cfg).unwrap();
+    assert_same_outcome(&mut pooled, &mut threaded, "spmv under chaos faults");
 }
 
 #[test]

@@ -18,6 +18,7 @@
 
 pub mod dist;
 pub mod error;
+pub mod irreg;
 pub mod layout;
 pub mod localize;
 pub mod ocla;
@@ -29,6 +30,10 @@ pub mod slab;
 
 pub use dist::{DimDist, DistKind, Distribution, ProcGrid};
 pub use error::OocError;
+pub use irreg::{
+    gather_with, inspect, inspect_counts, irreg_counts, IrregCounts, IrregSchedule, IrregStats,
+    ScheduleStamp,
+};
 pub use layout::FileLayout;
 pub use localize::{
     global_section_of_local, global_to_local, local_part, local_section_of_global, local_to_global,

@@ -1,0 +1,132 @@
+//! Irregular (inspector–executor) jobs through the scheduling stack: the
+//! compiled SpMV example must be solo-profilable like any affine program,
+//! replay bitwise through the guarded workload runtime, and be admissible
+//! through the `oocd` daemon — the farm schedules I/O request streams and
+//! neither knows nor cares that some of them were produced by a runtime
+//! inspector rather than a compile-time slab plan.
+
+use noderun::{init_fn, run, RunConfig};
+use ooc_core::{compile_source, CompilerOptions};
+use ooc_sched::serve::{serve, submit_json, Client, Listener, ServeConfig};
+use ooc_sched::{profile, run_workload, JobSpec, WorkloadConfig};
+use ooc_trace::{Category, TraceConfig};
+
+const SN: usize = 64;
+const SNNZ: usize = 512;
+
+fn spmv_job() -> (ooc_core::CompiledProgram, RunConfig) {
+    let compiled = compile_source(hpf::SPMV_SOURCE, &CompilerOptions::default()).unwrap();
+    let mut cfg = RunConfig::default();
+    cfg.init
+        .insert("rowptr".into(), init_fn(|g| (g[0] * (SNNZ / SN)) as f32));
+    cfg.init.insert(
+        "colidx".into(),
+        init_fn(|g| ((g[0] * 37 + (g[0] / 3) * 11) % SN) as f32),
+    );
+    cfg.init.insert(
+        "vals".into(),
+        init_fn(|g| ((g[0] % 89) as f32) * 0.25 + 1.0),
+    );
+    cfg.init
+        .insert("x".into(), init_fn(|g| (g[0] % 17) as f32 * 0.5 + 0.125));
+    (compiled, cfg)
+}
+
+#[test]
+fn spmv_solo_profile_captures_the_inspector_and_gather_io() {
+    let (compiled, cfg) = spmv_job();
+    let baseline = run(&compiled, &cfg).unwrap();
+    let p = profile(&compiled, &cfg).unwrap();
+    assert_eq!(
+        p.makespan().to_bits(),
+        baseline.report.elapsed().to_bits(),
+        "profiling an irregular job must not perturb the clock"
+    );
+    assert_eq!(p.nprocs(), compiled.nprocs());
+    assert!(p.total_requests() > 0, "spmv does I/O");
+    // Elevator admissibility: every captured request carries its offset.
+    for s in &p.streams {
+        assert!(s.iter().all(|r| r.offset.is_some()));
+    }
+
+    // The detailed trace distinguishes inspector from executor phases.
+    let mut traced_cfg = cfg.clone();
+    traced_cfg.trace = Some(TraceConfig::detailed());
+    let mut out = run(&compiled, &traced_cfg).unwrap();
+    let trace = out.report.take_trace().expect("tracing enabled");
+    let mut saw = (false, false);
+    for rt in &trace.ranks {
+        for ev in &rt.events {
+            match ev.cat {
+                Category::Inspector => saw.0 = true,
+                Category::Gather => saw.1 = true,
+                _ => {}
+            }
+        }
+    }
+    assert!(saw.0, "trace must tag the inspector phase");
+    assert!(saw.1, "trace must tag the gather phase");
+}
+
+#[test]
+fn spmv_replays_bitwise_through_the_workload_runtime() {
+    let (compiled, cfg) = spmv_job();
+    let baseline = run(&compiled, &cfg).unwrap();
+    let p = profile(&compiled, &cfg).unwrap();
+    let rep = run_workload(&[JobSpec::new("spmv", p)], &WorkloadConfig::default()).unwrap();
+    assert_eq!(rep.jobs.len(), 1);
+    assert_eq!(
+        rep.makespan().to_bits(),
+        baseline.report.elapsed().to_bits(),
+        "a solo irregular job under the default policy is bitwise legacy"
+    );
+}
+
+#[test]
+fn spmv_is_admissible_through_the_oocd_daemon() {
+    let (compiled, cfg) = spmv_job();
+    let p = profile(&compiled, &cfg).unwrap();
+
+    let daemon = serve(
+        Listener::bind_tcp("127.0.0.1:0").unwrap(),
+        ServeConfig::default(),
+    );
+    let mut c = Client::connect_tcp(&daemon.addr).unwrap();
+    // A mixed tenant batch: the irregular job next to an affine one.
+    let spmv_spec = JobSpec::new("spmv", p.clone());
+    let resp = c.request(&submit_json("irregular", &spmv_spec)).unwrap();
+    assert!(
+        matches!(resp.get("ok"), Some(ooc_trace::json::Json::Bool(true))),
+        "daemon refused the irregular job: {resp:?}"
+    );
+    let gaxpy = compile_source(hpf::GAXPY_SOURCE, &CompilerOptions::default()).unwrap();
+    let mut gcfg = RunConfig::default();
+    gcfg.init
+        .insert("a".into(), init_fn(|g| (g[0] + 2 * g[1]) as f32 * 0.001));
+    gcfg.init
+        .insert("b".into(), init_fn(|g| (g[0] * 3 + g[1]) as f32 * 0.001));
+    let gp = profile(&gaxpy, &gcfg).unwrap();
+    let resp = c
+        .request(&submit_json("affine", &JobSpec::new("gaxpy", gp)))
+        .unwrap();
+    assert!(matches!(
+        resp.get("ok"),
+        Some(ooc_trace::json::Json::Bool(true))
+    ));
+
+    let summary = c.request("{\"op\":\"drain\"}").unwrap();
+    let jobs = summary
+        .get("jobs")
+        .and_then(ooc_trace::json::Json::as_num)
+        .unwrap();
+    assert_eq!(jobs, 2.0, "both jobs scheduled: {summary:?}");
+    let makespan = summary
+        .get("makespan")
+        .and_then(ooc_trace::json::Json::as_num)
+        .unwrap();
+    assert!(makespan > 0.0);
+
+    drop(c);
+    daemon.shutdown();
+    daemon.join().unwrap();
+}

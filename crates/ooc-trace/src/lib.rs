@@ -128,6 +128,13 @@ pub enum Category {
     /// emitted by the `ooc-sched` guarded runtime. Control-plane actions
     /// charge no simulated time, so the category joins no time group.
     FaultDomain,
+    /// Irregular-access inspector scope: the one-time indirection read,
+    /// owner binning and want-list exchange that build an `IrregSchedule`.
+    /// Structural — its charged reads/sends nest inside it.
+    Inspector,
+    /// Irregular-access executor scope: one gather driven by a cached
+    /// schedule. Structural, like [`Category::Redist`].
+    Gather,
 }
 
 /// Which `ProcStats` time counter a category's span durations sum into.
@@ -145,7 +152,7 @@ pub enum TimeGroup {
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 18] = [
+    pub const ALL: [Category; 20] = [
         Category::Phase,
         Category::Slab,
         Category::Compute,
@@ -164,6 +171,8 @@ impl Category {
         Category::Redist,
         Category::Queue,
         Category::FaultDomain,
+        Category::Inspector,
+        Category::Gather,
     ];
 
     /// Stable lowercase label used in exported JSON.
@@ -187,13 +196,15 @@ impl Category {
             Category::Redist => "redist",
             Category::Queue => "queue",
             Category::FaultDomain => "fault_domain",
+            Category::Inspector => "inspector",
+            Category::Gather => "gather",
         }
     }
 
     /// Reconciliation group: charged leaf categories sum into exactly one
     /// `ProcStats` time counter; structural scopes (phase, slab, collective,
-    /// exchange, checkpoint, redist) and zero-duration annotations return
-    /// `None`.
+    /// exchange, checkpoint, redist, inspector, gather) and zero-duration
+    /// annotations return `None`.
     pub fn time_group(&self) -> Option<TimeGroup> {
         match self {
             Category::Compute => Some(TimeGroup::Compute),

@@ -92,9 +92,14 @@ impl UnionPlan {
 
 /// Build the union plan for a set of pieces, each a list of byte runs.
 ///
-/// Every piece run must be a real file extent (no `u64` overflow) — the
-/// planner asserts rather than clamping, since these runs come from layout
-/// arithmetic, not user input.
+/// Duplicate and overlapping runs — the natural shape of an irregular
+/// gather's request stream, where the same index appears many times — are
+/// coalesced into the union exactly once, so [`UnionPlan::bytes`] never
+/// double-charges a file byte no matter how often the pieces repeat it.
+/// Each piece's carve still replays its runs in their own order (duplicates
+/// included), so carving a repeated-index stream reproduces every repeat.
+/// Runs that would overflow `u64` are clamped to the addressable extent,
+/// mirroring [`coalesce_runs`], so the carves always index inside the union.
 pub fn plan_union(pieces: &[Vec<ByteRun>]) -> UnionPlan {
     let all: Vec<ByteRun> = pieces.iter().flatten().copied().collect();
     let union = coalesce_runs(&all);
@@ -114,13 +119,25 @@ pub fn plan_union(pieces: &[Vec<ByteRun>]) -> UnionPlan {
     let carves = pieces
         .iter()
         .map(|runs| {
-            runs.iter()
-                .filter(|r| r.len > 0)
-                .map(|r| {
-                    assert!(r.offset.checked_add(r.len).is_some(), "overflowing run");
-                    (position(r.offset), r.len as usize)
-                })
-                .collect()
+            let mut segs: Vec<(usize, usize)> = Vec::new();
+            for r in runs {
+                // Same clamp as coalesce_runs applied to the union, so a
+                // clamped run cannot address past the union buffer.
+                let len = r.len.min(u64::MAX - r.offset) as usize;
+                if r.len == 0 || len == 0 {
+                    continue;
+                }
+                let pos = position(r.offset);
+                match segs.last_mut() {
+                    // Runs that land back-to-back in the union buffer (e.g.
+                    // a gather of consecutive indices split into unit runs)
+                    // carve identically as one segment — merge them so the
+                    // carve is one memcpy instead of thousands.
+                    Some((p, l)) if *p + *l == pos => *l += len,
+                    _ => segs.push((pos, len)),
+                }
+            }
+            segs
         })
         .collect();
     UnionPlan { union, carves }
@@ -179,5 +196,81 @@ mod tests {
         let plan = plan_union(&[vec![ByteRun::new(0, 4)], vec![ByteRun::new(100, 4)]]);
         assert_eq!(plan.requests(), 2);
         assert_eq!(plan.carves[1], vec![(4, 4)]);
+    }
+
+    #[test]
+    fn repeated_indices_within_a_piece_are_not_double_charged() {
+        // A gather of indices [0, 0, 2]: element 0 requested twice. The
+        // union must charge its bytes once; the carve must replay it twice.
+        let piece = vec![ByteRun::new(0, 4), ByteRun::new(0, 4), ByteRun::new(8, 4)];
+        let plan = plan_union(&[piece]);
+        assert_eq!(plan.union, vec![ByteRun::new(0, 4), ByteRun::new(8, 4)]);
+        assert_eq!(plan.bytes(), 8, "duplicate offsets double-charged");
+        let buf: Vec<u8> = (0u8..8).collect();
+        assert_eq!(
+            plan.carve(0, &buf),
+            vec![0, 1, 2, 3, 0, 1, 2, 3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn repeated_indices_across_pieces_share_one_union_run() {
+        // Two ranks both gather element 0 — one disk read serves both.
+        let plan = plan_union(&[vec![ByteRun::new(0, 4)], vec![ByteRun::new(0, 4)]]);
+        assert_eq!(plan.requests(), 1);
+        assert_eq!(plan.bytes(), 4);
+        let buf = [9u8, 8, 7, 6];
+        assert_eq!(plan.carve(0, &buf), plan.carve(1, &buf));
+    }
+
+    #[test]
+    fn overlapping_runs_coalesce_and_carve_correctly() {
+        let plan = plan_union(&[vec![ByteRun::new(0, 6), ByteRun::new(4, 8)]]);
+        assert_eq!(plan.union, vec![ByteRun::new(0, 12)]);
+        assert_eq!(plan.bytes(), 12);
+        let buf: Vec<u8> = (0u8..12).collect();
+        let mut want: Vec<u8> = (0u8..6).collect();
+        want.extend(4u8..12);
+        assert_eq!(plan.carve(0, &buf), want);
+    }
+
+    #[test]
+    fn consecutive_index_runs_merge_into_one_carve_segment() {
+        // A unit-run-per-element gather of consecutive indices: the carve
+        // collapses to a single segment (one memcpy), byte-identically.
+        let piece: Vec<ByteRun> = (0..64).map(|i| ByteRun::new(i * 4, 4)).collect();
+        let plan = plan_union(&[piece]);
+        assert_eq!(plan.union, vec![ByteRun::new(0, 256)]);
+        assert_eq!(plan.carves[0], vec![(0, 256)]);
+        let buf: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(plan.carve(0, &buf), buf);
+    }
+
+    #[test]
+    fn scatter_with_duplicate_runs_is_last_writer_wins_and_consistent() {
+        let piece = vec![ByteRun::new(0, 4), ByteRun::new(0, 4)];
+        let plan = plan_union(&[piece]);
+        let mut buf = vec![0u8; plan.buffer_len()];
+        plan.scatter(0, &[1, 2, 3, 4, 5, 6, 7, 8], &mut buf);
+        assert_eq!(buf, vec![5, 6, 7, 8]);
+        // Carving back replays the surviving value for both repeats.
+        assert_eq!(plan.carve(0, &buf), vec![5, 6, 7, 8, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn overflowing_runs_are_clamped_like_coalesce_runs_not_panicked() {
+        let piece = vec![ByteRun {
+            offset: u64::MAX - 4,
+            len: 100,
+        }];
+        let plan = plan_union(&[piece]);
+        assert_eq!(plan.union, vec![ByteRun::new(u64::MAX - 4, 4)]);
+        assert_eq!(plan.carves[0], vec![(0, 4)]);
+        let plan = plan_union(&[vec![ByteRun {
+            offset: u64::MAX,
+            len: 7,
+        }]]);
+        assert!(plan.union.is_empty());
+        assert!(plan.carves[0].is_empty());
     }
 }

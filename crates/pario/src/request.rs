@@ -55,11 +55,11 @@ pub fn coalesce_runs(runs: &[ByteRun]) -> Vec<ByteRun> {
     let mut sorted: Vec<ByteRun> = runs
         .iter()
         .copied()
-        .filter(|r| r.len > 0)
         .map(|r| ByteRun {
             offset: r.offset,
             len: r.len.min(u64::MAX - r.offset),
         })
+        .filter(|r| r.len > 0)
         .collect();
     sorted.sort_by_key(|r| r.offset);
     let mut out: Vec<ByteRun> = Vec::with_capacity(sorted.len());

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use pario::{coalesce_runs, total_bytes, ByteRun};
+use pario::{coalesce_runs, plan_union, total_bytes, ByteRun};
 
 /// Arbitrary runs including adversarial near-`u64::MAX` extents that only
 /// struct-literal construction can produce.
@@ -64,5 +64,56 @@ proptest! {
 
         // Coverage never grows: merged extents are bounded by the input sum.
         prop_assert!(total_bytes(&once) <= total_bytes(&runs));
+    }
+
+    /// Repeated-index request streams (the shape irregular gathers emit):
+    /// the union plan charges each file byte once however often pieces
+    /// repeat it, and every carve replays its piece's bytes exactly.
+    #[test]
+    fn union_plans_never_double_charge_repeated_index_streams(
+        base in proptest::collection::vec((0u64..64, 1u64..8), 1..16),
+        npieces in 1usize..4,
+        seed in 0u64..16,
+    ) {
+        // Build pieces that heavily share and repeat runs.
+        let runs: Vec<ByteRun> = base
+            .iter()
+            .map(|&(o, l)| ByteRun { offset: o * 4, len: l })
+            .collect();
+        let pieces: Vec<Vec<ByteRun>> = (0..npieces)
+            .map(|i| {
+                let mut p = permute(&runs, seed + i as u64);
+                // Duplicate a run inside the piece: a repeated index.
+                p.push(p[i % p.len()]);
+                p
+            })
+            .collect();
+        let plan = plan_union(&pieces);
+
+        // Union bytes equal the coalesced coverage of everything requested —
+        // duplicates across or within pieces charge nothing extra.
+        let all: Vec<ByteRun> = pieces.iter().flatten().copied().collect();
+        prop_assert_eq!(plan.bytes(), total_bytes(&coalesce_runs(&all)));
+        prop_assert_eq!(plan.requests(), coalesce_runs(&all).len() as u64);
+
+        // Each carve reproduces its piece byte-for-byte from a union buffer
+        // whose contents encode absolute file offsets.
+        let union = coalesce_runs(&all);
+        let mut buf = Vec::with_capacity(plan.buffer_len());
+        for r in &union {
+            for b in 0..r.len {
+                buf.push(((r.offset + b) % 251) as u8);
+            }
+        }
+        for (i, piece) in pieces.iter().enumerate() {
+            let got = plan.carve(i, &buf);
+            let mut want = Vec::new();
+            for r in piece {
+                for b in 0..r.len {
+                    want.push(((r.offset + b) % 251) as u8);
+                }
+            }
+            prop_assert_eq!(&got, &want, "piece {} carve mismatch", i);
+        }
     }
 }
